@@ -1,0 +1,28 @@
+// The threat-model experiment (paper Sections 1/2.3): an attacker with an
+// arbitrary read/write primitive against every isolation technique. The
+// titular result: deterministic isolation survives even when the region's
+// address is known; information hiding falls to an allocation oracle.
+#include <cstdio>
+
+#include "src/attacks/harness.h"
+
+int main() {
+  using namespace memsentry;
+  std::printf("\n================================================================\n");
+  std::printf("Attack matrix — arbitrary R/W primitive vs every technique\n");
+  std::printf("================================================================\n");
+  std::printf("%-12s %-9s %-13s %-12s %-12s %s\n", "technique", "located", "oracle probes",
+              "read", "write", "notes");
+  for (const auto& r : attacks::RunAttackMatrix()) {
+    std::printf("%-12s %-9s %-13llu %-12s %-12s %s\n",
+                core::TechniqueKindName(r.technique),
+                r.region_located ? "yes" : "no",
+                static_cast<unsigned long long>(r.locate_probes),
+                attacks::OutcomeName(r.read_outcome), attacks::OutcomeName(r.write_outcome),
+                r.detail.c_str());
+  }
+  std::printf("\nDeterministic techniques hand the attacker the region's address and still\n");
+  std::printf("hold; the information-hiding baseline is located in a few dozen probes and\n");
+  std::printf("fully compromised — no need to hide.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// google-benchmark microbenchmarks of the substrates themselves (host-side
+// performance of the simulator, not simulated cycles): page walks, TLB,
+// cache tags, AES, EPT translation, executor throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/aes/aes128.h"
+#include "src/ir/builder.h"
+#include "src/machine/mmu.h"
+#include "src/sim/executor.h"
+#include "src/vmx/ept.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry {
+namespace {
+
+void BM_PageTableWalk(benchmark::State& state) {
+  machine::PhysicalMemory pmem(1 << 16);
+  machine::PageTable pt(&pmem);
+  (void)pt.MapNew(0x4000, machine::PageFlags::Data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pt.Walk(0x4000));
+  }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void BM_MmuTlbHit(benchmark::State& state) {
+  machine::PhysicalMemory pmem(1 << 16);
+  machine::CostModel cost;
+  machine::PageTable pt(&pmem);
+  machine::Mmu mmu(&pmem, &cost);
+  mmu.SetPageTable(&pt);
+  (void)pt.MapNew(0x4000, machine::PageFlags::Data());
+  machine::Pkru pkru;
+  (void)mmu.Access(0x4000, machine::AccessType::kRead, pkru);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mmu.Access(0x4000, machine::AccessType::kRead, pkru));
+  }
+}
+BENCHMARK(BM_MmuTlbHit);
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  const aes::KeySchedule keys = aes::ExpandKey(aes::Block{1, 2, 3, 4});
+  aes::Block block{9, 8, 7};
+  for (auto _ : state) {
+    block = aes::EncryptBlock(block, keys);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_EptTranslate(benchmark::State& state) {
+  machine::PhysicalMemory pmem(1 << 16);
+  vmx::Ept ept(&pmem);
+  (void)ept.Map(0x5000, 0x9000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ept.Translate(0x5123, machine::AccessType::kRead));
+  }
+}
+BENCHMARK(BM_EptTranslate);
+
+void BM_ExecutorThroughput(benchmark::State& state) {
+  const auto& profile = workloads::SpecCpu2006()[0];
+  workloads::SynthOptions synth;
+  synth.target_instructions = 100'000;
+  const ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
+  for (auto _ : state) {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    (void)workloads::PrepareWorkloadProcess(process, profile);
+    sim::Executor executor(&process, &module);
+    auto result = executor.Run();
+    benchmark::DoNotOptimize(result);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(result.instructions));
+  }
+}
+BENCHMARK(BM_ExecutorThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace memsentry
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared table-printing helpers for the per-figure benchmark binaries. Every
+// binary prints the paper's reference values next to the reproduced ones so
+// the comparison is one `diff`-shaped read.
+#ifndef MEMSENTRY_BENCH_BENCH_UTIL_H_
+#define MEMSENTRY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/eval/figures.h"
+#include "src/workloads/spec_profiles.h"
+
+namespace memsentry::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+// Prints one figure as rows of benchmarks x configuration columns.
+inline void PrintFigure(const std::vector<eval::FigureSeries>& series,
+                        const std::vector<double>& paper_geomeans) {
+  std::printf("%-16s", "benchmark");
+  for (const auto& s : series) {
+    std::printf("%10s", s.config.c_str());
+  }
+  std::printf("\n");
+  const auto profiles = workloads::SpecCpu2006();
+  for (size_t b = 0; b < profiles.size(); ++b) {
+    std::printf("%-16s", profiles[b].name.c_str());
+    for (const auto& s : series) {
+      std::printf("%10.2f", s.normalized[b]);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s", "geomean");
+  for (const auto& s : series) {
+    std::printf("%10.3f", s.geomean);
+  }
+  std::printf("\n%-16s", "paper geomean");
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i < paper_geomeans.size()) {
+      std::printf("%10.3f", paper_geomeans[i]);
+    } else {
+      std::printf("%10s", "-");
+    }
+  }
+  std::printf("\n(normalized runtime; 1.00 = uninstrumented baseline)\n");
+}
+
+inline eval::ExperimentOptions DefaultOptions() {
+  eval::ExperimentOptions options;
+  options.target_instructions = 400'000;
+  return options;
+}
+
+}  // namespace memsentry::bench
+
+#endif  // MEMSENTRY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,19 @@
+// The POSIX mprotect baseline (paper Section 1: "20-50x in our experiments"):
+// toggling the safe region's protection with a syscall at every call/ret is
+// the traditional alternative MemSentry's hardware techniques replace.
+#include "bench/bench_util.h"
+#include "src/base/stats_util.h"
+
+int main() {
+  using namespace memsentry;
+  bench::PrintHeader("mprotect baseline — page-protection toggling at every call+ret");
+  std::printf("%-16s %12s\n", "benchmark", "normalized");
+  std::vector<double> values;
+  for (const auto& profile : workloads::SpecCpu2006()) {
+    const double x = eval::RunMprotectBaseline(profile, bench::DefaultOptions());
+    values.push_back(x);
+    std::printf("%-16s %12.1f\n", profile.name.c_str(), x);
+  }
+  std::printf("%-16s %12.1f   (paper: 20-50x)\n", "geomean", GeoMean(values));
+  return 0;
+}

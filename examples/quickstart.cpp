@@ -1,0 +1,67 @@
+// Quickstart: protect a safe region with MemSentry in a few lines.
+//
+//   1. create a simulated machine + process,
+//   2. pick a technique and allocate a safe region (saferegion_alloc),
+//   3. build a program whose annotated instructions may touch the region,
+//   4. Protect() — runtime preparation + the MemSentry instrumentation pass,
+//   5. run: the legitimate access works; an attacker's primitive faults.
+#include <cstdio>
+
+#include "src/core/memsentry.h"
+#include "src/ir/builder.h"
+#include "src/sim/executor.h"
+
+using namespace memsentry;
+
+int main() {
+  // 1. Machine and process.
+  sim::Machine machine;
+  sim::Process process(&machine);
+  (void)process.SetupStack();
+
+  // 2. MemSentry with MPK (swap the enum to try any other technique).
+  core::MemSentryConfig config;
+  config.technique = core::TechniqueKind::kMpk;
+  core::MemSentry memsentry(&process, config);
+  auto region = memsentry.allocator().Alloc("secrets", 4096);
+  if (!region.ok()) {
+    std::printf("allocation failed: %s\n", region.status().ToString().c_str());
+    return 1;
+  }
+  const VirtAddr base = region.value()->base;
+  std::printf("safe region at 0x%llx (%s)\n", static_cast<unsigned long long>(base),
+              core::TechniqueKindName(config.technique));
+
+  // 3. A program that writes a secret into the region. The store carries the
+  //    saferegion_access() annotation, so MemSentry will wrap it in a domain
+  //    switch (or exempt it from masking, for address-based techniques).
+  ir::Module module;
+  ir::Builder b(&module);
+  b.CreateFunction("main");
+  b.MovImm(machine::Gpr::kRbx, 0xC0FFEE);
+  b.MovImm(machine::Gpr::kR14, base);
+  core::MarkSafeRegionAccess(b.Store(machine::Gpr::kR14, machine::Gpr::kRbx));
+  b.Halt();
+
+  // 4. Prepare the runtime state and instrument the module.
+  if (Status s = memsentry.Protect(module); !s.ok()) {
+    std::printf("protect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 5a. The legitimate (annotated) access succeeds.
+  sim::Executor executor(&process, &module);
+  auto result = executor.Run();
+  std::printf("program: %s, region word = 0x%llx\n",
+              result.halted ? "completed" : "faulted",
+              static_cast<unsigned long long>(process.Peek64(base).value()));
+
+  // 5b. The attacker's arbitrary-read primitive — with the address! — fails.
+  auto leak = memsentry.technique().AttackerRead(process, base);
+  if (leak.ok()) {
+    std::printf("attacker read 0x%llx (!!)\n", static_cast<unsigned long long>(leak.value()));
+  } else {
+    std::printf("attacker read -> %s: no need to hide.\n", leak.fault().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Shadow stack end-to-end: a program whose callee smashes its own return
+// address (forging a *valid* control transfer), run four ways:
+//
+//   1. undefended                      -> hijack succeeds silently,
+//   2. shadow stack only               -> hijack trapped, BUT the attacker
+//      can first corrupt the (merely hidden) shadow stack and slip through,
+//   3. shadow stack + MemSentry (MPX)  -> the shadow stack itself is
+//      untouchable; the hijack is trapped even against a metadata attacker.
+//
+// This is the paper's core argument compressed into one program: a defense
+// is only as strong as the isolation of its metadata.
+#include <cstdio>
+
+#include "src/core/memsentry.h"
+#include "src/defenses/shadow_stack.h"
+#include "src/ir/builder.h"
+#include "src/sim/executor.h"
+
+using namespace memsentry;
+
+namespace {
+
+// main calls callee; callee overwrites the pushed return address with a
+// forged-but-valid encoding that skips main's bookkeeping instruction.
+// The forged return address targets main's dedicated exit block — a
+// position that stays valid no matter how many instructions the defense and
+// isolation passes insert (passes never create blocks).
+constexpr uint64_t kForgedRa = (0xCA11ULL << 48) | (1ULL << 18);  // main, block 1, instr 0
+
+ir::Module VictimProgram() {
+  ir::Module m;
+  ir::Builder b(&m);
+  b.CreateFunction("main");
+  const int exit_block = b.NewBlock();
+  b.Call(1);
+  b.AddImm(machine::Gpr::kRbx, 1);  // skipped if the hijack lands
+  b.Jmp(exit_block);
+  b.SetInsertPoint(0, exit_block);
+  b.Halt();
+  b.SetInsertPoint(0, 0);
+  b.CreateFunction("callee");
+  b.MovImm(machine::Gpr::kRcx, kForgedRa);
+  b.Store(machine::Gpr::kRsp, machine::Gpr::kRcx);
+  b.Ret();
+  return m;
+}
+
+const char* Verdict(const sim::RunResult& r) {
+  if (r.trapped) {
+    return "defense TRAPPED the hijack";
+  }
+  if (r.fault) {
+    return "architectural fault";
+  }
+  return "program completed";
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. Undefended ---
+  {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    (void)process.SetupStack();
+    ir::Module m = VictimProgram();
+    auto r = sim::Executor(&process, &m).Run();
+    std::printf("[undefended]            %s; bookkeeping %s\n", Verdict(r),
+                process.regs()[machine::Gpr::kRbx] == 1 ? "intact" : "SKIPPED (hijacked!)");
+  }
+
+  // --- 2. Shadow stack, metadata merely placed (not isolated) ---
+  {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    (void)process.SetupStack();
+    const VirtAddr shadow = 0x480000000000ULL;
+    (void)process.MapRange(shadow, 1, machine::PageFlags::Data());
+    ir::Module m = VictimProgram();
+    defenses::ShadowStackPass pass(shadow);
+    (void)pass.Run(m);
+    auto r = sim::Executor(&process, &m).Run();
+    std::printf("[shadow stack]          %s\n", Verdict(r));
+
+    // The metadata attack: overwrite the shadow entry with the forged RA
+    // before the epilogue compares. With information hiding this is exactly
+    // what allocation oracles enable.
+    sim::Machine machine2;
+    sim::Process process2(&machine2);
+    (void)process2.SetupStack();
+    (void)process2.MapRange(shadow, 1, machine::PageFlags::Data());
+    ir::Module m2 = VictimProgram();
+    // The attacker's write, inlined into the callee after its prologue: the
+    // shadow slot for the callee's RA is shadow + 8.
+    {
+      defenses::ShadowStackPass pass2(shadow);
+      (void)pass2.Run(m2);
+      auto& callee = m2.functions[1].blocks[0].instrs;
+      ir::Instr setup{.op = ir::Opcode::kMovImm, .dst = machine::Gpr::kRdx, .imm = kForgedRa};
+      ir::Instr addr{.op = ir::Opcode::kMovImm, .dst = machine::Gpr::kR10, .imm = shadow + 8};
+      ir::Instr write{.op = ir::Opcode::kStore, .dst = machine::Gpr::kR10,
+                      .src = machine::Gpr::kRdx};
+      callee.insert(callee.begin() + 2, {setup, addr, write});
+    }
+    auto r2 = sim::Executor(&process2, &m2).Run();
+    std::printf("[shadow stack, metadata corrupted] %s; bookkeeping %s\n", Verdict(r2),
+                process2.regs()[machine::Gpr::kRbx] == 1 ? "intact"
+                                                         : "SKIPPED (defense bypassed!)");
+  }
+
+  // --- 3. Shadow stack + MemSentry (MPX write protection) ---
+  {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    (void)process.SetupStack();
+    core::MemSentryConfig config;
+    config.technique = core::TechniqueKind::kMpx;
+    config.options.mode = core::ProtectMode::kWriteOnly;
+    core::MemSentry ms(&process, config);
+    auto region = ms.allocator().Alloc("shadow-stack", 4096);
+    ir::Module m = VictimProgram();
+    defenses::ShadowStackPass pass(region.value()->base);
+    (void)pass.Run(m);
+    // Same metadata attack as above...
+    {
+      auto& callee = m.functions[1].blocks[0].instrs;
+      ir::Instr setup{.op = ir::Opcode::kMovImm, .dst = machine::Gpr::kRdx, .imm = kForgedRa};
+      ir::Instr addr{.op = ir::Opcode::kMovImm, .dst = machine::Gpr::kR10,
+                     .imm = region.value()->base + 8};
+      ir::Instr write{.op = ir::Opcode::kStore, .dst = machine::Gpr::kR10,
+                      .src = machine::Gpr::kRdx};
+      callee.insert(callee.begin() + 2, {setup, addr, write});
+    }
+    // ...but now MemSentry instruments every non-annotated store.
+    (void)ms.Protect(m);
+    auto r = sim::Executor(&process, &m).Run();
+    std::printf("[shadow stack + MemSentry/MPX]     %s (%s)\n", Verdict(r),
+                r.fault ? r.fault->ToString().c_str() : "-");
+  }
+  return 0;
+}

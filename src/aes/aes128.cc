@@ -1,0 +1,218 @@
+#include "src/aes/aes128.h"
+
+#include <cstring>
+
+namespace memsentry::aes {
+namespace {
+
+// GF(2^8) arithmetic over the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+uint8_t Xtime(uint8_t a) { return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00)); }
+
+uint8_t Gmul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) {
+      p ^= a;
+    }
+    a = Xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+// The S-box is computed (inverse in GF(2^8) + affine transform) rather than
+// transcribed; tests pin the known values S(0x00)=0x63, S(0x53)=0xed.
+struct SboxTables {
+  uint8_t sbox[256];
+  uint8_t inv_sbox[256];
+
+  SboxTables() {
+    // Build inverses via brute force once; table construction is not hot.
+    uint8_t inverse[256] = {0};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (Gmul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) == 1) {
+          inverse[a] = static_cast<uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int x = 0; x < 256; ++x) {
+      const uint8_t inv = inverse[x];
+      uint8_t s = 0x63;
+      for (int i = 0; i < 8; ++i) {
+        const uint8_t bit = static_cast<uint8_t>(
+            ((inv >> i) ^ (inv >> ((i + 4) & 7)) ^ (inv >> ((i + 5) & 7)) ^
+             (inv >> ((i + 6) & 7)) ^ (inv >> ((i + 7) & 7))) &
+            1);
+      s = static_cast<uint8_t>(s ^ (bit << i));
+      }
+      // s started as the affine constant 0x63; the loop xored in the rotated
+      // bits, so s now holds the full affine transform of inv.
+      sbox[x] = s;
+      inv_sbox[s] = static_cast<uint8_t>(x);
+    }
+  }
+};
+
+const SboxTables& Tables() {
+  static const SboxTables tables;
+  return tables;
+}
+
+Block SubBytes(const Block& in) {
+  Block out;
+  for (int i = 0; i < kBlockSize; ++i) {
+    out[i] = Tables().sbox[in[i]];
+  }
+  return out;
+}
+
+Block InvSubBytes(const Block& in) {
+  Block out;
+  for (int i = 0; i < kBlockSize; ++i) {
+    out[i] = Tables().inv_sbox[in[i]];
+  }
+  return out;
+}
+
+// State layout is FIPS-197 column-major: byte index = row + 4*column.
+Block ShiftRows(const Block& in) {
+  Block out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      out[r + 4 * c] = in[r + 4 * ((c + r) & 3)];
+    }
+  }
+  return out;
+}
+
+Block InvShiftRows(const Block& in) {
+  Block out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      out[r + 4 * c] = in[r + 4 * ((c - r + 4) & 3)];
+    }
+  }
+  return out;
+}
+
+Block MixColumns(const Block& in) {
+  Block out;
+  for (int c = 0; c < 4; ++c) {
+    const uint8_t* col = &in[4 * c];
+    out[4 * c + 0] = static_cast<uint8_t>(Gmul(col[0], 2) ^ Gmul(col[1], 3) ^ col[2] ^ col[3]);
+    out[4 * c + 1] = static_cast<uint8_t>(col[0] ^ Gmul(col[1], 2) ^ Gmul(col[2], 3) ^ col[3]);
+    out[4 * c + 2] = static_cast<uint8_t>(col[0] ^ col[1] ^ Gmul(col[2], 2) ^ Gmul(col[3], 3));
+    out[4 * c + 3] = static_cast<uint8_t>(Gmul(col[0], 3) ^ col[1] ^ col[2] ^ Gmul(col[3], 2));
+  }
+  return out;
+}
+
+Block InvMixColumns(const Block& in) {
+  Block out;
+  for (int c = 0; c < 4; ++c) {
+    const uint8_t* col = &in[4 * c];
+    out[4 * c + 0] = static_cast<uint8_t>(Gmul(col[0], 14) ^ Gmul(col[1], 11) ^ Gmul(col[2], 13) ^
+                                          Gmul(col[3], 9));
+    out[4 * c + 1] = static_cast<uint8_t>(Gmul(col[0], 9) ^ Gmul(col[1], 14) ^ Gmul(col[2], 11) ^
+                                          Gmul(col[3], 13));
+    out[4 * c + 2] = static_cast<uint8_t>(Gmul(col[0], 13) ^ Gmul(col[1], 9) ^ Gmul(col[2], 14) ^
+                                          Gmul(col[3], 11));
+    out[4 * c + 3] = static_cast<uint8_t>(Gmul(col[0], 11) ^ Gmul(col[1], 13) ^ Gmul(col[2], 9) ^
+                                          Gmul(col[3], 14));
+  }
+  return out;
+}
+
+Block Xor(const Block& a, const Block& b) {
+  Block out;
+  for (int i = 0; i < kBlockSize; ++i) {
+    out[i] = a[i] ^ b[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+KeySchedule ExpandKey(const Block& key) {
+  KeySchedule keys;
+  keys[0] = key;
+  uint8_t rcon = 0x01;
+  for (int round = 1; round < kNumRoundKeys; ++round) {
+    const RoundKey& prev = keys[round - 1];
+    RoundKey& out = keys[round];
+    // RotWord + SubWord + Rcon on the previous last word.
+    uint8_t t[4] = {Tables().sbox[prev[13]], Tables().sbox[prev[14]], Tables().sbox[prev[15]],
+                    Tables().sbox[prev[12]]};
+    t[0] ^= rcon;
+    rcon = Xtime(rcon);
+    for (int i = 0; i < 4; ++i) {
+      out[i] = static_cast<uint8_t>(prev[i] ^ t[i]);
+    }
+    for (int i = 4; i < kBlockSize; ++i) {
+      out[i] = static_cast<uint8_t>(prev[i] ^ out[i - 4]);
+    }
+  }
+  return keys;
+}
+
+KeySchedule InverseKeySchedule(const KeySchedule& enc) {
+  KeySchedule dec = enc;
+  for (int round = 1; round < kNumRounds; ++round) {
+    dec[round] = InvMixColumnsBlock(enc[round]);
+  }
+  return dec;
+}
+
+Block EncryptRound(const Block& state, const RoundKey& key) {
+  return Xor(MixColumns(ShiftRows(SubBytes(state))), key);
+}
+
+Block EncryptLastRound(const Block& state, const RoundKey& key) {
+  return Xor(ShiftRows(SubBytes(state)), key);
+}
+
+Block DecryptRound(const Block& state, const RoundKey& key) {
+  // Equivalent inverse cipher (aesdec): expects an InvMixColumns'd round key.
+  return Xor(InvMixColumns(InvSubBytes(InvShiftRows(state))), key);
+}
+
+Block DecryptLastRound(const Block& state, const RoundKey& key) {
+  return Xor(InvSubBytes(InvShiftRows(state)), key);
+}
+
+Block InvMixColumnsBlock(const Block& block) { return InvMixColumns(block); }
+
+Block EncryptBlock(const Block& plaintext, const KeySchedule& keys) {
+  Block state = Xor(plaintext, keys[0]);
+  for (int round = 1; round < kNumRounds; ++round) {
+    state = EncryptRound(state, keys[round]);
+  }
+  return EncryptLastRound(state, keys[kNumRounds]);
+}
+
+Block DecryptBlock(const Block& ciphertext, const KeySchedule& enc_keys) {
+  const KeySchedule dec = InverseKeySchedule(enc_keys);
+  Block state = Xor(ciphertext, enc_keys[kNumRounds]);
+  for (int round = kNumRounds - 1; round >= 1; --round) {
+    state = DecryptRound(state, dec[round]);
+  }
+  return DecryptLastRound(state, enc_keys[0]);
+}
+
+void CryptRegion(std::span<uint8_t> data, const KeySchedule& keys, uint64_t nonce) {
+  uint64_t counter = 0;
+  for (size_t offset = 0; offset < data.size(); offset += kBlockSize, ++counter) {
+    Block ctr{};
+    std::memcpy(ctr.data(), &nonce, sizeof(nonce));
+    std::memcpy(ctr.data() + 8, &counter, sizeof(counter));
+    const Block keystream = EncryptBlock(ctr, keys);
+    const size_t chunk = std::min<size_t>(kBlockSize, data.size() - offset);
+    for (size_t i = 0; i < chunk; ++i) {
+      data[offset + i] ^= keystream[i];
+    }
+  }
+}
+
+}  // namespace memsentry::aes

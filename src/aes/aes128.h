@@ -1,0 +1,54 @@
+// FIPS-197 AES-128: key expansion, block encrypt/decrypt, and the primitives
+// AES-NI exposes (single rounds, InvMixColumns, key-generation assist). The
+// crypt isolation technique uses this to genuinely encrypt safe regions
+// in place; tests validate against the FIPS-197 / SP 800-38A vectors.
+#ifndef MEMSENTRY_SRC_AES_AES128_H_
+#define MEMSENTRY_SRC_AES_AES128_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace memsentry::aes {
+
+inline constexpr int kBlockSize = 16;   // bytes
+inline constexpr int kNumRounds = 10;   // AES-128
+inline constexpr int kNumRoundKeys = kNumRounds + 1;
+
+using Block = std::array<uint8_t, kBlockSize>;
+using RoundKey = std::array<uint8_t, kBlockSize>;
+using KeySchedule = std::array<RoundKey, kNumRoundKeys>;
+
+// Expands a 128-bit key into 11 round keys (FIPS-197 §5.2); the hardware
+// equivalent is a chain of aeskeygenassist + shuffles.
+KeySchedule ExpandKey(const Block& key);
+
+// Derives the decryption ("equivalent inverse cipher") schedule by applying
+// InvMixColumns to round keys 1..9 — exactly what aesimc does on real
+// hardware before aesdec can consume an encryption schedule.
+KeySchedule InverseKeySchedule(const KeySchedule& enc);
+
+// One middle round of encryption: ShiftRows, SubBytes, MixColumns, AddKey.
+// Matches the aesenc instruction semantics.
+Block EncryptRound(const Block& state, const RoundKey& key);
+// Final round (no MixColumns) — aesenclast.
+Block EncryptLastRound(const Block& state, const RoundKey& key);
+// Decryption counterparts — aesdec / aesdeclast (equivalent inverse cipher).
+Block DecryptRound(const Block& state, const RoundKey& key);
+Block DecryptLastRound(const Block& state, const RoundKey& key);
+
+// InvMixColumns on a whole block — the aesimc instruction.
+Block InvMixColumnsBlock(const Block& block);
+
+// Full-block ECB operations built from the rounds above.
+Block EncryptBlock(const Block& plaintext, const KeySchedule& keys);
+Block DecryptBlock(const Block& ciphertext, const KeySchedule& enc_keys);
+
+// In-place CTR-like region transform used by the crypt technique: XOR of an
+// AES-CTR keystream, so arbitrary region sizes (not only multiples of 16)
+// encrypt/decrypt symmetrically. `nonce` binds the keystream to the region.
+void CryptRegion(std::span<uint8_t> data, const KeySchedule& keys, uint64_t nonce);
+
+}  // namespace memsentry::aes
+
+#endif  // MEMSENTRY_SRC_AES_AES128_H_

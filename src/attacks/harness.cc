@@ -1,0 +1,141 @@
+#include "src/attacks/harness.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/attacks/primitives.h"
+#include "src/attacks/strategies.h"
+#include "src/core/memsentry.h"
+
+namespace memsentry::attacks {
+namespace {
+
+inline constexpr uint64_t kSecret = 0x5ec4e7c0de5ec4e7ULL;
+
+Outcome ClassifyReadFault(const machine::Fault& fault) {
+  switch (fault.type) {
+    case machine::FaultType::kBoundRange:
+    case machine::FaultType::kPkeyAccessDisabled:
+    case machine::FaultType::kPkeyWriteDisabled:
+    case machine::FaultType::kEptViolation:
+    case machine::FaultType::kEnclaveAccess:
+    case machine::FaultType::kUserSupervisor:
+    case machine::FaultType::kWriteProtection:
+      return Outcome::kDetected;
+    default:
+      // e.g. #PF at a masked (aliased) address: SFI prevented the access but
+      // cannot attribute it (Section 3.2).
+      return Outcome::kPrevented;
+  }
+}
+
+}  // namespace
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kLeaked:
+      return "LEAKED";
+    case Outcome::kCorrupted:
+      return "CORRUPTED";
+    case Outcome::kPrevented:
+      return "prevented";
+    case Outcome::kDetected:
+      return "detected";
+    case Outcome::kNotFound:
+      return "not-located";
+  }
+  return "?";
+}
+
+AttackReport RunAttackScenario(core::TechniqueKind kind, uint64_t region_bytes) {
+  AttackReport report;
+  report.technique = kind;
+
+  sim::Machine machine;
+  sim::Process process(&machine);
+  if (kind == core::TechniqueKind::kVmfunc) {
+    Status dune = process.EnableDune();
+    (void)dune;
+  }
+  (void)process.SetupStack();
+  (void)process.MapRange(sim::kWorkingSetBase, 16, machine::PageFlags::Data());
+
+  core::MemSentryConfig config;
+  config.technique = kind;
+  core::MemSentry memsentry(&process, config);
+  auto region = memsentry.allocator().Alloc("secret", region_bytes);
+  if (!region.ok()) {
+    report.detail = "setup failed: " + region.status().ToString();
+    return report;
+  }
+  const VirtAddr base = region.value()->base;
+  const uint64_t pages = PageAlignUp(region.value()->size) >> kPageShift;
+  (void)process.Poke64(base, kSecret);
+  Status prepared = memsentry.PrepareRuntime();
+  if (!prepared.ok()) {
+    report.detail = "prepare failed: " + prepared.ToString();
+    return report;
+  }
+
+  // Phase 1 — locate. Deterministic isolation does not hide the region: the
+  // attacker gets the address for free. Information hiding forces a search.
+  VirtAddr target = base;
+  if (kind == core::TechniqueKind::kInfoHide) {
+    LocateResult located = AllocationOracleAttack(process, pages);
+    report.locate_probes = located.probes;
+    if (!located.found) {
+      report.read_outcome = Outcome::kNotFound;
+      report.write_outcome = Outcome::kNotFound;
+      report.detail = "allocation oracle failed";
+      return report;
+    }
+    target = located.base;
+  }
+  report.region_located = true;
+
+  // Phase 2 — the arbitrary read primitive.
+  ArbitraryRw rw(&process, &memsentry.technique());
+  auto read = rw.Read(target);
+  if (!read.ok()) {
+    report.read_outcome = ClassifyReadFault(read.fault());
+    report.detail = read.fault().ToString();
+  } else if (read.value() == kSecret) {
+    report.read_outcome = Outcome::kLeaked;
+  } else {
+    report.read_outcome = Outcome::kPrevented;  // aliased read or ciphertext
+  }
+
+  // Phase 3 — the arbitrary write primitive. Ground truth via raw memory.
+  auto write = rw.Write(target, 0xdeadULL);
+  if (!write.ok()) {
+    report.write_outcome = ClassifyReadFault(write.fault());
+  } else if (kind == core::TechniqueKind::kCrypt) {
+    // The write lands on ciphertext. A *controlled* corruption requires the
+    // decrypted region to contain the attacker's value; without the
+    // keystream it only garbles (weak integrity, strong confidentiality).
+    sim::SafeRegion* r = process.FindSafeRegion(base);
+    std::vector<uint8_t> bytes(r->size);
+    (void)process.PeekBytes(base, bytes.data(), r->size);
+    aes::CryptRegion(bytes, r->enc_keys, r->nonce);
+    uint64_t decrypted = 0;
+    std::memcpy(&decrypted, bytes.data(), sizeof(decrypted));
+    report.write_outcome =
+        decrypted == 0xdeadULL ? Outcome::kCorrupted : Outcome::kPrevented;
+    report.detail += " (write garbles ciphertext; value not attacker-controlled)";
+  } else {
+    auto now = process.Peek64(base);
+    report.write_outcome =
+        (now.ok() && now.value() != kSecret) ? Outcome::kCorrupted : Outcome::kPrevented;
+  }
+  return report;
+}
+
+std::vector<AttackReport> RunAttackMatrix(uint64_t region_bytes) {
+  std::vector<AttackReport> reports;
+  for (int k = 0; k < core::kNumTechniques; ++k) {
+    reports.push_back(RunAttackScenario(static_cast<core::TechniqueKind>(k), region_bytes));
+  }
+  return reports;
+}
+
+}  // namespace memsentry::attacks

@@ -1,0 +1,43 @@
+// Disclosure strategies against information hiding (paper Section 1/2.3):
+//   * allocation oracle (Oikonomopoulos et al.): probe allocation sizes to
+//     measure the address-space holes around the hidden region and pinpoint
+//     its boundaries in O(log |address space|) probes;
+//   * crash-resistant scanning (Gawlik et al.): sweep the address space with
+//     faulting-but-surviving reads;
+//   * thread spraying (Göktaş et al.): force the program to create many
+//     copies of the hidden region first, then scan — density makes scanning
+//     tractable.
+#ifndef MEMSENTRY_SRC_ATTACKS_STRATEGIES_H_
+#define MEMSENTRY_SRC_ATTACKS_STRATEGIES_H_
+
+#include <optional>
+
+#include "src/attacks/primitives.h"
+#include "src/core/safe_region.h"
+
+namespace memsentry::attacks {
+
+struct LocateResult {
+  bool found = false;
+  VirtAddr base = 0;       // discovered page inside the hidden region
+  uint64_t probes = 0;     // primitive invocations spent
+};
+
+// Allocation oracle: binary-searches the largest mappable block above and
+// below to triangulate the hidden region. `probe_budget` bounds the search.
+LocateResult AllocationOracleAttack(sim::Process& process, uint64_t region_pages);
+
+// Crash-resistant scan with the given stride. Only tractable when the region
+// (or the sprayed copies) are large relative to the stride.
+LocateResult CrashResistantScan(ArbitraryRw& rw, VirtAddr lo, VirtAddr hi, uint64_t stride,
+                                uint64_t probe_budget);
+
+// Thread spraying: the victim is made to allocate `spray_count` additional
+// region copies (one per sprayed thread stack); the attacker then scans.
+LocateResult ThreadSprayingAttack(sim::Process& process, ArbitraryRw& rw,
+                                  core::SafeRegionAllocator& allocator, uint64_t region_bytes,
+                                  int spray_count, uint64_t probe_budget);
+
+}  // namespace memsentry::attacks
+
+#endif  // MEMSENTRY_SRC_ATTACKS_STRATEGIES_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default; enabled per-program via
+// SetLogLevel. Keeps the simulator hot paths free of iostream formatting.
+#ifndef MEMSENTRY_SRC_BASE_LOG_H_
+#define MEMSENTRY_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace memsentry {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MEMSENTRY_LOG(level)                                                  \
+  if (::memsentry::GetLogLevel() <= ::memsentry::LogLevel::level)             \
+  ::memsentry::internal::LogLine(::memsentry::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace memsentry
+
+#endif  // MEMSENTRY_SRC_BASE_LOG_H_

@@ -1,0 +1,39 @@
+// Small numeric helpers for the benchmark harnesses (geomean etc.).
+#ifndef MEMSENTRY_SRC_BASE_STATS_UTIL_H_
+#define MEMSENTRY_SRC_BASE_STATS_UTIL_H_
+
+#include <cassert>
+#include <cmath>
+#include <span>
+
+namespace memsentry {
+
+// Geometric mean of strictly positive values. The paper reports SPEC overheads
+// as the geomean over all C/C++ benchmarks.
+inline double GeoMean(std::span<const double> values) {
+  assert(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    assert(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+inline double Mean(std::span<const double> values) {
+  assert(!values.empty());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+// Converts a normalized runtime (1.0 == baseline) to a percent overhead.
+inline double ToOverheadPercent(double normalized_runtime) {
+  return (normalized_runtime - 1.0) * 100.0;
+}
+
+}  // namespace memsentry
+
+#endif  // MEMSENTRY_SRC_BASE_STATS_UTIL_H_

@@ -1,0 +1,119 @@
+// Lightweight Status / StatusOr error propagation (no exceptions cross library
+// boundaries; simulated CPU faults are values, not C++ exceptions).
+#ifndef MEMSENTRY_SRC_BASE_STATUS_H_
+#define MEMSENTRY_SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace memsentry {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kPermissionDenied,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+inline Status AlreadyExists(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+inline Status PermissionDenied(std::string m) {
+  return Status(StatusCode::kPermissionDenied, std::move(m));
+}
+inline Status ResourceExhausted(std::string m) {
+  return Status(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Status FailedPrecondition(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status Unimplemented(std::string m) {
+  return Status(StatusCode::kUnimplemented, std::move(m));
+}
+inline Status InternalError(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+// StatusOr<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {                // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define MEMSENTRY_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::memsentry::Status _status = (expr);          \
+    if (!_status.ok()) return _status;             \
+  } while (false)
+
+#define MEMSENTRY_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto _statusor_##__LINE__ = (expr);              \
+  if (!_statusor_##__LINE__.ok()) return _statusor_##__LINE__.status(); \
+  lhs = std::move(_statusor_##__LINE__).value()
+
+}  // namespace memsentry
+
+#endif  // MEMSENTRY_SRC_BASE_STATUS_H_

@@ -1,0 +1,47 @@
+// Fundamental integer and address types shared by every MemSentry library.
+#ifndef MEMSENTRY_SRC_BASE_TYPES_H_
+#define MEMSENTRY_SRC_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memsentry {
+
+// A virtual address in the simulated guest address space.
+using VirtAddr = uint64_t;
+
+// A physical address in the simulated machine (host-physical when an EPT is
+// active; guest-physical addresses are translated through the EPT first).
+using PhysAddr = uint64_t;
+
+// A guest-physical address: the output of the guest page tables and the input
+// of the EPT. Identical to PhysAddr when no EPT is active.
+using GuestPhysAddr = uint64_t;
+
+// Cycle counts produced by the cost model. Fractional cycles are meaningful:
+// on a superscalar core an instruction that never stalls the pipeline costs a
+// fraction of a cycle of issue bandwidth (e.g. 0.25 on a 4-wide core).
+using Cycles = double;
+
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kPageSize = uint64_t{1} << kPageShift;  // 4 KiB
+inline constexpr uint64_t kPageMask = kPageSize - 1;
+
+// x86-64 canonical user address space is 128 TiB (47 bits + sign extension).
+// MemSentry splits it at 64 TiB: everything at or above the split is the
+// sensitive partition for address-based techniques (paper Section 5.4).
+inline constexpr uint64_t kAddressSpaceBits = 47;
+inline constexpr VirtAddr kAddressSpaceEnd = uint64_t{1} << kAddressSpaceBits;  // 128 TiB
+inline constexpr VirtAddr kPartitionSplit = kAddressSpaceEnd / 2;               // 64 TiB
+// The SFI mask from Figure 2(c): and-ing a pointer with this forces it below
+// the 64 TiB split.
+inline constexpr uint64_t kSfiMask = kPartitionSplit - 1;  // 0x00003fffffffffff
+
+constexpr VirtAddr PageAlignDown(VirtAddr a) { return a & ~kPageMask; }
+constexpr VirtAddr PageAlignUp(VirtAddr a) { return (a + kPageMask) & ~kPageMask; }
+constexpr uint64_t PageNumber(VirtAddr a) { return a >> kPageShift; }
+constexpr uint64_t PageOffset(VirtAddr a) { return a & kPageMask; }
+
+}  // namespace memsentry
+
+#endif  // MEMSENTRY_SRC_BASE_TYPES_H_

@@ -1,0 +1,104 @@
+#include "src/core/advisor.h"
+
+namespace memsentry::core {
+
+const char* InstrumentationPointName(InstrumentationPoint point) {
+  switch (point) {
+    case InstrumentationPoint::kCallRet:
+      return "call/ret";
+    case InstrumentationPoint::kIndirectBranch:
+      return "indirect branches";
+    case InstrumentationPoint::kSyscall:
+      return "system calls";
+    case InstrumentationPoint::kAllocatorCall:
+      return "allocator calls";
+    case InstrumentationPoint::kMemAccess:
+      return "memory accesses (points-to)";
+  }
+  return "?";
+}
+
+Recommendation Advise(const ScenarioSpec& spec) {
+  Recommendation rec;
+  // Section 6.3: the optimal choice primarily depends on how often domain
+  // switches occur. Dense events (every call/ret) favor address-based
+  // techniques; sparse events (syscalls, allocator calls) favor domain-based.
+  const bool dense = spec.events_per_kinstr >= 5.0;
+
+  if (dense) {
+    if (spec.cpu_year >= 2015 && spec.domains_needed <= 4) {
+      rec.primary = TechniqueKind::kMpx;
+      rec.alternatives = {TechniqueKind::kSfi};
+      rec.rationale =
+          "frequent domain switches favor address-based isolation; a single "
+          "bndcu against bnd0 beats the SFI and-mask on Skylake and later, and "
+          "deterministically detects violations instead of silently remapping them";
+    } else {
+      rec.primary = TechniqueKind::kSfi;
+      rec.alternatives = spec.domains_needed <= 4
+                             ? std::vector<TechniqueKind>{TechniqueKind::kMpx}
+                             : std::vector<TechniqueKind>{};
+      rec.rationale =
+          "frequent switches need address-based isolation and SFI works on any "
+          "CPU (or with more than 4 partitions, where MPX spills bounds)";
+    }
+    return rec;
+  }
+
+  // Sparse events: domain-based.
+  if (spec.mpk_available && spec.domains_needed <= 16) {
+    rec.primary = TechniqueKind::kMpk;
+    rec.alternatives = {TechniqueKind::kVmfunc, TechniqueKind::kCrypt};
+    rec.rationale =
+        "MPK has by far the cheapest domain switch (two wrpkru writes), page "
+        "granularity and 16 domains";
+    return rec;
+  }
+
+  // Until MPK ships, the choice is VMFUNC vs crypt (Section 6.3): crypt's
+  // cost is linear in region size, VMFUNC's is constant; crypt wins for 1-2
+  // AES chunks and needs no privileged host component.
+  const bool tiny_region = spec.region_bytes <= 32;
+  const bool vmfunc_possible = spec.cpu_year >= 2013 && spec.hypervisor_ok;
+  if (tiny_region || !vmfunc_possible) {
+    rec.primary = TechniqueKind::kCrypt;
+    rec.alternatives =
+        vmfunc_possible ? std::vector<TechniqueKind>{TechniqueKind::kVmfunc}
+                        : std::vector<TechniqueKind>{};
+    rec.rationale =
+        "for 1-2 AES chunks crypt is faster than an EPT switch, works since "
+        "Westmere (2010), and needs no hypervisor; it also isolates at 16-byte "
+        "granularity without page separation";
+  } else {
+    rec.primary = TechniqueKind::kVmfunc;
+    rec.alternatives = {TechniqueKind::kCrypt};
+    rec.rationale =
+        "constant-cost EPT switching beats encryption once the region exceeds "
+        "a couple of AES chunks; requires Haswell (2013) and a small privileged "
+        "component (Dune or a modified hypervisor)";
+  }
+  return rec;
+  // SGX is deliberately never recommended: transition costs (7664 cycles) and
+  // fixed, size-limited mappings make it unsuitable for lightweight safe
+  // region isolation (Section 3.1); mprotect and information hiding are
+  // baselines, not recommendations.
+}
+
+std::vector<ApplicabilityRow> ApplicabilityTable() {
+  // Paper Table 2.
+  return {
+      {Category::kAddressBased, "Loads", "Code randomization"},
+      {Category::kAddressBased, "Loads", "CFI variants"},
+      {Category::kAddressBased, "Stores", "ShadowStack"},
+      {Category::kAddressBased, "Stores", "CPI"},
+      {Category::kAddressBased, "Both + points-to info", "Program data"},
+      {Category::kDomainBased, "call + ret", "ShadowStack"},
+      {Category::kDomainBased, "Indirect branches", "CFI variants"},
+      {Category::kDomainBased, "Indirect branches", "Layout randomization"},
+      {Category::kDomainBased, "System calls", "Layout randomization"},
+      {Category::kDomainBased, "Allocator calls", "Heap"},
+      {Category::kDomainBased, "Points-to info", "Program data"},
+  };
+}
+
+}  // namespace memsentry::core

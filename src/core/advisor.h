@@ -1,0 +1,56 @@
+// Technique selection guidance: encodes the paper's Table 2 (applicability),
+// Table 3 (limits) and the Section 6.3 discussion as executable logic.
+#ifndef MEMSENTRY_SRC_CORE_ADVISOR_H_
+#define MEMSENTRY_SRC_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/technique.h"
+
+namespace memsentry::core {
+
+// Where a defense inserts code (paper Tables 1 and 2).
+enum class InstrumentationPoint {
+  kCallRet,          // shadow stacks
+  kIndirectBranch,   // CFI variants, layout randomization
+  kSyscall,          // TASR-style layout randomization
+  kAllocatorCall,    // heap protection (DieHard)
+  kMemAccess,        // CPI / arbitrary program data, needs points-to
+};
+
+const char* InstrumentationPointName(InstrumentationPoint point);
+
+struct ScenarioSpec {
+  InstrumentationPoint point = InstrumentationPoint::kCallRet;
+  // Roughly how many protected events occur per 1000 instructions; drives
+  // the address- vs domain-based crossover (Section 6.3).
+  double events_per_kinstr = 10.0;
+  uint64_t region_bytes = 4096;
+  bool needs_confidentiality = false;  // reads must be stopped too
+  int domains_needed = 1;
+  int cpu_year = 2017;        // newest CPU generation available
+  bool hypervisor_ok = true;  // privileged host component acceptable
+  bool mpk_available = false; // unreleased at paper time
+};
+
+struct Recommendation {
+  TechniqueKind primary;
+  std::vector<TechniqueKind> alternatives;
+  std::string rationale;
+};
+
+Recommendation Advise(const ScenarioSpec& spec);
+
+// One row of the paper's Table 2.
+struct ApplicabilityRow {
+  Category category;
+  std::string instrumentation_points;
+  std::string application;
+};
+
+std::vector<ApplicabilityRow> ApplicabilityTable();
+
+}  // namespace memsentry::core
+
+#endif  // MEMSENTRY_SRC_CORE_ADVISOR_H_

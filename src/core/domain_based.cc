@@ -1,0 +1,264 @@
+// Domain-based techniques: MPK, VMFUNC, crypt, SGX, plus the mprotect and
+// information-hiding baselines. Domain-based isolation leaves program loads
+// and stores untouched; instead, the safe region is inaccessible by default
+// and instrumentation opens/closes the sensitive domain around annotated
+// accesses (paper Section 3.1).
+#include "src/base/rng.h"
+#include "src/core/techniques_impl.h"
+#include "src/mpk/mpk.h"
+
+namespace memsentry::core::internal {
+namespace {
+
+ir::Instr Flagged(ir::Instr instr) {
+  instr.flags |= ir::kFlagInstrumentation;
+  return instr;
+}
+
+// PKRU value that closes every registered safe region (reads denied only in
+// confidentiality modes; writes always denied).
+uint32_t ClosedPkruFor(const sim::Process& process, ProtectMode mode) {
+  machine::Pkru pkru{};
+  for (const auto& region : process.safe_regions()) {
+    if (region.pkey == 0) {
+      continue;
+    }
+    pkru.SetWriteDisable(region.pkey, true);
+    if (mode != ProtectMode::kWriteOnly) {
+      pkru.SetAccessDisable(region.pkey, true);
+    }
+  }
+  return pkru.value;
+}
+
+}  // namespace
+
+// ---- MPK ----
+
+TechniqueLimits MpkTechnique::limits() const {
+  return TechniqueLimits{.max_domains = 16,
+                         .granularity = kPageSize,
+                         .hw_since_year = 2017,
+                         .notes = "16 protection keys, 4 bits per PTE; unreleased at paper time"};
+}
+
+Status MpkTechnique::Prepare(sim::Process& process) {
+  mpk::KeyAllocator keys;
+  for (auto& region : process.safe_regions()) {
+    MEMSENTRY_ASSIGN_OR_RETURN(uint8_t key, keys.Alloc());
+    region.pkey = key;
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    MEMSENTRY_RETURN_IF_ERROR(mpk::TagRange(process.page_table(), region.base, pages, key));
+    for (uint64_t p = 0; p < pages; ++p) {
+      process.mmu().InvalidatePage(region.base + p * kPageSize);
+    }
+  }
+  // Start closed (read+write denied; the instrumentation's open relaxes it).
+  process.regs().pkru.value = ClosedPkruFor(process, ProtectMode::kReadWrite);
+  return OkStatus();
+}
+
+std::vector<ir::Instr> MpkTechnique::MakeDomainOpen(const sim::Process&,
+                                                    const InstrumentOptions&) const {
+  return {Flagged(ir::Instr{.op = ir::Opcode::kWrpkru, .imm = mpk::kOpenPkru})};
+}
+
+std::vector<ir::Instr> MpkTechnique::MakeDomainClose(const sim::Process& process,
+                                                     const InstrumentOptions& opts) const {
+  return {Flagged(ir::Instr{.op = ir::Opcode::kWrpkru,
+                            .imm = ClosedPkruFor(process, opts.mode)})};
+}
+
+// ---- VMFUNC ----
+
+TechniqueLimits VmfuncTechnique::limits() const {
+  return TechniqueLimits{.max_domains = 512,
+                         .granularity = kPageSize,
+                         .hw_since_year = 2013,
+                         .notes = "EPTP list of 512; needs Dune or a modified hypervisor"};
+}
+
+Status VmfuncTechnique::Prepare(sim::Process& process) {
+  if (!process.dune_enabled()) {
+    return FailedPrecondition("VMFUNC isolation requires the process to run under Dune");
+  }
+  // One secondary EPT holds all shared mappings plus the secrets; the
+  // default EPT 0 loses the secret frames via the mark-private hypercall.
+  MEMSENTRY_ASSIGN_OR_RETURN(int secret_ept, process.dune()->CreateEpt());
+  for (auto& region : process.safe_regions()) {
+    region.ept_index = secret_ept;
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    for (uint64_t p = 0; p < pages; ++p) {
+      const VirtAddr va = region.base + p * kPageSize;
+      auto walk = process.page_table().Walk(va);
+      if (!walk.ok()) {
+        return NotFound("safe region page not mapped: " + region.name);
+      }
+      const GuestPhysAddr gpa = walk.value().phys & ~kPageMask;
+      MEMSENTRY_RETURN_IF_ERROR(process.dune()->MarkPrivate(gpa, 1, secret_ept));
+      process.mmu().InvalidatePage(va);
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<ir::Instr> VmfuncTechnique::MakeDomainOpen(const sim::Process& process,
+                                                       const InstrumentOptions&) const {
+  const int ept = process.safe_regions().empty() ? 1 : process.safe_regions()[0].ept_index;
+  return {Flagged(ir::Instr{.op = ir::Opcode::kVmFunc, .imm = static_cast<uint64_t>(ept)})};
+}
+
+std::vector<ir::Instr> VmfuncTechnique::MakeDomainClose(const sim::Process&,
+                                                        const InstrumentOptions&) const {
+  return {Flagged(ir::Instr{.op = ir::Opcode::kVmFunc, .imm = 0})};
+}
+
+// ---- crypt (AES-NI) ----
+
+TechniqueLimits CryptTechnique::limits() const {
+  return TechniqueLimits{.max_domains = 0,  // unbounded: one key per domain
+                         .granularity = 16,
+                         .hw_since_year = 2010,
+                         .notes = "AES-NI since Westmere; cost linear in region size"};
+}
+
+Status CryptTechnique::Prepare(sim::Process& process) {
+  Rng rng(key_seed_);
+  for (auto& region : process.safe_regions()) {
+    if (region.crypt) {
+      continue;  // already prepared; re-encrypting would decrypt (CTR toggle)
+    }
+    aes::Block key;
+    for (auto& byte : key) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    region.enc_keys = aes::ExpandKey(key);
+    region.nonce = rng.Next();
+    region.crypt = true;
+    // Encrypt at rest now; the data becomes ciphertext until a domain open.
+    std::vector<uint8_t> bytes(region.size);
+    MEMSENTRY_RETURN_IF_ERROR(process.PeekBytes(region.base, bytes.data(), region.size));
+    aes::CryptRegion(bytes, region.enc_keys, region.nonce);
+    MEMSENTRY_RETURN_IF_ERROR(process.PokeBytes(region.base, bytes.data(), region.size));
+    region.encrypted_now = true;
+  }
+  // Round keys are parked in ymm8..15 upper halves: reserve them, which taxes
+  // vector-heavy code (Section 6.2).
+  process.SetYmmReserved(true);
+  return OkStatus();
+}
+
+std::vector<ir::Instr> CryptTechnique::MakeDomainOpen(const sim::Process& process,
+                                                      const InstrumentOptions& opts) const {
+  std::vector<ir::Instr> seq;
+  for (const auto& region : process.safe_regions()) {
+    seq.push_back(
+        Flagged(ir::Instr{.op = ir::Opcode::kMovImm, .dst = machine::Gpr::kRax,
+                          .imm = region.base}));
+    seq.push_back(Flagged(ir::Instr{.op = ir::Opcode::kAesCryptRegion,
+                                    .src = machine::Gpr::kRax,
+                                    .imm = 0,  // whole region
+                                    .target = opts.crypt_live_xmm}));
+  }
+  return seq;
+}
+
+std::vector<ir::Instr> CryptTechnique::MakeDomainClose(const sim::Process& process,
+                                                       const InstrumentOptions& opts) const {
+  // CTR keystream XOR is an involution: closing re-encrypts with the same op.
+  return MakeDomainOpen(process, opts);
+}
+
+// ---- SGX ----
+
+TechniqueLimits SgxTechnique::limits() const {
+  return TechniqueLimits{.max_domains = 0,
+                         .granularity = kPageSize,
+                         .hw_since_year = 2015,
+                         .notes = "fixed mappings after EINIT; 7664-cycle crossings"};
+}
+
+Status SgxTechnique::Prepare(sim::Process& process) {
+  if (process.safe_regions().empty()) {
+    return FailedPrecondition("SGX technique needs at least one safe region");
+  }
+  // Build one enclave spanning all safe regions (they are contiguous per the
+  // allocator); accessor code is assumed extracted into the enclave.
+  VirtAddr lo = ~VirtAddr{0};
+  VirtAddr hi = 0;
+  for (const auto& region : process.safe_regions()) {
+    lo = std::min(lo, PageAlignDown(region.base));
+    hi = std::max(hi, PageAlignUp(region.base + region.size));
+  }
+  auto enclave = std::make_unique<sgx::Enclave>(lo, PageNumber(hi - lo));
+  for (const auto& region : process.safe_regions()) {
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    for (uint64_t p = 0; p < pages; ++p) {
+      MEMSENTRY_RETURN_IF_ERROR(enclave->AddPage(PageAlignDown(region.base) + p * kPageSize));
+    }
+  }
+  MEMSENTRY_RETURN_IF_ERROR(enclave->RegisterEntry(0, lo));
+  MEMSENTRY_RETURN_IF_ERROR(enclave->Finalize());
+  process.SetEnclave(std::move(enclave));
+  return OkStatus();
+}
+
+std::vector<ir::Instr> SgxTechnique::MakeDomainOpen(const sim::Process&,
+                                                    const InstrumentOptions&) const {
+  return {Flagged(ir::Instr{.op = ir::Opcode::kEnclaveEnter, .imm = 0})};
+}
+
+std::vector<ir::Instr> SgxTechnique::MakeDomainClose(const sim::Process&,
+                                                     const InstrumentOptions&) const {
+  return {Flagged(ir::Instr{.op = ir::Opcode::kEnclaveExit})};
+}
+
+// ---- mprotect baseline ----
+
+TechniqueLimits MprotectTechnique::limits() const {
+  return TechniqueLimits{.max_domains = 0,
+                         .granularity = kPageSize,
+                         .hw_since_year = 0,
+                         .notes = "POSIX baseline: 20-50x on switch-heavy workloads"};
+}
+
+Status MprotectTechnique::Prepare(sim::Process& process) {
+  for (auto& region : process.safe_regions()) {
+    machine::PageFlags closed = machine::PageFlags::Data();
+    closed.user = false;
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    for (uint64_t p = 0; p < pages; ++p) {
+      MEMSENTRY_RETURN_IF_ERROR(process.page_table().Protect(region.base + p * kPageSize, closed));
+      process.mmu().InvalidatePage(region.base + p * kPageSize);
+    }
+    region.mprotected = true;
+  }
+  return OkStatus();
+}
+
+std::vector<ir::Instr> MprotectTechnique::MakeDomainOpen(const sim::Process&,
+                                                         const InstrumentOptions&) const {
+  return {Flagged(ir::Instr{.op = ir::Opcode::kMprotect, .imm = 1})};
+}
+
+std::vector<ir::Instr> MprotectTechnique::MakeDomainClose(const sim::Process&,
+                                                          const InstrumentOptions&) const {
+  return {Flagged(ir::Instr{.op = ir::Opcode::kMprotect, .imm = 0})};
+}
+
+// ---- information hiding baseline ----
+
+TechniqueLimits InfoHideTechnique::limits() const {
+  return TechniqueLimits{.max_domains = 0,
+                         .granularity = kPageSize,
+                         .hw_since_year = 0,
+                         .notes = "probabilistic only: broken by allocation oracles et al."};
+}
+
+Status InfoHideTechnique::Prepare(sim::Process&) {
+  // The whole point: nothing is enforced. Protection rests on the region's
+  // randomized placement, handled by the allocator.
+  return OkStatus();
+}
+
+}  // namespace memsentry::core::internal

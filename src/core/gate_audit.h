@@ -1,0 +1,43 @@
+// Domain-switch gate audit. The paper's domain-based security argument rests
+// on one assumption (Section 3.1): the switch instructions (wrpkru, vmfunc,
+// ECALL, mprotect) "can thus not be triggered by an attacker only equipped
+// with a read/write primitive". That holds only if every switch instruction
+// in the binary is one MemSentry inserted, correctly paired, and followed by
+// a close — a stray or unpaired gate is a door. This pass verifies the
+// invariant over the instrumented module (the IR-level analogue of ERIM's
+// later binary scan for wrpkru gadgets).
+#ifndef MEMSENTRY_SRC_CORE_GATE_AUDIT_H_
+#define MEMSENTRY_SRC_CORE_GATE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/module.h"
+
+namespace memsentry::core {
+
+struct GateFinding {
+  ir::InstrRef where;
+  std::string problem;
+};
+
+struct GateAuditResult {
+  std::vector<GateFinding> findings;
+  uint64_t gates_checked = 0;
+
+  bool ok() const { return findings.empty(); }
+};
+
+// Audits every domain-switch instruction in the module:
+//   * it must carry kFlagInstrumentation (MemSentry inserted it — anything
+//     else is attacker-reachable switch code),
+//   * within each basic block, opens and closes must alternate and balance
+//     (no block may leave the sensitive domain dangling open across a
+//     terminator, where control flow escapes analysis),
+//   * an open must be followed by a close in the same block.
+GateAuditResult AuditDomainGates(const ir::Module& module);
+
+}  // namespace memsentry::core
+
+#endif  // MEMSENTRY_SRC_CORE_GATE_AUDIT_H_

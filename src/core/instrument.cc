@@ -1,0 +1,83 @@
+#include "src/core/instrument.h"
+
+namespace memsentry::core {
+
+std::string MemSentryPass::name() const {
+  return std::string("memsentry-") + TechniqueKindName(technique_->kind());
+}
+
+Status MemSentryPass::Run(ir::Module& module) {
+  checks_inserted_ = 0;
+  switch_pairs_inserted_ = 0;
+  switch (technique_->category()) {
+    case Category::kAddressBased:
+      return RunAddressBased(module);
+    case Category::kDomainBased:
+      return RunDomainBased(module);
+    case Category::kNone:
+      return OkStatus();  // information hiding: no instrumentation at all
+  }
+  return OkStatus();
+}
+
+Status MemSentryPass::RunAddressBased(ir::Module& module) {
+  const bool instrument_loads = options_.mode != ProtectMode::kWriteOnly;
+  const bool instrument_stores = options_.mode != ProtectMode::kReadOnly;
+  for (auto& func : module.functions) {
+    for (auto& block : func.blocks) {
+      std::vector<ir::Instr> out;
+      out.reserve(block.instrs.size());
+      for (const ir::Instr& instr : block.instrs) {
+        const bool is_load = instr.op == ir::Opcode::kLoad;
+        const bool is_store = instr.op == ir::Opcode::kStore;
+        const bool wants = (is_load && instrument_loads) || (is_store && instrument_stores);
+        // saferegion_access-annotated instructions are the ones *allowed* to
+        // touch sensitive data: they stay unchecked (Section 3.2).
+        if (wants && !instr.IsSafeAccess()) {
+          const machine::Gpr addr_reg = is_load ? instr.src : instr.dst;
+          for (ir::Instr check : technique_->MakeAccessCheck(addr_reg, is_load, options_)) {
+            out.push_back(check);
+          }
+          ++checks_inserted_;
+        }
+        out.push_back(instr);
+      }
+      block.instrs = std::move(out);
+    }
+  }
+  return OkStatus();
+}
+
+Status MemSentryPass::RunDomainBased(ir::Module& module) {
+  const std::vector<ir::Instr> open = technique_->MakeDomainOpen(*process_, options_);
+  const std::vector<ir::Instr> close = technique_->MakeDomainClose(*process_, options_);
+  for (auto& func : module.functions) {
+    for (auto& block : func.blocks) {
+      std::vector<ir::Instr> out;
+      out.reserve(block.instrs.size());
+      bool in_run = false;
+      for (const ir::Instr& instr : block.instrs) {
+        const bool safe = instr.IsSafeAccess() && !instr.IsTerminator();
+        if (safe && !in_run) {
+          out.insert(out.end(), open.begin(), open.end());
+          in_run = true;
+          ++switch_pairs_inserted_;
+        } else if (!safe && in_run) {
+          out.insert(out.end(), close.begin(), close.end());
+          in_run = false;
+        }
+        out.push_back(instr);
+      }
+      if (in_run) {
+        // A safe-access run ending at the block boundary closes before the
+        // terminator... which cannot happen (the terminator ended the run),
+        // so this closes runs in blocks whose last instruction is annotated.
+        out.insert(out.end(), close.begin(), close.end());
+      }
+      block.instrs = std::move(out);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace memsentry::core

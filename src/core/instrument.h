@@ -1,0 +1,52 @@
+// The MemSentry pass (paper Figure 1): consumes (a) the safe regions, (b) the
+// instrumentation points — instructions flagged kFlagSafeAccess, i.e. the
+// saferegion_access() annotations left by a defense pass — and (c) the chosen
+// technique, and rewrites the module:
+//
+//   * address-based: every load/store NOT flagged safe-access gets the
+//     technique's check sequence (mask or bounds check) in front of it;
+//   * domain-based: every maximal run of safe-access instructions is wrapped
+//     in the technique's domain open/close sequences.
+#ifndef MEMSENTRY_SRC_CORE_INSTRUMENT_H_
+#define MEMSENTRY_SRC_CORE_INSTRUMENT_H_
+
+#include <memory>
+
+#include "src/core/technique.h"
+#include "src/ir/pass.h"
+#include "src/sim/process.h"
+
+namespace memsentry::core {
+
+class MemSentryPass : public ir::ModulePass {
+ public:
+  // `process` provides the runtime state domain sequences need (pkeys, EPT
+  // indices, region bases); Technique::Prepare must have run already.
+  MemSentryPass(Technique* technique, sim::Process* process, InstrumentOptions options)
+      : technique_(technique), process_(process), options_(options) {}
+
+  std::string name() const override;
+  Status Run(ir::Module& module) override;
+
+  // Statistics from the last run.
+  uint64_t checks_inserted() const { return checks_inserted_; }
+  uint64_t switch_pairs_inserted() const { return switch_pairs_inserted_; }
+
+ private:
+  Status RunAddressBased(ir::Module& module);
+  Status RunDomainBased(ir::Module& module);
+
+  Technique* technique_;
+  sim::Process* process_;
+  InstrumentOptions options_;
+  uint64_t checks_inserted_ = 0;
+  uint64_t switch_pairs_inserted_ = 0;
+};
+
+// Marks an instruction as allowed to access the safe region — the
+// saferegion_access(ins) annotation from the paper's usage section.
+inline void MarkSafeRegionAccess(ir::Instr& instr) { instr.flags |= ir::kFlagSafeAccess; }
+
+}  // namespace memsentry::core
+
+#endif  // MEMSENTRY_SRC_CORE_INSTRUMENT_H_

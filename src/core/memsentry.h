@@ -1,0 +1,79 @@
+// MemSentry public facade. Typical usage (mirrors the paper's workflow):
+//
+//   sim::Machine machine;
+//   sim::Process process(&machine);
+//   core::MemSentry memsentry(&process, {.technique = core::TechniqueKind::kMpk});
+//   auto region = memsentry.allocator().Alloc("shadow-stack", 4096);   // saferegion_alloc
+//   ... defense pass runs, annotating accesses with MarkSafeRegionAccess ...
+//   memsentry.Protect(module);   // Prepare() + MemSentryPass
+//   sim::Executor(&process, &module).Run();
+#ifndef MEMSENTRY_SRC_CORE_MEMSENTRY_H_
+#define MEMSENTRY_SRC_CORE_MEMSENTRY_H_
+
+#include <memory>
+
+#include "src/core/gate_audit.h"
+#include "src/core/instrument.h"
+#include "src/core/safe_region.h"
+#include "src/core/technique.h"
+#include "src/ir/pass.h"
+
+namespace memsentry::core {
+
+struct MemSentryConfig {
+  TechniqueKind technique = TechniqueKind::kMpk;
+  InstrumentOptions options;
+  uint64_t placement_seed = 0x10de5eedULL;  // for information hiding's ASLR
+};
+
+class MemSentry {
+ public:
+  MemSentry(sim::Process* process, MemSentryConfig config)
+      : process_(process),
+        config_(config),
+        technique_(CreateTechnique(config.technique)),
+        allocator_(process, config.technique, config.placement_seed) {}
+
+  SafeRegionAllocator& allocator() { return allocator_; }
+  Technique& technique() { return *technique_; }
+  const MemSentryConfig& config() const { return config_; }
+
+  // Prepares the runtime state for every allocated safe region and runs the
+  // MemSentry pass over the module. Call after the defense pass. Preparation
+  // happens exactly once even when PrepareRuntime() already ran (a second
+  // crypt pass would decrypt the region, a second MPK pass would re-key it).
+  Status Protect(ir::Module& module) {
+    MEMSENTRY_RETURN_IF_ERROR(PrepareRuntime());
+    ir::PassManager pm;
+    pm.Add(std::make_unique<MemSentryPass>(technique_.get(), process_, config_.options));
+    MEMSENTRY_RETURN_IF_ERROR(pm.Run(module));
+    // Domain-switch gate audit: no attacker-reachable or unpaired gates may
+    // survive instrumentation — the assumption Section 3.1 rests on.
+    const GateAuditResult audit = AuditDomainGates(module);
+    if (!audit.ok()) {
+      return InternalError("gate audit failed: " + audit.findings[0].problem);
+    }
+    return OkStatus();
+  }
+
+  // Runtime-only preparation (for workloads without a module to rewrite).
+  Status PrepareRuntime() {
+    if (prepared_) {
+      return OkStatus();
+    }
+    MEMSENTRY_RETURN_IF_ERROR(technique_->Prepare(*process_));
+    prepared_ = true;
+    return OkStatus();
+  }
+
+ private:
+  sim::Process* process_;
+  MemSentryConfig config_;
+  std::unique_ptr<Technique> technique_;
+  SafeRegionAllocator allocator_;
+  bool prepared_ = false;
+};
+
+}  // namespace memsentry::core
+
+#endif  // MEMSENTRY_SRC_CORE_MEMSENTRY_H_

@@ -1,0 +1,46 @@
+// saferegion_alloc(): allocates and registers safe regions, honoring each
+// technique's placement and granularity rules (paper Table 3):
+//   * address-based techniques place regions above the 64 TiB split,
+//   * page-granular techniques round sizes up to 4 KiB,
+//   * crypt rounds to 16-byte AES chunks,
+//   * information hiding places the region at a random page in the 128 TiB
+//     address space and relies on nothing else.
+#ifndef MEMSENTRY_SRC_CORE_SAFE_REGION_H_
+#define MEMSENTRY_SRC_CORE_SAFE_REGION_H_
+
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/core/technique.h"
+#include "src/sim/process.h"
+
+namespace memsentry::core {
+
+class SafeRegionAllocator {
+ public:
+  SafeRegionAllocator(sim::Process* process, TechniqueKind kind, uint64_t seed = 0x10de5eedULL)
+      : process_(process), kind_(kind), rng_(seed) {}
+
+  // Allocates `size` bytes of safe region, maps its pages, registers it with
+  // the process, and returns the region.
+  StatusOr<sim::SafeRegion*> Alloc(const std::string& name, uint64_t size);
+
+  // The paper's C API shape.
+  StatusOr<VirtAddr> saferegion_alloc(uint64_t size) {
+    auto region = Alloc("anon", size);
+    if (!region.ok()) {
+      return region.status();
+    }
+    return region.value()->base;
+  }
+
+ private:
+  sim::Process* process_;
+  TechniqueKind kind_;
+  Rng rng_;
+  VirtAddr next_ = sim::kSafeRegionBase;
+};
+
+}  // namespace memsentry::core
+
+#endif  // MEMSENTRY_SRC_CORE_SAFE_REGION_H_

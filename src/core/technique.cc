@@ -1,0 +1,86 @@
+#include "src/core/technique.h"
+
+#include "src/core/techniques_impl.h"
+
+namespace memsentry::core {
+
+const char* TechniqueKindName(TechniqueKind kind) {
+  switch (kind) {
+    case TechniqueKind::kSfi:
+      return "SFI";
+    case TechniqueKind::kMpx:
+      return "MPX";
+    case TechniqueKind::kMpk:
+      return "MPK";
+    case TechniqueKind::kVmfunc:
+      return "VMFUNC";
+    case TechniqueKind::kCrypt:
+      return "crypt";
+    case TechniqueKind::kSgx:
+      return "SGX";
+    case TechniqueKind::kMprotect:
+      return "mprotect";
+    case TechniqueKind::kInfoHide:
+      return "info-hiding";
+  }
+  return "?";
+}
+
+std::vector<ir::Instr> Technique::MakeAccessCheck(machine::Gpr, bool,
+                                                  const InstrumentOptions&) const {
+  return {};
+}
+
+std::vector<ir::Instr> Technique::MakeDomainOpen(const sim::Process&,
+                                                 const InstrumentOptions&) const {
+  return {};
+}
+
+std::vector<ir::Instr> Technique::MakeDomainClose(const sim::Process&,
+                                                  const InstrumentOptions&) const {
+  return {};
+}
+
+machine::FaultOr<uint64_t> Technique::AttackerRead(sim::Process& process, VirtAddr va) {
+  // Default: the primitive performs an architecturally ordinary read under
+  // the process's current protection state. Domain-based techniques rely on
+  // exactly this: the closed domain faults.
+  if (process.enclave() != nullptr && !process.enclave()->AccessAllowed(va)) {
+    return machine::Fault{machine::FaultType::kEnclaveAccess, va, machine::AccessType::kRead};
+  }
+  Cycles cycles = 0;
+  return process.mmu().Read64(va, process.regs().pkru, &cycles);
+}
+
+machine::FaultOr<bool> Technique::AttackerWrite(sim::Process& process, VirtAddr va,
+                                                uint64_t value) {
+  if (process.enclave() != nullptr && !process.enclave()->AccessAllowed(va)) {
+    return machine::Fault{machine::FaultType::kEnclaveAccess, va, machine::AccessType::kWrite};
+  }
+  Cycles cycles = 0;
+  return process.mmu().Write64(va, value, process.regs().pkru, &cycles);
+}
+
+std::unique_ptr<Technique> CreateTechnique(TechniqueKind kind) {
+  switch (kind) {
+    case TechniqueKind::kSfi:
+      return std::make_unique<internal::SfiTechnique>();
+    case TechniqueKind::kMpx:
+      return std::make_unique<internal::MpxTechnique>();
+    case TechniqueKind::kMpk:
+      return std::make_unique<internal::MpkTechnique>();
+    case TechniqueKind::kVmfunc:
+      return std::make_unique<internal::VmfuncTechnique>();
+    case TechniqueKind::kCrypt:
+      return std::make_unique<internal::CryptTechnique>();
+    case TechniqueKind::kSgx:
+      return std::make_unique<internal::SgxTechnique>();
+    case TechniqueKind::kMprotect:
+      return std::make_unique<internal::MprotectTechnique>();
+    case TechniqueKind::kInfoHide:
+      return std::make_unique<internal::InfoHideTechnique>();
+  }
+  return nullptr;
+}
+
+}  // namespace memsentry::core

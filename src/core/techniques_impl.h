@@ -1,0 +1,116 @@
+// Concrete Technique implementations. Internal to src/core: users obtain
+// techniques through CreateTechnique() in technique.h.
+#ifndef MEMSENTRY_SRC_CORE_TECHNIQUES_IMPL_H_
+#define MEMSENTRY_SRC_CORE_TECHNIQUES_IMPL_H_
+
+#include "src/core/technique.h"
+
+namespace memsentry::core::internal {
+
+// ---- Address-based (paper Section 3.2) ----
+
+class SfiTechnique : public Technique {
+ public:
+  TechniqueKind kind() const override { return TechniqueKind::kSfi; }
+  Category category() const override { return Category::kAddressBased; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+  std::vector<ir::Instr> MakeAccessCheck(machine::Gpr addr_reg, bool is_load,
+                                         const InstrumentOptions& opts) const override;
+  machine::FaultOr<uint64_t> AttackerRead(sim::Process& process, VirtAddr va) override;
+  machine::FaultOr<bool> AttackerWrite(sim::Process& process, VirtAddr va,
+                                       uint64_t value) override;
+};
+
+class MpxTechnique : public Technique {
+ public:
+  TechniqueKind kind() const override { return TechniqueKind::kMpx; }
+  Category category() const override { return Category::kAddressBased; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+  std::vector<ir::Instr> MakeAccessCheck(machine::Gpr addr_reg, bool is_load,
+                                         const InstrumentOptions& opts) const override;
+  machine::FaultOr<uint64_t> AttackerRead(sim::Process& process, VirtAddr va) override;
+  machine::FaultOr<bool> AttackerWrite(sim::Process& process, VirtAddr va,
+                                       uint64_t value) override;
+};
+
+// ---- Domain-based (paper Section 3.1) ----
+
+class MpkTechnique : public Technique {
+ public:
+  TechniqueKind kind() const override { return TechniqueKind::kMpk; }
+  Category category() const override { return Category::kDomainBased; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+  std::vector<ir::Instr> MakeDomainOpen(const sim::Process& process,
+                                        const InstrumentOptions& opts) const override;
+  std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
+                                         const InstrumentOptions& opts) const override;
+};
+
+class VmfuncTechnique : public Technique {
+ public:
+  TechniqueKind kind() const override { return TechniqueKind::kVmfunc; }
+  Category category() const override { return Category::kDomainBased; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+  std::vector<ir::Instr> MakeDomainOpen(const sim::Process& process,
+                                        const InstrumentOptions& opts) const override;
+  std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
+                                         const InstrumentOptions& opts) const override;
+};
+
+class CryptTechnique : public Technique {
+ public:
+  explicit CryptTechnique(uint64_t key_seed = 0x5afe5eedULL) : key_seed_(key_seed) {}
+  TechniqueKind kind() const override { return TechniqueKind::kCrypt; }
+  Category category() const override { return Category::kDomainBased; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+  std::vector<ir::Instr> MakeDomainOpen(const sim::Process& process,
+                                        const InstrumentOptions& opts) const override;
+  std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
+                                         const InstrumentOptions& opts) const override;
+
+ private:
+  uint64_t key_seed_;
+};
+
+class SgxTechnique : public Technique {
+ public:
+  TechniqueKind kind() const override { return TechniqueKind::kSgx; }
+  Category category() const override { return Category::kDomainBased; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+  std::vector<ir::Instr> MakeDomainOpen(const sim::Process& process,
+                                        const InstrumentOptions& opts) const override;
+  std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
+                                         const InstrumentOptions& opts) const override;
+};
+
+// ---- Baselines ----
+
+class MprotectTechnique : public Technique {
+ public:
+  TechniqueKind kind() const override { return TechniqueKind::kMprotect; }
+  Category category() const override { return Category::kDomainBased; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+  std::vector<ir::Instr> MakeDomainOpen(const sim::Process& process,
+                                        const InstrumentOptions& opts) const override;
+  std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
+                                         const InstrumentOptions& opts) const override;
+};
+
+class InfoHideTechnique : public Technique {
+ public:
+  TechniqueKind kind() const override { return TechniqueKind::kInfoHide; }
+  Category category() const override { return Category::kNone; }
+  TechniqueLimits limits() const override;
+  Status Prepare(sim::Process& process) override;
+};
+
+}  // namespace memsentry::core::internal
+
+#endif  // MEMSENTRY_SRC_CORE_TECHNIQUES_IMPL_H_

@@ -1,0 +1,24 @@
+#include "src/defenses/aslr_guard.h"
+
+namespace memsentry::defenses {
+
+Status AgRandMap::Init() {
+  for (uint64_t i = 0; i < entries_; ++i) {
+    uint64_t key = 0;
+    while (key == 0) {
+      key = rng_.Next();  // a zero key would be the identity seal
+    }
+    MEMSENTRY_RETURN_IF_ERROR(process_->Poke64(table_base_ + i * 8, key));
+  }
+  return OkStatus();
+}
+
+StatusOr<uint64_t> AgRandMap::Encrypt(uint64_t entry, uint64_t code_ptr) const {
+  if (entry >= entries_) {
+    return OutOfRange("AG-RandMap entry out of range");
+  }
+  MEMSENTRY_ASSIGN_OR_RETURN(uint64_t key, process_->Peek64(table_base_ + entry * 8));
+  return code_ptr ^ key;
+}
+
+}  // namespace memsentry::defenses

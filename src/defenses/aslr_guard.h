@@ -1,0 +1,46 @@
+// ASLR-Guard's AG-RandMap (paper Section 2.2): a table of per-entry xor keys
+// in a safe region encrypts code pointers. Unlike PointerGuard's single key,
+// each entry gets its own key, so one leaked plaintext/ciphertext pair does
+// not unlock the rest — provided the table itself is isolated against both
+// reads and writes, which is MemSentry's job.
+#ifndef MEMSENTRY_SRC_DEFENSES_ASLR_GUARD_H_
+#define MEMSENTRY_SRC_DEFENSES_ASLR_GUARD_H_
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/sim/process.h"
+
+namespace memsentry::defenses {
+
+class AgRandMap {
+ public:
+  AgRandMap(sim::Process* process, VirtAddr table_base, uint64_t entries,
+            uint64_t seed = 0xa51a4ba5ULL)
+      : process_(process), table_base_(table_base), entries_(entries), rng_(seed) {}
+
+  static constexpr uint64_t TableBytes(uint64_t entries) { return entries * 8; }
+
+  // Fills the key table. Call before the isolation technique's Prepare().
+  Status Init();
+
+  // Encrypts/decrypts a code pointer with entry's key (runs inside annotated
+  // defense code, hence raw table access).
+  StatusOr<uint64_t> Encrypt(uint64_t entry, uint64_t code_ptr) const;
+  StatusOr<uint64_t> Decrypt(uint64_t entry, uint64_t sealed) const {
+    return Encrypt(entry, sealed);  // xor is an involution
+  }
+
+  uint64_t entries() const { return entries_; }
+  VirtAddr table_base() const { return table_base_; }
+
+ private:
+  sim::Process* process_;
+  VirtAddr table_base_;
+  uint64_t entries_;
+  Rng rng_;
+};
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_ASLR_GUARD_H_

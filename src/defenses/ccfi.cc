@@ -1,0 +1,39 @@
+#include "src/defenses/ccfi.h"
+
+#include <cstring>
+
+#include "src/base/rng.h"
+
+namespace memsentry::defenses {
+
+CcfiSealer::CcfiSealer(uint64_t key_seed) {
+  Rng rng(key_seed);
+  aes::Block key;
+  for (auto& byte : key) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  keys_ = aes::ExpandKey(key);
+}
+
+SealedPointer CcfiSealer::Seal(uint64_t code_ptr, VirtAddr slot) const {
+  aes::Block plain;
+  std::memcpy(plain.data(), &code_ptr, 8);
+  std::memcpy(plain.data() + 8, &slot, 8);
+  SealedPointer sealed;
+  sealed.bytes = aes::EncryptBlock(plain, keys_);
+  return sealed;
+}
+
+StatusOr<uint64_t> CcfiSealer::Unseal(const SealedPointer& sealed, VirtAddr slot) const {
+  const aes::Block plain = aes::DecryptBlock(sealed.bytes, keys_);
+  uint64_t ptr = 0;
+  VirtAddr tagged_slot = 0;
+  std::memcpy(&ptr, plain.data(), 8);
+  std::memcpy(&tagged_slot, plain.data() + 8, 8);
+  if (tagged_slot != slot) {
+    return PermissionDenied("CCFI: sealed pointer moved or forged (location tag mismatch)");
+  }
+  return ptr;
+}
+
+}  // namespace memsentry::defenses

@@ -1,0 +1,43 @@
+// CCFI-style cryptographically enforced control-flow integrity (paper
+// Table 1 / Section 2.2): code pointers are sealed with AES-NI, and the
+// sealing binds the pointer to its storage location, so an attacker can
+// neither forge a sealed pointer (no key) nor replay one sealed value into a
+// different slot (location mismatch). The AES keys live outside addressable
+// memory — in this framework, conceptually in the reserved ymm upper halves,
+// like the crypt technique's round keys.
+#ifndef MEMSENTRY_SRC_DEFENSES_CCFI_H_
+#define MEMSENTRY_SRC_DEFENSES_CCFI_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/aes/aes128.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace memsentry::defenses {
+
+struct SealedPointer {
+  aes::Block bytes{};
+
+  bool operator==(const SealedPointer&) const = default;
+};
+
+class CcfiSealer {
+ public:
+  explicit CcfiSealer(uint64_t key_seed = 0xccf1c0deULL);
+
+  // Seals `code_ptr` for storage at address `slot`.
+  SealedPointer Seal(uint64_t code_ptr, VirtAddr slot) const;
+
+  // Unseals; fails if the sealed value was moved to a different slot or
+  // tampered with (the decrypted location tag no longer matches).
+  StatusOr<uint64_t> Unseal(const SealedPointer& sealed, VirtAddr slot) const;
+
+ private:
+  aes::KeySchedule keys_;
+};
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_CCFI_H_

@@ -1,0 +1,77 @@
+#include "src/defenses/cfi.h"
+
+#include "src/workloads/synth.h"
+
+namespace memsentry::defenses {
+namespace {
+
+using workloads::kRegConst8;
+using workloads::kRegDefScratch;
+using workloads::kRegDefTable;
+
+ir::Instr Def(ir::Instr instr, bool safe = false) {
+  instr.flags |= ir::kFlagDefense | (safe ? ir::kFlagSafeAccess : 0);
+  return instr;
+}
+
+}  // namespace
+
+Status CfiPass::Run(ir::Module& module) {
+  checks_ = 0;
+  // Entry setup: materialize the table base and the index scale once.
+  {
+    auto& instrs = module.EntryFunction().blocks[0].instrs;
+    const std::vector<ir::Instr> setup = {
+        Def(ir::Instr{.op = ir::Opcode::kMovImm, .dst = kRegDefTable, .imm = table_base_}),
+        Def(ir::Instr{.op = ir::Opcode::kMovImm, .dst = kRegConst8, .imm = 8}),
+    };
+    instrs.insert(instrs.begin(), setup.begin(), setup.end());
+  }
+  for (auto& func : module.functions) {
+    for (auto& block : func.blocks) {
+      std::vector<ir::Instr> out;
+      out.reserve(block.instrs.size());
+      for (const ir::Instr& instr : block.instrs) {
+        if (instr.op == ir::Opcode::kIndirectCall) {
+          // rbp = table[target]; trap unless it equals 1.
+          const std::vector<ir::Instr> check = {
+              Def(ir::Instr{.op = ir::Opcode::kLea, .dst = kRegDefScratch, .src = instr.src}),
+              Def(ir::Instr{.op = ir::Opcode::kAluRR,
+                            .dst = kRegDefScratch,
+                            .src = kRegConst8,
+                            .imm = 3 /* mul */}),
+              Def(ir::Instr{.op = ir::Opcode::kAluRR,
+                            .dst = kRegDefScratch,
+                            .src = kRegDefTable,
+                            .imm = 0 /* add */}),
+              Def(ir::Instr{.op = ir::Opcode::kLoad,
+                            .dst = kRegDefScratch,
+                            .src = kRegDefScratch},
+                  /*safe=*/true),
+              Def(ir::Instr{.op = ir::Opcode::kAddImm,
+                            .dst = kRegDefScratch,
+                            .imm = static_cast<uint64_t>(-1)}),
+              Def(ir::Instr{.op = ir::Opcode::kTrapIf}),
+          };
+          out.insert(out.end(), check.begin(), check.end());
+          ++checks_;
+        }
+        out.push_back(instr);
+      }
+      block.instrs = std::move(out);
+    }
+  }
+  return OkStatus();
+}
+
+Status PopulateCfiTable(sim::Process& process, VirtAddr table_base, const ir::Module& module) {
+  for (size_t f = 0; f < module.functions.size(); ++f) {
+    // Every non-entry function is a legitimate indirect target; the entry is
+    // not (nobody may "call main").
+    const uint64_t valid = static_cast<int>(f) != module.entry ? 1 : 0;
+    MEMSENTRY_RETURN_IF_ERROR(process.Poke64(table_base + f * 8, valid));
+  }
+  return OkStatus();
+}
+
+}  // namespace memsentry::defenses

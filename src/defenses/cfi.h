@@ -1,0 +1,37 @@
+// Coarse-grained CFI (paper Section 2.2): a valid-target table lives in a
+// safe region; every indirect call checks that its target is in the table
+// before transferring control, trapping otherwise. The table lookup is the
+// MemSentry instrumentation point — if an attacker can rewrite the table,
+// the CFI policy dissolves, which is exactly the scenario MemSentry hardens.
+#ifndef MEMSENTRY_SRC_DEFENSES_CFI_H_
+#define MEMSENTRY_SRC_DEFENSES_CFI_H_
+
+#include "src/base/types.h"
+#include "src/ir/pass.h"
+#include "src/sim/process.h"
+
+namespace memsentry::defenses {
+
+class CfiPass : public ir::ModulePass {
+ public:
+  explicit CfiPass(VirtAddr table_base) : table_base_(table_base) {}
+
+  std::string name() const override { return "coarse-cfi"; }
+  Status Run(ir::Module& module) override;
+
+  uint64_t checks_inserted() const { return checks_; }
+
+ private:
+  VirtAddr table_base_;
+  uint64_t checks_ = 0;
+};
+
+// Populates the valid-target table: table[f] = 1 for every function that is
+// a legitimate indirect-call target. Run after mapping the region and before
+// Technique::Prepare (crypt encrypts afterwards, MPK closes the key, ...).
+Status PopulateCfiTable(sim::Process& process, VirtAddr table_base,
+                        const ir::Module& module);
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_CFI_H_

@@ -1,0 +1,37 @@
+#include "src/defenses/event_annotator.h"
+
+#include "src/workloads/synth.h"
+
+namespace memsentry::defenses {
+
+Status EventAnnotatorPass::Run(ir::Module& module) {
+  events_ = 0;
+  for (auto& func : module.functions) {
+    for (auto& block : func.blocks) {
+      std::vector<ir::Instr> out;
+      out.reserve(block.instrs.size());
+      for (const ir::Instr& instr : block.instrs) {
+        const bool match =
+            (kind_ == EventKind::kIndirectBranch && instr.op == ir::Opcode::kIndirectCall) ||
+            (kind_ == EventKind::kSyscall && instr.op == ir::Opcode::kSyscall);
+        if (match) {
+          // Consult the defense's metadata: one read of the safe region.
+          out.push_back(ir::Instr{.op = ir::Opcode::kMovImm,
+                                  .dst = workloads::kRegDefScratch,
+                                  .imm = region_base_,
+                                  .flags = ir::kFlagDefense});
+          out.push_back(ir::Instr{.op = ir::Opcode::kLoad,
+                                  .dst = workloads::kRegDefScratch,
+                                  .src = workloads::kRegDefScratch,
+                                  .flags = ir::kFlagDefense | ir::kFlagSafeAccess});
+          ++events_;
+        }
+        out.push_back(instr);
+      }
+      block.instrs = std::move(out);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace memsentry::defenses

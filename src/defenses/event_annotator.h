@@ -1,0 +1,37 @@
+// Generic defense stand-in for Figures 5 and 6: inserts one safe-region
+// access (flagged as a MemSentry instrumentation point) at every indirect
+// branch, syscall, or allocator call — modeling CFI / layout randomization /
+// heap-protection defenses that consult their metadata at those events.
+// Figure 4's call/ret scenario uses the real ShadowStackPass instead.
+#ifndef MEMSENTRY_SRC_DEFENSES_EVENT_ANNOTATOR_H_
+#define MEMSENTRY_SRC_DEFENSES_EVENT_ANNOTATOR_H_
+
+#include "src/base/types.h"
+#include "src/ir/pass.h"
+
+namespace memsentry::defenses {
+
+enum class EventKind {
+  kIndirectBranch,  // CFI variants, Isomeron/Oxymoron-style randomization
+  kSyscall,         // TASR-style rerandomization at system I/O
+};
+
+class EventAnnotatorPass : public ir::ModulePass {
+ public:
+  EventAnnotatorPass(EventKind kind, VirtAddr region_base)
+      : kind_(kind), region_base_(region_base) {}
+
+  std::string name() const override { return "event-annotator"; }
+  Status Run(ir::Module& module) override;
+
+  uint64_t events_annotated() const { return events_; }
+
+ private:
+  EventKind kind_;
+  VirtAddr region_base_;
+  uint64_t events_ = 0;
+};
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_EVENT_ANNOTATOR_H_

@@ -1,0 +1,38 @@
+#include "src/defenses/registry.h"
+
+#include <array>
+
+namespace memsentry::defenses {
+namespace {
+
+// Paper Table 1, row for row.
+const std::array<DefenseInfo, 13> kDefenses = {{
+    {"CCFIR", true, false, true, false, "Indirect branches"},
+    {"O-CFI", true, false, true, false, "Indirect branches"},
+    {"Shadow Stack", true, true, true, false, "call/ret"},
+    {"StackArmor", true, true, true, false, "call/ret"},
+    {"TASR", true, true, true, false, "System I/O"},
+    {"Isomeron", true, true, true, false, "Indirect branches"},
+    {"Oxymoron", true, false, true, false, "Code page across edges"},
+    {"CPI", true, true, true, false, "Memory accesses"},
+    {"CCFI", false, true, false, true, "Memory accesses"},
+    {"ASLR-Guard", true, true, true, false, "Memory accesses"},
+    {"DieHard", false, true, true, false, "malloc/free"},
+    {"Readactor", true, false, false, true, "Indirect branches"},
+    {"LR2", true, false, false, true, "Mem. accesses & ind. branches"},
+}};
+
+}  // namespace
+
+std::span<const DefenseInfo> SurveyedDefenses() { return kDefenses; }
+
+const DefenseInfo* FindDefense(const std::string& name) {
+  for (const auto& d : kDefenses) {
+    if (d.name == name) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace memsentry::defenses

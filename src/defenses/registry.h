@@ -1,0 +1,28 @@
+// The paper's Table 1: a survey of defense systems that depend on memory
+// isolation — what they protect against, whether their isolation is
+// probabilistic (information hiding) or deterministic, and where they insert
+// code. Used by bench/table1_defenses and the advisor examples.
+#ifndef MEMSENTRY_SRC_DEFENSES_REGISTRY_H_
+#define MEMSENTRY_SRC_DEFENSES_REGISTRY_H_
+
+#include <span>
+#include <string>
+
+namespace memsentry::defenses {
+
+struct DefenseInfo {
+  std::string name;
+  bool vuln_read = false;    // the safe region must not be readable
+  bool vuln_write = false;   // the safe region must not be writable
+  bool probabilistic = false;
+  bool deterministic = false;
+  std::string instrumentation_points;
+};
+
+std::span<const DefenseInfo> SurveyedDefenses();
+
+const DefenseInfo* FindDefense(const std::string& name);
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_REGISTRY_H_

@@ -1,0 +1,47 @@
+#include "src/defenses/safe_alloc.h"
+
+namespace memsentry::defenses {
+
+Status SafeAllocator::Init() {
+  for (uint64_t i = 0; i < slots_; ++i) {
+    MEMSENTRY_RETURN_IF_ERROR(SetSlotState(i, 0));
+  }
+  live_ = 0;
+  return OkStatus();
+}
+
+StatusOr<VirtAddr> SafeAllocator::Alloc() {
+  if (live_ * 2 >= slots_) {
+    // DieHard requires an M-factor of over-provisioning for its probabilistic
+    // guarantees; refuse to fill past one half.
+    return ResourceExhausted("heap beyond the probabilistic safety threshold");
+  }
+  for (;;) {
+    const uint64_t index = rng_.Below(slots_);
+    MEMSENTRY_ASSIGN_OR_RETURN(uint64_t state, SlotState(index));
+    if (state == 0) {
+      MEMSENTRY_RETURN_IF_ERROR(SetSlotState(index, 1));
+      ++live_;
+      return heap_base_ + index * slot_size_;
+    }
+  }
+}
+
+Status SafeAllocator::Free(VirtAddr ptr) {
+  if (ptr < heap_base_ || (ptr - heap_base_) % slot_size_ != 0) {
+    return InvalidArgument("free of a pointer the allocator never produced");
+  }
+  const uint64_t index = (ptr - heap_base_) / slot_size_;
+  if (index >= slots_) {
+    return InvalidArgument("free of a pointer outside the heap");
+  }
+  MEMSENTRY_ASSIGN_OR_RETURN(uint64_t state, SlotState(index));
+  if (state == 0) {
+    return FailedPrecondition("double free detected");
+  }
+  MEMSENTRY_RETURN_IF_ERROR(SetSlotState(index, 0));
+  --live_;
+  return OkStatus();
+}
+
+}  // namespace memsentry::defenses

@@ -1,0 +1,64 @@
+// DieHard-style probabilistically safe allocator (paper Section 2.2):
+// allocations land in random slots of an over-provisioned heap, and the
+// allocation bitmap — the metadata an attacker would corrupt to turn the
+// heap against itself — lives in a safe region. The allocator entry points
+// are the MemSentry instrumentation points (Table 2: "Allocator calls").
+#ifndef MEMSENTRY_SRC_DEFENSES_SAFE_ALLOC_H_
+#define MEMSENTRY_SRC_DEFENSES_SAFE_ALLOC_H_
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/sim/process.h"
+
+namespace memsentry::defenses {
+
+class SafeAllocator {
+ public:
+  // heap: `slots` chunks of `slot_size` bytes at heap_base (plain memory).
+  // meta_base: safe region holding one 64-bit word per slot.
+  SafeAllocator(sim::Process* process, VirtAddr heap_base, VirtAddr meta_base, uint64_t slots,
+                uint64_t slot_size, uint64_t seed = 0xd1e4a4dULL)
+      : process_(process),
+        heap_base_(heap_base),
+        meta_base_(meta_base),
+        slots_(slots),
+        slot_size_(slot_size),
+        rng_(seed) {}
+
+  static constexpr uint64_t MetadataBytes(uint64_t slots) { return slots * 8; }
+
+  // Zeroes the bitmap. Call before the isolation technique's Prepare().
+  Status Init();
+
+  // Randomized allocation: probes random slots until a free one is found
+  // (the heap is kept at most half full, so expected probes are < 2).
+  StatusOr<VirtAddr> Alloc();
+  Status Free(VirtAddr ptr);
+
+  uint64_t live() const { return live_; }
+  uint64_t slots() const { return slots_; }
+
+  // Allocator-internal metadata access (conceptually running inside the
+  // annotated allocator entry points, hence the raw access).
+  StatusOr<uint64_t> SlotState(uint64_t index) const {
+    return process_->Peek64(meta_base_ + index * 8);
+  }
+
+ private:
+  Status SetSlotState(uint64_t index, uint64_t state) {
+    return process_->Poke64(meta_base_ + index * 8, state);
+  }
+
+  sim::Process* process_;
+  VirtAddr heap_base_;
+  VirtAddr meta_base_;
+  uint64_t slots_;
+  uint64_t slot_size_;
+  uint64_t live_ = 0;
+  Rng rng_;
+};
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_SAFE_ALLOC_H_

@@ -1,0 +1,31 @@
+// SafeStack (paper Section 4/6.2): the regular stack — holding return
+// addresses and provably-safe scalars — becomes the *safe* stack, relocated
+// into the sensitive partition; unsafe buffers live elsewhere. SafeStack
+// itself adds no overhead; MemSentry hardens it by instrumenting all explicit
+// memory writes (address-based, write-only mode) while the implicit call/ret
+// pushes — not expressible by attacker-controlled code — remain exempt.
+#ifndef MEMSENTRY_SRC_DEFENSES_SAFESTACK_H_
+#define MEMSENTRY_SRC_DEFENSES_SAFESTACK_H_
+
+#include "src/base/types.h"
+#include "src/core/safe_region.h"
+#include "src/sim/process.h"
+
+namespace memsentry::defenses {
+
+class SafeStackDefense {
+ public:
+  // Allocates the safe stack as a safe region and points rsp at its top.
+  // Returns the region base.
+  static StatusOr<VirtAddr> Install(sim::Process& process, core::SafeRegionAllocator& allocator,
+                                    uint64_t pages = 16) {
+    MEMSENTRY_ASSIGN_OR_RETURN(sim::SafeRegion * region,
+                               allocator.Alloc("safestack", pages * kPageSize));
+    process.regs()[machine::Gpr::kRsp] = region->base + region->size;
+    return region->base;
+  }
+};
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_SAFESTACK_H_

@@ -1,0 +1,32 @@
+// A real shadow stack defense (paper Sections 2.2/4): every function
+// prologue pushes the return address (exposed in r11 by the call) onto a
+// shadow stack in a safe region; every epilogue pops it and traps if the
+// in-memory return address was tampered with. The shadow accesses carry
+// kFlagSafeAccess — they are MemSentry's instrumentation points.
+#ifndef MEMSENTRY_SRC_DEFENSES_SHADOW_STACK_H_
+#define MEMSENTRY_SRC_DEFENSES_SHADOW_STACK_H_
+
+#include "src/base/types.h"
+#include "src/ir/pass.h"
+
+namespace memsentry::defenses {
+
+class ShadowStackPass : public ir::ModulePass {
+ public:
+  explicit ShadowStackPass(VirtAddr shadow_base) : shadow_base_(shadow_base) {}
+
+  std::string name() const override { return "shadow-stack"; }
+  Status Run(ir::Module& module) override;
+
+  uint64_t prologues() const { return prologues_; }
+  uint64_t epilogues() const { return epilogues_; }
+
+ private:
+  VirtAddr shadow_base_;
+  uint64_t prologues_ = 0;
+  uint64_t epilogues_ = 0;
+};
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_SHADOW_STACK_H_

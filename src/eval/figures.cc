@@ -1,0 +1,263 @@
+#include "src/eval/figures.h"
+
+#include <memory>
+
+#include "src/base/stats_util.h"
+#include "src/core/memsentry.h"
+#include "src/defenses/event_annotator.h"
+#include "src/defenses/shadow_stack.h"
+#include "src/sim/executor.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry::eval {
+
+using workloads::PrepareWorkloadProcess;
+using workloads::SpecCpu2006;
+using workloads::SynthesizeSpecProgram;
+using workloads::SynthOptions;
+namespace {
+
+struct Run {
+  bool ok = false;
+  Cycles cycles = 0;
+  uint64_t instructions = 0;
+};
+
+Run Execute(sim::Process& process, const ir::Module& module) {
+  sim::Executor executor(&process, &module);
+  auto result = executor.Run();
+  return Run{result.halted && !result.fault.has_value(), result.cycles, result.instructions};
+}
+
+// Baseline: the synthesized program plus (for domain scenarios) the defense
+// pass, but no isolation. The paper's SafeStack observation holds here too:
+// the defense's own cost appears in both numerator and denominator.
+struct Pipeline {
+  sim::Machine machine;
+  std::unique_ptr<sim::Process> process;
+  std::unique_ptr<core::MemSentry> memsentry;
+  ir::Module module;
+  VirtAddr region_base = 0;
+
+  Pipeline(const SpecProfile& profile, core::TechniqueKind kind,
+           const ExperimentOptions& options, bool with_isolation) {
+    process = std::make_unique<sim::Process>(&machine);
+    if (with_isolation && kind == core::TechniqueKind::kVmfunc) {
+      // Dune wraps the whole process; its residual cost (syscall->hypercall,
+      // nested walks) is part of VMFUNC's overhead, as in the paper.
+      Status dune = process->EnableDune();
+      (void)dune;
+    }
+    Status prepared = PrepareWorkloadProcess(*process, profile);
+    (void)prepared;
+    core::MemSentryConfig config;
+    config.technique = kind;
+    config.options = options.instrument;
+    memsentry = std::make_unique<core::MemSentry>(process.get(), config);
+    // The paper's crypt figures protect "a single native 128-bit value";
+    // page-granular techniques get a page.
+    const uint64_t region_bytes = kind == core::TechniqueKind::kCrypt ? 16 : 4096;
+    auto region = memsentry->allocator().Alloc("defense-metadata", region_bytes);
+    if (region.ok()) {
+      region_base = region.value()->base;
+    }
+    SynthOptions synth;
+    synth.target_instructions = options.target_instructions;
+    synth.seed = options.seed;
+    module = SynthesizeSpecProgram(profile, synth);
+  }
+
+  Status Protect() { return memsentry->Protect(module); }
+};
+
+Status ApplyDefense(Pipeline& p, DomainScenario scenario) {
+  switch (scenario) {
+    case DomainScenario::kCallRet: {
+      defenses::ShadowStackPass pass(p.region_base);
+      return pass.Run(p.module);
+    }
+    case DomainScenario::kIndirectBranch: {
+      defenses::EventAnnotatorPass pass(defenses::EventKind::kIndirectBranch, p.region_base);
+      return pass.Run(p.module);
+    }
+    case DomainScenario::kSyscall: {
+      defenses::EventAnnotatorPass pass(defenses::EventKind::kSyscall, p.region_base);
+      return pass.Run(p.module);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* DomainScenarioName(DomainScenario scenario) {
+  switch (scenario) {
+    case DomainScenario::kCallRet:
+      return "call/ret";
+    case DomainScenario::kIndirectBranch:
+      return "indirect-branch";
+    case DomainScenario::kSyscall:
+      return "syscall";
+  }
+  return "?";
+}
+
+double RunAddressBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
+                                 core::ProtectMode mode, const ExperimentOptions& options) {
+  // Baseline: plain program on a fresh machine.
+  Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
+  const Run base = Execute(*baseline.process, baseline.module);
+  if (!base.ok) {
+    return -1;
+  }
+  // Protected: same program, instrumented.
+  ExperimentOptions configured = options;
+  configured.instrument.mode = mode;
+  Pipeline protected_run(profile, kind, configured, /*with_isolation=*/true);
+  if (!protected_run.Protect().ok()) {
+    return -1;
+  }
+  const Run isolated = Execute(*protected_run.process, protected_run.module);
+  if (!isolated.ok) {
+    return -1;
+  }
+  return isolated.cycles / base.cycles;
+}
+
+double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
+                                DomainScenario scenario, const ExperimentOptions& options) {
+  // Baseline: program + defense pass, no isolation.
+  Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
+  if (!ApplyDefense(baseline, scenario).ok()) {
+    return -1;
+  }
+  const Run base = Execute(*baseline.process, baseline.module);
+  if (!base.ok) {
+    return -1;
+  }
+  // Protected: defense pass + Prepare + MemSentry pass.
+  Pipeline protected_run(profile, kind, options, /*with_isolation=*/true);
+  if (!ApplyDefense(protected_run, scenario).ok()) {
+    return -1;
+  }
+  if (!protected_run.Protect().ok()) {
+    return -1;
+  }
+  const Run isolated = Execute(*protected_run.process, protected_run.module);
+  if (!isolated.ok) {
+    return -1;
+  }
+  return isolated.cycles / base.cycles;
+}
+
+namespace {
+
+std::vector<FigureSeries> SweepAddress(const ExperimentOptions& options) {
+  using core::ProtectMode;
+  using core::TechniqueKind;
+  struct Config {
+    const char* name;
+    TechniqueKind kind;
+    ProtectMode mode;
+  };
+  const Config configs[] = {
+      {"MPX-w", TechniqueKind::kMpx, ProtectMode::kWriteOnly},
+      {"SFI-w", TechniqueKind::kSfi, ProtectMode::kWriteOnly},
+      {"MPX-r", TechniqueKind::kMpx, ProtectMode::kReadOnly},
+      {"SFI-r", TechniqueKind::kSfi, ProtectMode::kReadOnly},
+      {"MPX-rw", TechniqueKind::kMpx, ProtectMode::kReadWrite},
+      {"SFI-rw", TechniqueKind::kSfi, ProtectMode::kReadWrite},
+  };
+  std::vector<FigureSeries> series;
+  for (const Config& config : configs) {
+    FigureSeries s;
+    s.config = config.name;
+    for (const SpecProfile& profile : SpecCpu2006()) {
+      s.normalized.push_back(
+          RunAddressBasedExperiment(profile, config.kind, config.mode, options));
+    }
+    s.geomean = GeoMean(s.normalized);
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+std::vector<FigureSeries> SweepDomain(DomainScenario scenario,
+                                      const ExperimentOptions& options) {
+  using core::TechniqueKind;
+  const std::pair<const char*, TechniqueKind> configs[] = {
+      {"MPK", TechniqueKind::kMpk},
+      {"VMFUNC", TechniqueKind::kVmfunc},
+      {"crypt", TechniqueKind::kCrypt},
+  };
+  std::vector<FigureSeries> series;
+  for (const auto& [name, kind] : configs) {
+    FigureSeries s;
+    s.config = name;
+    for (const SpecProfile& profile : SpecCpu2006()) {
+      s.normalized.push_back(RunDomainBasedExperiment(profile, kind, scenario, options));
+    }
+    s.geomean = GeoMean(s.normalized);
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+}  // namespace
+
+std::vector<FigureSeries> RunFigure3(const ExperimentOptions& options) {
+  return SweepAddress(options);
+}
+std::vector<FigureSeries> RunFigure4(const ExperimentOptions& options) {
+  return SweepDomain(DomainScenario::kCallRet, options);
+}
+std::vector<FigureSeries> RunFigure5(const ExperimentOptions& options) {
+  return SweepDomain(DomainScenario::kIndirectBranch, options);
+}
+std::vector<FigureSeries> RunFigure6(const ExperimentOptions& options) {
+  return SweepDomain(DomainScenario::kSyscall, options);
+}
+
+std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
+                                              const std::vector<uint64_t>& sizes,
+                                              const ExperimentOptions& options) {
+  std::vector<CryptSizePoint> points;
+  for (uint64_t size : sizes) {
+    // Baseline: defense only; the region size is irrelevant without crypt.
+    Pipeline base_pipeline(profile, core::TechniqueKind::kCrypt, options, false);
+    base_pipeline.process->safe_regions()[0].size = size;
+    if (!ApplyDefense(base_pipeline, DomainScenario::kCallRet).ok()) {
+      continue;
+    }
+    const Run base = Execute(*base_pipeline.process, base_pipeline.module);
+    // Protected with the resized region.
+    Pipeline prot(profile, core::TechniqueKind::kCrypt, options, true);
+    auto& region = prot.process->safe_regions()[0];
+    // Grow the region (remap additional pages if needed).
+    const uint64_t old_pages = PageAlignUp(region.size) >> kPageShift;
+    const uint64_t new_pages = PageAlignUp(size) >> kPageShift;
+    if (new_pages > old_pages) {
+      (void)prot.process->MapRange(region.base + old_pages * kPageSize,
+                                   new_pages - old_pages, machine::PageFlags::Data());
+    }
+    region.size = size;
+    if (!ApplyDefense(prot, DomainScenario::kCallRet).ok()) {
+      continue;
+    }
+    if (!prot.Protect().ok()) {
+      continue;
+    }
+    const Run isolated = Execute(*prot.process, prot.module);
+    if (base.ok && isolated.ok) {
+      points.push_back(CryptSizePoint{size, isolated.cycles / base.cycles});
+    }
+  }
+  return points;
+}
+
+double RunMprotectBaseline(const SpecProfile& profile, const ExperimentOptions& options) {
+  return RunDomainBasedExperiment(profile, core::TechniqueKind::kMprotect,
+                                  DomainScenario::kCallRet, options);
+}
+
+}  // namespace memsentry::eval

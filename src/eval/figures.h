@@ -1,0 +1,72 @@
+// Experiment pipelines for every figure in the paper's evaluation
+// (Section 6.2). Each function builds a fresh machine/process, synthesizes
+// the benchmark program, applies the defense pass and the MemSentry pass,
+// executes both baseline and protected builds, and returns the normalized
+// runtime (1.0 == baseline). Shared by bench/ binaries and the calibration
+// tests.
+#ifndef MEMSENTRY_SRC_EVAL_FIGURES_H_
+#define MEMSENTRY_SRC_EVAL_FIGURES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/technique.h"
+#include "src/workloads/spec_profiles.h"
+
+namespace memsentry::eval {
+
+using workloads::SpecProfile;
+
+struct ExperimentOptions {
+  uint64_t target_instructions = 400'000;
+  uint64_t seed = 0xbe7cd06eULL;
+  core::InstrumentOptions instrument;
+};
+
+// Figure 3: address-based techniques (SFI/MPX), instrumenting all loads
+// (-r), stores (-w) or both (-rw) of the whole program.
+double RunAddressBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
+                                 core::ProtectMode mode, const ExperimentOptions& options = {});
+
+// Figures 4-6: domain-based techniques switching at every...
+enum class DomainScenario {
+  kCallRet,         // Figure 4: shadow stack (the real ShadowStackPass)
+  kIndirectBranch,  // Figure 5: CFI / layout randomization metadata
+  kSyscall,         // Figure 6: TASR-style / allocator metadata
+};
+
+const char* DomainScenarioName(DomainScenario scenario);
+
+double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
+                                DomainScenario scenario, const ExperimentOptions& options = {});
+
+// One row of a figure: per-benchmark normalized runtimes per configuration.
+struct FigureSeries {
+  std::string config;                 // e.g. "MPX-w" or "MPK"
+  std::vector<double> normalized;     // one per benchmark, suite order
+  double geomean = 0;
+};
+
+// Convenience sweeps over the whole SPEC suite.
+std::vector<FigureSeries> RunFigure3(const ExperimentOptions& options = {});
+std::vector<FigureSeries> RunFigure4(const ExperimentOptions& options = {});
+std::vector<FigureSeries> RunFigure5(const ExperimentOptions& options = {});
+std::vector<FigureSeries> RunFigure6(const ExperimentOptions& options = {});
+
+// The crypt region-size sweep (Section 6.2: cost grows linearly; ~15x at
+// 1 KiB): normalized runtime of the call/ret scenario vs safe-region size.
+struct CryptSizePoint {
+  uint64_t region_bytes;
+  double normalized;
+};
+std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
+                                              const std::vector<uint64_t>& sizes,
+                                              const ExperimentOptions& options = {});
+
+// The mprotect baseline (Section 1: "20-50x in our experiments") on the
+// call/ret scenario.
+double RunMprotectBaseline(const SpecProfile& profile, const ExperimentOptions& options = {});
+
+}  // namespace memsentry::eval
+
+#endif  // MEMSENTRY_SRC_EVAL_FIGURES_H_

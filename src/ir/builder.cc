@@ -1,0 +1,92 @@
+#include "src/ir/builder.h"
+
+#include <cassert>
+
+namespace memsentry::ir {
+
+int Builder::CreateFunction(const std::string& name) {
+  Function f;
+  f.name = name;
+  f.blocks.emplace_back();
+  module_->functions.push_back(std::move(f));
+  func_ = static_cast<int>(module_->functions.size()) - 1;
+  block_ = 0;
+  return func_;
+}
+
+int Builder::NewBlock() {
+  auto& f = module_->functions[static_cast<size_t>(func_)];
+  f.blocks.emplace_back();
+  return static_cast<int>(f.blocks.size()) - 1;
+}
+
+void Builder::SetInsertPoint(int function, int block) {
+  assert(function >= 0 && function < static_cast<int>(module_->functions.size()));
+  assert(block >= 0 &&
+         block < static_cast<int>(module_->functions[static_cast<size_t>(function)].blocks.size()));
+  func_ = function;
+  block_ = block;
+}
+
+Instr& Builder::Emit(const Instr& instr) {
+  auto& instrs =
+      module_->functions[static_cast<size_t>(func_)].blocks[static_cast<size_t>(block_)].instrs;
+  instrs.push_back(instr);
+  return instrs.back();
+}
+
+Instr& Builder::MovImm(machine::Gpr dst, uint64_t imm) {
+  return Emit(Instr{.op = Opcode::kMovImm, .dst = dst, .imm = imm});
+}
+
+Instr& Builder::AddImm(machine::Gpr dst, int64_t imm) {
+  return Emit(Instr{.op = Opcode::kAddImm, .dst = dst, .imm = static_cast<uint64_t>(imm)});
+}
+
+Instr& Builder::AndImm(machine::Gpr dst, uint64_t imm) {
+  return Emit(Instr{.op = Opcode::kAndImm, .dst = dst, .imm = imm});
+}
+
+Instr& Builder::AluRR(machine::Gpr dst, machine::Gpr src, int alu_op) {
+  return Emit(
+      Instr{.op = Opcode::kAluRR, .dst = dst, .src = src, .imm = static_cast<uint64_t>(alu_op)});
+}
+
+Instr& Builder::Lea(machine::Gpr dst, machine::Gpr src, int64_t offset) {
+  return Emit(
+      Instr{.op = Opcode::kLea, .dst = dst, .src = src, .imm = static_cast<uint64_t>(offset)});
+}
+
+Instr& Builder::VecOp(int pressure_class) {
+  return Emit(Instr{.op = Opcode::kVecOp, .imm = static_cast<uint64_t>(pressure_class)});
+}
+
+Instr& Builder::Load(machine::Gpr dst, machine::Gpr addr) {
+  return Emit(Instr{.op = Opcode::kLoad, .dst = dst, .src = addr});
+}
+
+Instr& Builder::Store(machine::Gpr addr, machine::Gpr value) {
+  return Emit(Instr{.op = Opcode::kStore, .dst = addr, .src = value});
+}
+
+Instr& Builder::Jmp(int block) { return Emit(Instr{.op = Opcode::kJmp, .target = block}); }
+
+Instr& Builder::CondBr(int taken_block) {
+  return Emit(Instr{.op = Opcode::kCondBr, .target = taken_block});
+}
+
+Instr& Builder::Call(int function) { return Emit(Instr{.op = Opcode::kCall, .target = function}); }
+
+Instr& Builder::IndirectCall(machine::Gpr target_reg, uint32_t callsite_id) {
+  return Emit(Instr{.op = Opcode::kIndirectCall, .src = target_reg, .imm = callsite_id});
+}
+
+Instr& Builder::Ret() { return Emit(Instr{.op = Opcode::kRet}); }
+
+Instr& Builder::Halt() { return Emit(Instr{.op = Opcode::kHalt}); }
+
+Instr& Builder::Syscall(uint64_t nr) { return Emit(Instr{.op = Opcode::kSyscall, .imm = nr}); }
+
+Instr& Builder::Trap() { return Emit(Instr{.op = Opcode::kTrap}); }
+
+}  // namespace memsentry::ir

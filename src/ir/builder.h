@@ -1,0 +1,52 @@
+// IRBuilder: append-style construction of modules, mirroring llvm::IRBuilder
+// at the granularity this project needs.
+#ifndef MEMSENTRY_SRC_IR_BUILDER_H_
+#define MEMSENTRY_SRC_IR_BUILDER_H_
+
+#include <string>
+
+#include "src/ir/module.h"
+
+namespace memsentry::ir {
+
+class Builder {
+ public:
+  explicit Builder(Module* module) : module_(module) {}
+
+  // Creates a function with one empty block and positions the builder there.
+  int CreateFunction(const std::string& name);
+  // Appends an empty block to the current function; returns its index.
+  int NewBlock();
+  void SetInsertPoint(int function, int block);
+  int current_function() const { return func_; }
+  int current_block() const { return block_; }
+
+  Instr& Emit(const Instr& instr);
+
+  // Convenience emitters.
+  Instr& MovImm(machine::Gpr dst, uint64_t imm);
+  Instr& AddImm(machine::Gpr dst, int64_t imm);
+  Instr& AndImm(machine::Gpr dst, uint64_t imm);
+  Instr& AluRR(machine::Gpr dst, machine::Gpr src, int alu_op);
+  Instr& Lea(machine::Gpr dst, machine::Gpr src, int64_t offset);
+  Instr& VecOp(int pressure_class);
+  Instr& Load(machine::Gpr dst, machine::Gpr addr);
+  Instr& Store(machine::Gpr addr, machine::Gpr value);
+  Instr& Jmp(int block);
+  Instr& CondBr(int taken_block);
+  Instr& Call(int function);
+  Instr& IndirectCall(machine::Gpr target_reg, uint32_t callsite_id);
+  Instr& Ret();
+  Instr& Halt();
+  Instr& Syscall(uint64_t nr);
+  Instr& Trap();
+
+ private:
+  Module* module_;
+  int func_ = 0;
+  int block_ = 0;
+};
+
+}  // namespace memsentry::ir
+
+#endif  // MEMSENTRY_SRC_IR_BUILDER_H_

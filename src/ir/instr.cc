@@ -1,0 +1,40 @@
+#include "src/ir/instr.h"
+
+namespace memsentry::ir {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kMovImm: return "mov.imm";
+    case Opcode::kAddImm: return "add.imm";
+    case Opcode::kAndImm: return "and.imm";
+    case Opcode::kAluRR: return "alu.rr";
+    case Opcode::kLea: return "lea";
+    case Opcode::kVecOp: return "vecop";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kCall: return "call";
+    case Opcode::kIndirectCall: return "icall";
+    case Opcode::kRet: return "ret";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kSyscall: return "syscall";
+    case Opcode::kMprotect: return "mprotect";
+    case Opcode::kBndcu: return "bndcu";
+    case Opcode::kBndcl: return "bndcl";
+    case Opcode::kWrpkru: return "wrpkru";
+    case Opcode::kRdpkru: return "rdpkru";
+    case Opcode::kVmFunc: return "vmfunc";
+    case Opcode::kVmCall: return "vmcall";
+    case Opcode::kMFence: return "mfence";
+    case Opcode::kAesCryptRegion: return "aes.crypt";
+    case Opcode::kEnclaveEnter: return "eenter";
+    case Opcode::kEnclaveExit: return "eexit";
+    case Opcode::kTrap: return "trap";
+    case Opcode::kTrapIf: return "trap.if";
+  }
+  return "?";
+}
+
+}  // namespace memsentry::ir

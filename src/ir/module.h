@@ -1,0 +1,82 @@
+// IR containers: Module -> Function -> BasicBlock -> Instr, plus counting
+// helpers used by tests and the benchmark harnesses.
+#ifndef MEMSENTRY_SRC_IR_MODULE_H_
+#define MEMSENTRY_SRC_IR_MODULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/instr.h"
+
+namespace memsentry::ir {
+
+struct BasicBlock {
+  std::vector<Instr> instrs;
+};
+
+struct Function {
+  std::string name;
+  std::vector<BasicBlock> blocks;
+
+  uint64_t InstrCount() const {
+    uint64_t n = 0;
+    for (const auto& b : blocks) {
+      n += b.instrs.size();
+    }
+    return n;
+  }
+};
+
+struct Module {
+  std::vector<Function> functions;
+  int entry = 0;  // index of the entry function
+
+  Function& EntryFunction() { return functions[static_cast<size_t>(entry)]; }
+
+  uint64_t InstrCount() const {
+    uint64_t n = 0;
+    for (const auto& f : functions) {
+      n += f.InstrCount();
+    }
+    return n;
+  }
+
+  // Counts instructions matching a predicate across the whole module.
+  template <typename Pred>
+  uint64_t CountIf(Pred pred) const {
+    uint64_t n = 0;
+    for (const auto& f : functions) {
+      for (const auto& b : f.blocks) {
+        for (const auto& i : b.instrs) {
+          if (pred(i)) {
+            ++n;
+          }
+        }
+      }
+    }
+    return n;
+  }
+
+  int FindFunction(const std::string& name) const {
+    for (size_t i = 0; i < functions.size(); ++i) {
+      if (functions[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+// A stable reference to one instruction inside a module.
+struct InstrRef {
+  int function = 0;
+  int block = 0;
+  int index = 0;
+
+  bool operator==(const InstrRef&) const = default;
+};
+
+}  // namespace memsentry::ir
+
+#endif  // MEMSENTRY_SRC_IR_MODULE_H_

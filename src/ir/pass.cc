@@ -1,0 +1,20 @@
+#include "src/ir/pass.h"
+
+#include "src/ir/verifier.h"
+
+namespace memsentry::ir {
+
+Status PassManager::Run(Module& module) {
+  MEMSENTRY_RETURN_IF_ERROR(Verify(module));
+  for (auto& pass : passes_) {
+    MEMSENTRY_RETURN_IF_ERROR(pass->Run(module));
+    Status verified = Verify(module);
+    if (!verified.ok()) {
+      return InternalError("pass " + pass->name() + " broke the module: " + verified.ToString());
+    }
+    executed_.push_back(pass->name());
+  }
+  return OkStatus();
+}
+
+}  // namespace memsentry::ir

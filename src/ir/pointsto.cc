@@ -1,0 +1,130 @@
+#include "src/ir/pointsto.h"
+
+#include <array>
+
+namespace memsentry::ir {
+namespace {
+
+// Abstract value lattice for one register.
+enum class Abs : uint8_t {
+  kBottom = 0,    // no information yet
+  kNotSafe,       // provably outside every safe range
+  kSafePointer,   // may point into a safe range
+  kUnknown,       // top: unknown provenance
+};
+
+Abs Join(Abs a, Abs b) {
+  if (a == Abs::kBottom) {
+    return b;
+  }
+  if (b == Abs::kBottom) {
+    return a;
+  }
+  if (a == b) {
+    return a;
+  }
+  // NotSafe join SafePointer, or anything join Unknown -> Unknown... except
+  // SafePointer is sticky: "may point" absorbs NotSafe.
+  if ((a == Abs::kSafePointer && b == Abs::kNotSafe) ||
+      (a == Abs::kNotSafe && b == Abs::kSafePointer)) {
+    return Abs::kSafePointer;
+  }
+  return Abs::kUnknown;
+}
+
+using RegState = std::array<Abs, machine::kNumGprs>;
+
+Abs Classify(uint64_t value, std::span<const SafeRange> ranges) {
+  for (const SafeRange& r : ranges) {
+    if (r.Contains(value)) {
+      return Abs::kSafePointer;
+    }
+  }
+  return Abs::kNotSafe;
+}
+
+}  // namespace
+
+PointsToResult AnalyzePointsTo(Module& module, std::span<const SafeRange> safe_ranges,
+                               bool conservative, bool annotate) {
+  PointsToResult result;
+  for (int fi = 0; fi < static_cast<int>(module.functions.size()); ++fi) {
+    Function& f = module.functions[static_cast<size_t>(fi)];
+    // Flow-insensitive: one register state per function, iterated to a
+    // fixpoint over all instructions regardless of block order.
+    RegState state{};
+    state.fill(Abs::kBottom);
+    bool changed = true;
+    int iterations = 0;
+    while (changed && iterations < 16) {
+      changed = false;
+      ++iterations;
+      for (auto& block : f.blocks) {
+        for (auto& instr : block.instrs) {
+          auto set = [&](machine::Gpr reg, Abs value) {
+            Abs& slot = state[static_cast<size_t>(reg)];
+            const Abs joined = Join(slot, value);
+            if (joined != slot) {
+              slot = joined;
+              changed = true;
+            }
+          };
+          switch (instr.op) {
+            case Opcode::kMovImm:
+              set(instr.dst, Classify(instr.imm, safe_ranges));
+              break;
+            case Opcode::kLea:
+            case Opcode::kAddImm:
+            case Opcode::kAndImm: {
+              // Derived pointers keep the provenance of their base. AddImm
+              // and AndImm modify dst in place; Lea copies from src.
+              const machine::Gpr base = instr.op == Opcode::kLea ? instr.src : instr.dst;
+              set(instr.dst, state[static_cast<size_t>(base)]);
+              break;
+            }
+            case Opcode::kAluRR:
+              set(instr.dst, Join(state[static_cast<size_t>(instr.dst)],
+                                  state[static_cast<size_t>(instr.src)]));
+              break;
+            case Opcode::kLoad:
+              // Values loaded from memory have unknown provenance: the core
+              // of DSA's conservatism.
+              set(instr.dst, Abs::kUnknown);
+              break;
+            case Opcode::kRdpkru:
+              set(instr.dst, Abs::kNotSafe);
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+
+    // Classification pass.
+    for (int bi = 0; bi < static_cast<int>(f.blocks.size()); ++bi) {
+      auto& block = f.blocks[static_cast<size_t>(bi)];
+      for (int ii = 0; ii < static_cast<int>(block.instrs.size()); ++ii) {
+        Instr& instr = block.instrs[static_cast<size_t>(ii)];
+        if (!instr.IsMemoryAccess()) {
+          continue;
+        }
+        ++result.total_mem_ops;
+        const machine::Gpr addr_reg = instr.op == Opcode::kLoad ? instr.src : instr.dst;
+        const Abs abs = state[static_cast<size_t>(addr_reg)];
+        const bool may =
+            abs == Abs::kSafePointer || (conservative && (abs == Abs::kUnknown || abs == Abs::kBottom));
+        if (may) {
+          ++result.may_access;
+          result.refs.push_back(InstrRef{fi, bi, ii});
+          if (annotate) {
+            instr.flags |= kFlagSafeAccess;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace memsentry::ir

@@ -1,0 +1,45 @@
+// Static points-to analysis (the DSA stand-in from paper Section 5.5): a
+// flow-insensitive abstract interpretation that classifies every load/store
+// as may-touch-safe-region or not. In conservative mode, values of unknown
+// provenance (anything loaded from memory) are assumed to possibly point into
+// the safe region — reproducing DSA's over-approximation, "where most memory
+// accesses are classified as being able to touch sensitive data". The
+// dynamic (PIN-style) counterpart lives in src/sim/profiling.h.
+#ifndef MEMSENTRY_SRC_IR_POINTSTO_H_
+#define MEMSENTRY_SRC_IR_POINTSTO_H_
+
+#include <span>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/ir/module.h"
+
+namespace memsentry::ir {
+
+struct SafeRange {
+  VirtAddr base = 0;
+  uint64_t size = 0;
+
+  bool Contains(VirtAddr a) const { return a >= base && a < base + size; }
+};
+
+struct PointsToResult {
+  uint64_t total_mem_ops = 0;
+  uint64_t may_access = 0;  // memory ops classified as possibly touching a safe region
+  std::vector<InstrRef> refs;
+
+  double MayAccessFraction() const {
+    return total_mem_ops == 0 ? 0.0
+                              : static_cast<double>(may_access) / static_cast<double>(total_mem_ops);
+  }
+};
+
+// Analyzes the module. When `annotate` is set, flags the classified
+// instructions with kFlagSafeAccess so the MemSentry pass can consume the
+// result, mirroring the LLVM-metadata handoff.
+PointsToResult AnalyzePointsTo(Module& module, std::span<const SafeRange> safe_ranges,
+                               bool conservative, bool annotate);
+
+}  // namespace memsentry::ir
+
+#endif  // MEMSENTRY_SRC_IR_POINTSTO_H_

@@ -1,0 +1,153 @@
+#include "src/ir/printer.h"
+#include <cstdarg>
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace memsentry::ir {
+namespace {
+
+const char* GprName(machine::Gpr reg) {
+  static const char* kNames[] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+                                 "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+  return kNames[static_cast<size_t>(reg)];
+}
+
+std::string Flags(const Instr& instr) {
+  std::string tags;
+  auto add = [&](const char* tag) {
+    tags += tags.empty() ? "  ; [" : ", ";
+    tags += tag;
+  };
+  if (instr.IsInstrumentation()) {
+    add("instrumentation");
+  }
+  if (instr.IsSafeAccess()) {
+    add("safe-access");
+  }
+  if (instr.IsCritical()) {
+    add("critical");
+  }
+  if (instr.IsDefense()) {
+    add("defense");
+  }
+  if (!tags.empty()) {
+    tags += "]";
+  }
+  return tags;
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToString(const Instr& i) {
+  std::string body;
+  switch (i.op) {
+    case Opcode::kMovImm:
+      body = Format("mov.imm %s, 0x%" PRIx64, GprName(i.dst), i.imm);
+      break;
+    case Opcode::kAddImm:
+      body = Format("add.imm %s, %" PRId64, GprName(i.dst), static_cast<int64_t>(i.imm));
+      break;
+    case Opcode::kAndImm:
+      body = Format("and.imm %s, 0x%" PRIx64, GprName(i.dst), i.imm);
+      break;
+    case Opcode::kAluRR: {
+      static const char* kOps[] = {"add", "sub", "xor", "mul"};
+      body = Format("%s %s, %s", kOps[i.imm & 3], GprName(i.dst), GprName(i.src));
+      break;
+    }
+    case Opcode::kLea:
+      body = Format("lea %s, [%s%+" PRId64 "]", GprName(i.dst), GprName(i.src),
+                    static_cast<int64_t>(i.imm));
+      break;
+    case Opcode::kVecOp:
+      body = Format("vecop p%" PRIu64, i.imm);
+      break;
+    case Opcode::kLoad:
+      body = Format("load %s, [%s]", GprName(i.dst), GprName(i.src));
+      break;
+    case Opcode::kStore:
+      body = Format("store [%s], %s", GprName(i.dst), GprName(i.src));
+      break;
+    case Opcode::kJmp:
+      body = Format("jmp bb%d", i.target);
+      break;
+    case Opcode::kCondBr:
+      body = Format("br.nz bb%d", i.target);
+      break;
+    case Opcode::kCall:
+      body = Format("call @f%d", i.target);
+      break;
+    case Opcode::kIndirectCall:
+      body = Format("icall *%s  ; site %" PRIu64, GprName(i.src), i.imm);
+      break;
+    case Opcode::kSyscall:
+      body = Format("syscall %" PRIu64, i.imm);
+      break;
+    case Opcode::kMprotect:
+      body = Format("mprotect.%s", i.imm != 0 ? "open" : "close");
+      break;
+    case Opcode::kBndcu:
+      body = Format("bndcu bnd%" PRIu64 ", %s", i.imm, GprName(i.src));
+      break;
+    case Opcode::kBndcl:
+      body = Format("bndcl bnd%" PRIu64 ", %s", i.imm, GprName(i.src));
+      break;
+    case Opcode::kWrpkru:
+      body = Format("wrpkru 0x%" PRIx64, i.imm);
+      break;
+    case Opcode::kRdpkru:
+      body = Format("rdpkru %s", GprName(i.dst));
+      break;
+    case Opcode::kVmFunc:
+      body = Format("vmfunc 0, %" PRIu64, i.imm);
+      break;
+    case Opcode::kVmCall:
+      body = Format("vmcall %" PRIu64, i.imm);
+      break;
+    case Opcode::kAesCryptRegion:
+      body = Format("aes.crypt [%s], size=%" PRIu64, GprName(i.src), i.imm);
+      break;
+    case Opcode::kEnclaveEnter:
+      body = Format("eenter %" PRIu64, i.imm);
+      break;
+    default:
+      body = OpcodeName(i.op);
+      break;
+  }
+  return body + Flags(i);
+}
+
+std::string ToString(const Function& function) {
+  std::string out = "func @" + function.name + " {\n";
+  for (size_t b = 0; b < function.blocks.size(); ++b) {
+    out += Format("bb%zu:\n", b);
+    for (const Instr& instr : function.blocks[b].instrs) {
+      out += "  " + ToString(instr) + "\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ToString(const Module& module) {
+  std::string out;
+  for (size_t f = 0; f < module.functions.size(); ++f) {
+    if (static_cast<int>(f) == module.entry) {
+      out += "; entry\n";
+    }
+    out += ToString(module.functions[f]);
+  }
+  return out;
+}
+
+}  // namespace memsentry::ir

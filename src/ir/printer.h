@@ -1,0 +1,26 @@
+// Textual IR dumping, for debugging passes and inspecting instrumentation.
+#ifndef MEMSENTRY_SRC_IR_PRINTER_H_
+#define MEMSENTRY_SRC_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/module.h"
+
+namespace memsentry::ir {
+
+// One instruction, e.g. "bndcu bnd0, r9  ; [instrumentation]".
+std::string ToString(const Instr& instr);
+
+// A whole function or module in a readable listing:
+//   func @main {
+//   bb0:
+//     mov.imm r14, 0x480000000000
+//     store [r14], rbx            ; [safe-access]
+//     halt
+//   }
+std::string ToString(const Function& function);
+std::string ToString(const Module& module);
+
+}  // namespace memsentry::ir
+
+#endif  // MEMSENTRY_SRC_IR_PRINTER_H_

@@ -1,0 +1,21 @@
+// Structural IR verification, run after construction and after every pass.
+#ifndef MEMSENTRY_SRC_IR_VERIFIER_H_
+#define MEMSENTRY_SRC_IR_VERIFIER_H_
+
+#include "src/base/status.h"
+#include "src/ir/module.h"
+
+namespace memsentry::ir {
+
+// Checks:
+//  * every block ends with exactly one terminator, and terminators appear
+//    only in the last position,
+//  * branch targets are valid block indices in their function,
+//  * call targets are valid function indices,
+//  * the entry function index is valid,
+//  * wrpkru immediates fit in 32 bits, bnd indices are 0..3.
+Status Verify(const Module& module);
+
+}  // namespace memsentry::ir
+
+#endif  // MEMSENTRY_SRC_IR_VERIFIER_H_

@@ -1,0 +1,83 @@
+#include "src/machine/cache.h"
+
+#include <cassert>
+
+namespace memsentry::machine {
+namespace {
+
+int Log2(uint64_t v) {
+  int n = 0;
+  while ((uint64_t{1} << n) < v) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+CacheArray::CacheArray(uint64_t size_bytes, int ways, int line_bytes)
+    : ways_(ways),
+      line_shift_(Log2(static_cast<uint64_t>(line_bytes))),
+      num_sets_(size_bytes / (static_cast<uint64_t>(ways) * line_bytes)) {
+  assert((num_sets_ & (num_sets_ - 1)) == 0 && "set count must be a power of two");
+  lines_.resize(num_sets_ * static_cast<uint64_t>(ways_));
+}
+
+bool CacheArray::Access(PhysAddr addr) {
+  const uint64_t block = addr >> line_shift_;
+  const uint64_t set = block & (num_sets_ - 1);
+  const uint64_t tag = block >> Log2(num_sets_);
+  Line* base = &lines_[set * static_cast<uint64_t>(ways_)];
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++tick_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  *victim = Line{.valid = true, .tag = tag, .lru = ++tick_};
+  return false;
+}
+
+void CacheArray::Flush() {
+  for (Line& line : lines_) {
+    line.valid = false;
+  }
+}
+
+CacheHierarchy::CacheHierarchy()
+    : l1_(32 * 1024, /*ways=*/8, /*line_bytes=*/64),
+      l2_(256 * 1024, /*ways=*/4, /*line_bytes=*/64),
+      l3_(8 * 1024 * 1024, /*ways=*/16, /*line_bytes=*/64) {}
+
+CacheLevel CacheHierarchy::Access(PhysAddr addr) {
+  ++stats_.accesses;
+  if (l1_.Access(addr)) {
+    ++stats_.l1_hits;
+    return CacheLevel::kL1;
+  }
+  if (l2_.Access(addr)) {
+    ++stats_.l2_hits;
+    return CacheLevel::kL2;
+  }
+  if (l3_.Access(addr)) {
+    ++stats_.l3_hits;
+    return CacheLevel::kL3;
+  }
+  ++stats_.dram_accesses;
+  return CacheLevel::kDram;
+}
+
+void CacheHierarchy::Flush() {
+  l1_.Flush();
+  l2_.Flush();
+  l3_.Flush();
+}
+
+}  // namespace memsentry::machine

@@ -1,0 +1,68 @@
+// Three-level inclusive cache hierarchy cost model (tag arrays only, LRU).
+// Latencies follow paper Table 4 / Intel documentation: L1 4, L2 12, L3 44,
+// DRAM 251 cycles. Only tags are modeled — data already lives in simulated
+// physical memory; the hierarchy exists to price accesses.
+#ifndef MEMSENTRY_SRC_MACHINE_CACHE_H_
+#define MEMSENTRY_SRC_MACHINE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace memsentry::machine {
+
+enum class CacheLevel { kL1 = 0, kL2 = 1, kL3 = 2, kDram = 3 };
+
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l3_hits = 0;
+  uint64_t dram_accesses = 0;
+};
+
+// One set-associative tag array.
+class CacheArray {
+ public:
+  CacheArray(uint64_t size_bytes, int ways, int line_bytes);
+
+  // Returns true on hit; on miss, fills the line (allocate-on-miss).
+  bool Access(PhysAddr addr);
+  void Flush();
+
+ private:
+  struct Line {
+    bool valid = false;
+    uint64_t tag = 0;
+    uint64_t lru = 0;
+  };
+
+  int ways_;
+  int line_shift_;
+  uint64_t num_sets_;
+  uint64_t tick_ = 0;
+  std::vector<Line> lines_;  // num_sets * ways, row-major by set
+};
+
+class CacheHierarchy {
+ public:
+  CacheHierarchy();
+
+  // Returns the level that served the access (filling lines downward).
+  CacheLevel Access(PhysAddr addr);
+  void Flush();
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  CacheArray l1_;
+  CacheArray l2_;
+  CacheArray l3_;
+  CacheStats stats_;
+};
+
+}  // namespace memsentry::machine
+
+#endif  // MEMSENTRY_SRC_MACHINE_CACHE_H_

@@ -1,0 +1,60 @@
+#include "src/machine/fault.h"
+
+#include <cstdio>
+
+namespace memsentry::machine {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      return "NONE";
+    case FaultType::kPageNotPresent:
+      return "PAGE_NOT_PRESENT";
+    case FaultType::kWriteProtection:
+      return "WRITE_PROTECTION";
+    case FaultType::kNxViolation:
+      return "NX_VIOLATION";
+    case FaultType::kPkeyAccessDisabled:
+      return "PKEY_ACCESS_DISABLED";
+    case FaultType::kPkeyWriteDisabled:
+      return "PKEY_WRITE_DISABLED";
+    case FaultType::kUserSupervisor:
+      return "USER_SUPERVISOR";
+    case FaultType::kNonCanonical:
+      return "NON_CANONICAL";
+    case FaultType::kGeneralProtection:
+      return "GENERAL_PROTECTION";
+    case FaultType::kBoundRange:
+      return "BOUND_RANGE";
+    case FaultType::kEptViolation:
+      return "EPT_VIOLATION";
+    case FaultType::kVmExit:
+      return "VM_EXIT";
+    case FaultType::kEnclaveAccess:
+      return "ENCLAVE_ACCESS";
+    case FaultType::kEnclaveExit:
+      return "ENCLAVE_EXIT";
+  }
+  return "UNKNOWN";
+}
+
+const char* AccessTypeName(AccessType type) {
+  switch (type) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+std::string Fault::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s (%s at 0x%llx)", FaultTypeName(type),
+                AccessTypeName(access), static_cast<unsigned long long>(address));
+  return buf;
+}
+
+}  // namespace memsentry::machine

@@ -1,0 +1,73 @@
+// CPU fault model. Simulated architectural exceptions are values propagated
+// through StatusOr-style results, never C++ exceptions (Core Guidelines E.x:
+// exceptions are for errors in the *simulator*, faults are *data* here).
+#ifndef MEMSENTRY_SRC_MACHINE_FAULT_H_
+#define MEMSENTRY_SRC_MACHINE_FAULT_H_
+
+#include <optional>
+#include <string>
+
+#include "src/base/types.h"
+
+namespace memsentry::machine {
+
+enum class FaultType {
+  kNone = 0,
+  // #PF variants.
+  kPageNotPresent,      // P bit clear on a mapped-path level
+  kWriteProtection,     // write to a read-only page
+  kNxViolation,         // instruction fetch from NX page
+  kPkeyAccessDisabled,  // MPK: PKRU AD bit set for the page's key
+  kPkeyWriteDisabled,   // MPK: PKRU WD bit set for the page's key
+  kUserSupervisor,      // user access to supervisor page
+  // #GP.
+  kNonCanonical,        // address above the canonical 47-bit hole
+  kGeneralProtection,
+  // #BR.
+  kBoundRange,          // MPX bndcl/bndcu violation
+  // VT-x.
+  kEptViolation,        // guest-physical address not mapped / not permitted in the active EPT
+  kVmExit,              // operation requires hypervisor intervention
+  // SGX.
+  kEnclaveAccess,       // non-enclave code touched enclave memory (or abort-page semantics)
+  kEnclaveExit,         // invalid enclave transition
+};
+
+const char* FaultTypeName(FaultType type);
+
+enum class AccessType { kRead, kWrite, kExecute };
+
+const char* AccessTypeName(AccessType type);
+
+// A fault record: what happened, at which address, with which access.
+struct Fault {
+  FaultType type = FaultType::kNone;
+  VirtAddr address = 0;
+  AccessType access = AccessType::kRead;
+
+  std::string ToString() const;
+};
+
+// Result of an operation that either succeeds (producing T) or faults.
+// Distinct from StatusOr: a Fault is architecturally meaningful and gets
+// delivered to the simulated kernel / signal handler, not to the caller's
+// error log.
+template <typename T>
+class [[nodiscard]] FaultOr {
+ public:
+  FaultOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  FaultOr(Fault fault) : fault_(fault) {}         // NOLINT(runtime/explicit)
+
+  bool ok() const { return !fault_.has_value(); }
+  const Fault& fault() const { return *fault_; }
+  const T& value() const { return *value_; }
+  T& value() { return *value_; }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Fault> fault_;
+};
+
+}  // namespace memsentry::machine
+
+#endif  // MEMSENTRY_SRC_MACHINE_FAULT_H_

@@ -1,0 +1,173 @@
+#include "src/machine/mmu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace memsentry::machine {
+
+Mmu::Mmu(PhysicalMemory* pmem, const CostModel* cost) : pmem_(pmem), cost_(cost) {}
+
+FaultOr<AccessResult> Mmu::Access(VirtAddr va, AccessType access, const Pkru& pkru) {
+  ++stats_.accesses;
+  assert(page_table_ != nullptr && "no active page table");
+
+  if (va >= kAddressSpaceEnd) {
+    ++stats_.faults;
+    return Fault{FaultType::kNonCanonical, va, access};
+  }
+
+  AccessResult result;
+  uint64_t pte = 0;
+  const uint16_t asid = EffectiveAsid();
+  if (auto cached = tlb_.Lookup(va, asid); cached.has_value()) {
+    pte = *cached;
+  } else {
+    result.tlb_hit = false;
+    auto walk = page_table_->Walk(va);
+    // Each walk level is a real memory touch priced through the data cache.
+    const int guest_levels = walk.ok() ? walk.value().levels_touched : 1;
+    for (int i = 0; i < guest_levels; ++i) {
+      // Page-table entries cluster, so model them as hitting near the root
+      // frame; pricing uses the cache level the touch lands in.
+      const CacheLevel level = dcache_.Access(page_table_->root() + static_cast<uint64_t>(i) * 64);
+      result.cycles += cost_->MemLatency(level);
+      ++stats_.walk_memory_touches;
+    }
+    if (!walk.ok()) {
+      ++stats_.faults;
+      return Fault{FaultType::kPageNotPresent, va, access};
+    }
+    pte = walk.value().pte;
+
+    if (second_ != nullptr) {
+      // Nested translation: the guest frame is guest-physical; run it through
+      // the EPT and charge the extra walk levels.
+      const GuestPhysAddr gpa = pte & kPteFrameMask;
+      for (int i = 0; i < second_->ExtraWalkLevels(); ++i) {
+        const CacheLevel level =
+            dcache_.Access(page_table_->root() + 4096 + static_cast<uint64_t>(i) * 64);
+        result.cycles += cost_->MemLatency(level);
+        ++stats_.walk_memory_touches;
+      }
+      auto host = second_->TranslateGuestPhys(gpa, access);
+      if (!host.ok()) {
+        ++stats_.faults;
+        // Report the *virtual* address: the guest defense/attacker reasons in
+        // virtual space.
+        Fault f = host.fault();
+        f.address = va;
+        return f;
+      }
+      pte = (pte & ~kPteFrameMask) | (host.value() & kPteFrameMask);
+    }
+    tlb_.Insert(va, asid, pte);
+  }
+
+  // Permission checks run on every access, hit or miss.
+  const bool user_page = PageTable::PteUser(pte);
+  if (!user_page) {
+    ++stats_.faults;
+    return Fault{FaultType::kUserSupervisor, va, access};
+  }
+  switch (access) {
+    case AccessType::kExecute:
+      if (PageTable::PteNx(pte)) {
+        ++stats_.faults;
+        return Fault{FaultType::kNxViolation, va, access};
+      }
+      break;
+    case AccessType::kWrite:
+      if (!PageTable::PteWritable(pte)) {
+        ++stats_.faults;
+        return Fault{FaultType::kWriteProtection, va, access};
+      }
+      [[fallthrough]];
+    case AccessType::kRead: {
+      // MPK: protection keys gate data accesses to user pages (SDM 4.6.2).
+      const uint8_t key = PageTable::PtePkey(pte);
+      if (pkru.AccessDisabled(key)) {
+        ++stats_.faults;
+        return Fault{FaultType::kPkeyAccessDisabled, va, access};
+      }
+      if (access == AccessType::kWrite && pkru.WriteDisabled(key)) {
+        ++stats_.faults;
+        return Fault{FaultType::kPkeyWriteDisabled, va, access};
+      }
+      break;
+    }
+  }
+
+  result.phys = (pte & kPteFrameMask) | PageOffset(va);
+  result.level = dcache_.Access(result.phys);
+  if (access == AccessType::kRead) {
+    result.cycles += cost_->LoadCost(result.level);
+  }
+  // Stores: latency hidden by the store buffer; the line move was recorded.
+  return result;
+}
+
+FaultOr<uint64_t> Mmu::Read64(VirtAddr va, const Pkru& pkru, Cycles* cycles) {
+  auto access = Access(va, AccessType::kRead, pkru);
+  if (!access.ok()) {
+    return access.fault();
+  }
+  if (cycles != nullptr) {
+    *cycles += access.value().cycles;
+  }
+  return pmem_->Read64(access.value().phys);
+}
+
+FaultOr<bool> Mmu::Write64(VirtAddr va, uint64_t value, const Pkru& pkru, Cycles* cycles) {
+  auto access = Access(va, AccessType::kWrite, pkru);
+  if (!access.ok()) {
+    return access.fault();
+  }
+  if (cycles != nullptr) {
+    *cycles += access.value().cycles;
+  }
+  pmem_->Write64(access.value().phys, value);
+  return true;
+}
+
+FaultOr<bool> Mmu::ReadBytes(VirtAddr va, void* out, uint64_t size, const Pkru& pkru,
+                             Cycles* cycles) {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (size > 0) {
+    const uint64_t chunk = std::min<uint64_t>(size, kPageSize - PageOffset(va));
+    auto access = Access(va, AccessType::kRead, pkru);
+    if (!access.ok()) {
+      return access.fault();
+    }
+    if (cycles != nullptr) {
+      *cycles += access.value().cycles;
+    }
+    pmem_->ReadBytes(access.value().phys, dst, chunk);
+    va += chunk;
+    dst += chunk;
+    size -= chunk;
+  }
+  return true;
+}
+
+FaultOr<bool> Mmu::WriteBytes(VirtAddr va, const void* in, uint64_t size, const Pkru& pkru,
+                              Cycles* cycles) {
+  const uint8_t* src = static_cast<const uint8_t*>(in);
+  while (size > 0) {
+    const uint64_t chunk = std::min<uint64_t>(size, kPageSize - PageOffset(va));
+    auto access = Access(va, AccessType::kWrite, pkru);
+    if (!access.ok()) {
+      return access.fault();
+    }
+    if (cycles != nullptr) {
+      *cycles += access.value().cycles;
+    }
+    pmem_->WriteBytes(access.value().phys, src, chunk);
+    va += chunk;
+    src += chunk;
+    size -= chunk;
+  }
+  return true;
+}
+
+}  // namespace memsentry::machine

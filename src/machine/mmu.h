@@ -1,0 +1,114 @@
+// The MMU ties together page tables, TLB, data cache, protection keys and an
+// optional second-level (EPT) translation. Every simulated data access goes
+// through Access(); permission and pkey checks are evaluated on every access
+// (including TLB hits) exactly as on real hardware, so PKRU updates take
+// effect immediately while PTE changes require a TLB invalidation.
+#ifndef MEMSENTRY_SRC_MACHINE_MMU_H_
+#define MEMSENTRY_SRC_MACHINE_MMU_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/machine/cache.h"
+#include "src/machine/cost_model.h"
+#include "src/machine/fault.h"
+#include "src/machine/page_table.h"
+#include "src/machine/phys_mem.h"
+#include "src/machine/registers.h"
+#include "src/machine/tlb.h"
+
+namespace memsentry::machine {
+
+// Second-level address translation (implemented by vmx::Ept). Guest-physical
+// frames produced by the guest page tables are translated again; pages absent
+// from the active EPT raise EPT violations.
+class SecondLevelTranslation {
+ public:
+  virtual ~SecondLevelTranslation() = default;
+
+  // Translates a guest-physical address for the given access type.
+  virtual FaultOr<PhysAddr> TranslateGuestPhys(GuestPhysAddr gpa, AccessType access) = 0;
+
+  // Extra page-walk memory touches a nested walk costs on a TLB miss.
+  virtual int ExtraWalkLevels() const = 0;
+
+  // Mixed into TLB tags: switching EPTs (vmfunc) must not require a flush,
+  // which real hardware achieves with per-EPTP TLB tagging.
+  virtual uint16_t AsidTag() const = 0;
+};
+
+struct AccessResult {
+  PhysAddr phys = 0;
+  Cycles cycles = 0;  // translation cost + exposed data latency
+  CacheLevel level = CacheLevel::kL1;
+  bool tlb_hit = true;
+};
+
+struct MmuStats {
+  uint64_t accesses = 0;
+  uint64_t faults = 0;
+  uint64_t walk_memory_touches = 0;
+};
+
+class Mmu {
+ public:
+  Mmu(PhysicalMemory* pmem, const CostModel* cost);
+
+  Mmu(const Mmu&) = delete;
+  Mmu& operator=(const Mmu&) = delete;
+
+  void SetPageTable(PageTable* pt) {
+    page_table_ = pt;
+    tlb_.FlushAll();
+  }
+  PageTable* page_table() const { return page_table_; }
+
+  void SetSecondLevel(SecondLevelTranslation* second) { second_ = second; }
+  SecondLevelTranslation* second_level() const { return second_; }
+
+  void SetVpid(uint16_t vpid) { vpid_ = vpid; }
+
+  // Translates + prices one access. `pkru` is the current thread's PKRU.
+  FaultOr<AccessResult> Access(VirtAddr va, AccessType access, const Pkru& pkru);
+
+  // Data helpers on top of Access(). 64-bit accesses must not cross a page.
+  FaultOr<uint64_t> Read64(VirtAddr va, const Pkru& pkru, Cycles* cycles);
+  FaultOr<bool> Write64(VirtAddr va, uint64_t value, const Pkru& pkru, Cycles* cycles);
+  // Arbitrary-length buffer access, split at page boundaries.
+  FaultOr<bool> ReadBytes(VirtAddr va, void* out, uint64_t size, const Pkru& pkru,
+                          Cycles* cycles);
+  FaultOr<bool> WriteBytes(VirtAddr va, const void* in, uint64_t size, const Pkru& pkru,
+                           Cycles* cycles);
+
+  // TLB maintenance (invlpg / mov cr3).
+  void InvalidatePage(VirtAddr va) { tlb_.InvalidatePage(va); }
+  void FlushTlb() { tlb_.FlushAll(); }
+
+  Tlb& tlb() { return tlb_; }
+  CacheHierarchy& dcache() { return dcache_; }
+  PhysicalMemory& pmem() { return *pmem_; }
+  const MmuStats& stats() const { return stats_; }
+  void ResetStats() {
+    stats_ = MmuStats{};
+    tlb_.ResetStats();
+    dcache_.ResetStats();
+  }
+
+ private:
+  uint16_t EffectiveAsid() const {
+    return static_cast<uint16_t>(vpid_ ^ (second_ != nullptr ? second_->AsidTag() << 8 : 0));
+  }
+
+  PhysicalMemory* pmem_;
+  const CostModel* cost_;
+  PageTable* page_table_ = nullptr;
+  SecondLevelTranslation* second_ = nullptr;
+  uint16_t vpid_ = 0;
+  Tlb tlb_;
+  CacheHierarchy dcache_;
+  MmuStats stats_;
+};
+
+}  // namespace memsentry::machine
+
+#endif  // MEMSENTRY_SRC_MACHINE_MMU_H_

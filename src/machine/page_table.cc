@@ -1,0 +1,133 @@
+#include "src/machine/page_table.h"
+
+#include <cassert>
+
+namespace memsentry::machine {
+namespace {
+
+uint64_t MakePte(PhysAddr phys, PageFlags flags) {
+  uint64_t pte = (phys & kPteFrameMask) | kPtePresent;
+  if (flags.writable) {
+    pte |= kPteWritable;
+  }
+  if (flags.user) {
+    pte |= kPteUser;
+  }
+  if (!flags.executable) {
+    pte |= kPteNx;
+  }
+  pte |= (uint64_t{flags.pkey} << kPtePkeyShift) & kPtePkeyMask;
+  return pte;
+}
+
+}  // namespace
+
+PageTable::PageTable(PhysicalMemory* pmem) : pmem_(pmem) {
+  auto root = pmem_->AllocFrame();
+  assert(root.ok() && "cannot allocate PML4");
+  root_ = root.value();
+}
+
+PhysAddr PageTable::PteSlot(VirtAddr virt, bool create) {
+  PhysAddr table = root_;
+  for (int level = 3; level >= 1; --level) {
+    const PhysAddr slot = table + IndexAt(virt, level) * 8;
+    uint64_t entry = pmem_->Read64(slot);
+    if ((entry & kPtePresent) == 0) {
+      if (!create) {
+        return 0;
+      }
+      auto frame = pmem_->AllocFrame();
+      assert(frame.ok() && "cannot allocate page-table level");
+      // Intermediate entries are maximally permissive; leaves carry policy.
+      entry = (frame.value() & kPteFrameMask) | kPtePresent | kPteWritable | kPteUser;
+      pmem_->Write64(slot, entry);
+    }
+    table = entry & kPteFrameMask;
+  }
+  return table + IndexAt(virt, 0) * 8;
+}
+
+Status PageTable::Map(VirtAddr virt, PhysAddr phys, PageFlags flags) {
+  if (PageOffset(virt) != 0 || PageOffset(phys) != 0) {
+    return InvalidArgument("Map requires page-aligned addresses");
+  }
+  const PhysAddr slot = PteSlot(virt, /*create=*/true);
+  if ((pmem_->Read64(slot) & kPtePresent) != 0) {
+    return AlreadyExists("virtual page already mapped");
+  }
+  pmem_->Write64(slot, MakePte(phys, flags));
+  return OkStatus();
+}
+
+StatusOr<PhysAddr> PageTable::MapNew(VirtAddr virt, PageFlags flags) {
+  MEMSENTRY_ASSIGN_OR_RETURN(PhysAddr frame, pmem_->AllocFrame());
+  MEMSENTRY_RETURN_IF_ERROR(Map(virt, frame, flags));
+  return frame;
+}
+
+Status PageTable::Unmap(VirtAddr virt) {
+  const PhysAddr slot = PteSlot(virt, /*create=*/false);
+  if (slot == 0 || (pmem_->Read64(slot) & kPtePresent) == 0) {
+    return NotFound("virtual page not mapped");
+  }
+  pmem_->Write64(slot, 0);
+  return OkStatus();
+}
+
+Status PageTable::Protect(VirtAddr virt, PageFlags flags) {
+  const PhysAddr slot = PteSlot(virt, /*create=*/false);
+  if (slot == 0) {
+    return NotFound("virtual page not mapped");
+  }
+  const uint64_t old = pmem_->Read64(slot);
+  if ((old & kPtePresent) == 0) {
+    return NotFound("virtual page not mapped");
+  }
+  pmem_->Write64(slot, MakePte(old & kPteFrameMask, flags));
+  return OkStatus();
+}
+
+Status PageTable::SetKey(VirtAddr virt, uint8_t pkey) {
+  if (pkey >= 16) {
+    return InvalidArgument("protection key must be 0..15");
+  }
+  const PhysAddr slot = PteSlot(virt, /*create=*/false);
+  if (slot == 0) {
+    return NotFound("virtual page not mapped");
+  }
+  const uint64_t old = pmem_->Read64(slot);
+  if ((old & kPtePresent) == 0) {
+    return NotFound("virtual page not mapped");
+  }
+  pmem_->Write64(slot, (old & ~kPtePkeyMask) | ((uint64_t{pkey} << kPtePkeyShift) & kPtePkeyMask));
+  return OkStatus();
+}
+
+bool PageTable::IsMapped(VirtAddr virt) const {
+  auto result = Walk(virt);
+  return result.ok();
+}
+
+StatusOr<WalkResult> PageTable::Walk(VirtAddr virt) const {
+  PhysAddr table = root_;
+  int touched = 0;
+  for (int level = 3; level >= 1; --level) {
+    const uint64_t entry = pmem_->Read64(table + IndexAt(virt, level) * 8);
+    ++touched;
+    if ((entry & kPtePresent) == 0) {
+      return NotFound("not present at level " + std::to_string(level));
+    }
+    table = entry & kPteFrameMask;
+  }
+  const uint64_t pte = pmem_->Read64(table + IndexAt(virt, 0) * 8);
+  ++touched;
+  if ((pte & kPtePresent) == 0) {
+    return NotFound("leaf not present");
+  }
+  return WalkResult{.phys = (pte & kPteFrameMask) | PageOffset(virt),
+                    .pte = pte,
+                    .levels_touched = touched};
+}
+
+}  // namespace memsentry::machine

@@ -1,0 +1,102 @@
+#include "src/machine/phys_mem.h"
+
+#include <cassert>
+
+namespace memsentry::machine {
+
+PhysicalMemory::PhysicalMemory(uint64_t total_frames) : total_frames_(total_frames) {}
+
+StatusOr<PhysAddr> PhysicalMemory::AllocFrame() {
+  if (next_frame_ >= total_frames_) {
+    // Linear scan for a freed frame; allocation is not on the simulated hot
+    // path so simplicity wins over a free list.
+    for (uint64_t f = 1; f < total_frames_; ++f) {
+      if (frames_.find(f) == frames_.end()) {
+        frames_.emplace(f, nullptr);  // materialized lazily on first touch
+        return PhysAddr{f << kPageShift};
+      }
+    }
+    return ResourceExhausted("physical memory exhausted");
+  }
+  const uint64_t f = next_frame_++;
+  frames_.emplace(f, nullptr);  // materialized lazily on first touch
+  return PhysAddr{f << kPageShift};
+}
+
+Status PhysicalMemory::FreeFrame(PhysAddr frame) {
+  const uint64_t f = PageNumber(frame);
+  auto it = frames_.find(f);
+  if (it == frames_.end()) {
+    return NotFound("freeing unallocated frame");
+  }
+  frames_.erase(it);
+  return OkStatus();
+}
+
+bool PhysicalMemory::IsAllocated(PhysAddr frame) const {
+  return frames_.find(PageNumber(frame)) != frames_.end();
+}
+
+PhysicalMemory::Frame* PhysicalMemory::FrameFor(PhysAddr addr) {
+  const uint64_t f = PageNumber(addr);
+  assert(f < total_frames_ && "physical address out of simulated DRAM");
+  auto it = frames_.find(f);
+  if (it == frames_.end()) {
+    it = frames_.emplace(f, nullptr).first;
+  }
+  if (it->second == nullptr) {
+    it->second = std::make_unique<Frame>();
+    it->second->fill(0);
+  }
+  return it->second.get();
+}
+
+const PhysicalMemory::Frame* PhysicalMemory::FrameForConst(PhysAddr addr) const {
+  const uint64_t f = PageNumber(addr);
+  assert(f < total_frames_ && "physical address out of simulated DRAM");
+  auto it = frames_.find(f);
+  return it == frames_.end() ? nullptr : it->second.get();
+}
+
+uint64_t PhysicalMemory::Read64(PhysAddr addr) const {
+  assert(PageOffset(addr) + 8 <= kPageSize && "64-bit read crosses a frame boundary");
+  const Frame* frame = FrameForConst(addr);
+  if (frame == nullptr) {
+    return 0;
+  }
+  uint64_t v;
+  std::memcpy(&v, frame->data() + PageOffset(addr), sizeof(v));
+  return v;
+}
+
+void PhysicalMemory::Write64(PhysAddr addr, uint64_t value) {
+  assert(PageOffset(addr) + 8 <= kPageSize && "64-bit write crosses a frame boundary");
+  Frame* frame = FrameFor(addr);
+  std::memcpy(frame->data() + PageOffset(addr), &value, sizeof(value));
+}
+
+uint8_t PhysicalMemory::Read8(PhysAddr addr) const {
+  const Frame* frame = FrameForConst(addr);
+  return frame == nullptr ? 0 : (*frame)[PageOffset(addr)];
+}
+
+void PhysicalMemory::Write8(PhysAddr addr, uint8_t value) {
+  (*FrameFor(addr))[PageOffset(addr)] = value;
+}
+
+void PhysicalMemory::ReadBytes(PhysAddr addr, void* out, uint64_t size) const {
+  assert(PageOffset(addr) + size <= kPageSize && "read crosses a frame boundary");
+  const Frame* frame = FrameForConst(addr);
+  if (frame == nullptr) {
+    std::memset(out, 0, size);
+    return;
+  }
+  std::memcpy(out, frame->data() + PageOffset(addr), size);
+}
+
+void PhysicalMemory::WriteBytes(PhysAddr addr, const void* in, uint64_t size) {
+  assert(PageOffset(addr) + size <= kPageSize && "write crosses a frame boundary");
+  std::memcpy(FrameFor(addr)->data() + PageOffset(addr), in, size);
+}
+
+}  // namespace memsentry::machine

@@ -1,0 +1,59 @@
+// Sparse simulated physical memory: a frame allocator plus byte-granularity
+// access. Page tables, EPTs and guest data all live in these frames, exactly
+// as they would in real DRAM.
+#ifndef MEMSENTRY_SRC_MACHINE_PHYS_MEM_H_
+#define MEMSENTRY_SRC_MACHINE_PHYS_MEM_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace memsentry::machine {
+
+class PhysicalMemory {
+ public:
+  // total_frames bounds the simulated DRAM size (frames are 4 KiB).
+  explicit PhysicalMemory(uint64_t total_frames = uint64_t{1} << 22);  // default 16 GiB
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  // Allocates a zeroed frame; returns its physical address.
+  StatusOr<PhysAddr> AllocFrame();
+  Status FreeFrame(PhysAddr frame);
+
+  bool IsAllocated(PhysAddr frame) const;
+  uint64_t allocated_frames() const { return frames_.size(); }
+  uint64_t total_frames() const { return total_frames_; }
+
+  // Byte access. Addresses may span frame boundaries only within one frame;
+  // callers (the MMU) split accesses at page granularity.
+  uint64_t Read64(PhysAddr addr) const;
+  void Write64(PhysAddr addr, uint64_t value);
+  uint8_t Read8(PhysAddr addr) const;
+  void Write8(PhysAddr addr, uint8_t value);
+  void ReadBytes(PhysAddr addr, void* out, uint64_t size) const;
+  void WriteBytes(PhysAddr addr, const void* in, uint64_t size);
+
+ private:
+  using Frame = std::array<uint8_t, kPageSize>;
+
+  // Returns the frame backing addr, materializing it if the frame number is
+  // within bounds but was never explicitly allocated (page tables allocate
+  // explicitly; test code may poke memory directly).
+  Frame* FrameFor(PhysAddr addr);
+  const Frame* FrameForConst(PhysAddr addr) const;
+
+  uint64_t total_frames_;
+  uint64_t next_frame_ = 1;  // frame 0 reserved: phys 0 is never handed out
+  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_;
+};
+
+}  // namespace memsentry::machine
+
+#endif  // MEMSENTRY_SRC_MACHINE_PHYS_MEM_H_

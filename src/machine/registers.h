@@ -1,0 +1,90 @@
+// Architectural register file: 16 GPRs, 16 ymm (with xmm as the low half),
+// 4 MPX bound registers + config, PKRU, rip/rsp/flags.
+#ifndef MEMSENTRY_SRC_MACHINE_REGISTERS_H_
+#define MEMSENTRY_SRC_MACHINE_REGISTERS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace memsentry::machine {
+
+// General-purpose register names (x86-64 numbering).
+enum class Gpr : uint8_t {
+  kRax = 0,
+  kRcx = 1,
+  kRdx = 2,
+  kRbx = 3,
+  kRsp = 4,
+  kRbp = 5,
+  kRsi = 6,
+  kRdi = 7,
+  kR8 = 8,
+  kR9 = 9,
+  kR10 = 10,
+  kR11 = 11,
+  kR12 = 12,
+  kR13 = 13,
+  kR14 = 14,
+  kR15 = 15,
+};
+
+inline constexpr int kNumGprs = 16;
+inline constexpr int kNumYmms = 16;
+inline constexpr int kNumBnds = 4;
+
+// A 256-bit ymm register; words[0..1] form the xmm low half, words[2..3] the
+// upper half (where MemSentry's crypt technique parks AES round keys).
+struct Ymm {
+  std::array<uint64_t, 4> words{};
+
+  void SetXmm(uint64_t lo, uint64_t hi) {
+    words[0] = lo;
+    words[1] = hi;
+  }
+  void SetUpper(uint64_t lo, uint64_t hi) {
+    words[2] = lo;
+    words[3] = hi;
+  }
+};
+
+// An MPX bound register: [lower, upper] (upper stored one's-complemented on
+// real hardware; we store it plainly).
+struct BoundRegister {
+  uint64_t lower = 0;
+  uint64_t upper = ~uint64_t{0};  // INIT state: permit everything
+};
+
+// PKRU layout: 2 bits per key — bit 2k = AD (access disable), 2k+1 = WD
+// (write disable).
+struct Pkru {
+  uint32_t value = 0;
+
+  bool AccessDisabled(uint8_t key) const { return (value >> (2 * key)) & 1; }
+  bool WriteDisabled(uint8_t key) const { return (value >> (2 * key + 1)) & 1; }
+  void SetAccessDisable(uint8_t key, bool disable) {
+    const uint32_t bit = uint32_t{1} << (2 * key);
+    value = disable ? (value | bit) : (value & ~bit);
+  }
+  void SetWriteDisable(uint8_t key, bool disable) {
+    const uint32_t bit = uint32_t{1} << (2 * key + 1);
+    value = disable ? (value | bit) : (value & ~bit);
+  }
+};
+
+struct RegisterFile {
+  std::array<uint64_t, kNumGprs> gpr{};
+  std::array<Ymm, kNumYmms> ymm{};
+  std::array<BoundRegister, kNumBnds> bnd{};
+  bool bnd_preserve = true;  // BNDCFGU.BNDPRESERVE: don't reset bounds at legacy branches
+  Pkru pkru{};
+  uint64_t rip = 0;
+  bool zero_flag = false;
+
+  uint64_t& operator[](Gpr r) { return gpr[static_cast<size_t>(r)]; }
+  uint64_t operator[](Gpr r) const { return gpr[static_cast<size_t>(r)]; }
+};
+
+}  // namespace memsentry::machine
+
+#endif  // MEMSENTRY_SRC_MACHINE_REGISTERS_H_

@@ -1,0 +1,64 @@
+#include "src/machine/tlb.h"
+
+namespace memsentry::machine {
+
+std::optional<uint64_t> Tlb::Lookup(VirtAddr virt, uint16_t vpid) {
+  const uint64_t vpn = PageNumber(virt);
+  auto& set = sets_[SetIndex(vpn)];
+  for (Entry& e : set) {
+    if (e.valid && e.vpid == vpid && e.vpn == vpn) {
+      e.lru = ++tick_;
+      ++stats_.hits;
+      return e.pte;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void Tlb::Insert(VirtAddr virt, uint16_t vpid, uint64_t pte) {
+  const uint64_t vpn = PageNumber(virt);
+  auto& set = sets_[SetIndex(vpn)];
+  Entry* victim = &set[0];
+  for (Entry& e : set) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  *victim = Entry{.valid = true, .vpid = vpid, .vpn = vpn, .pte = pte, .lru = ++tick_};
+}
+
+void Tlb::InvalidatePage(VirtAddr virt) {
+  const uint64_t vpn = PageNumber(virt);
+  for (Entry& e : sets_[SetIndex(vpn)]) {
+    if (e.valid && e.vpn == vpn) {
+      e.valid = false;
+    }
+  }
+}
+
+void Tlb::FlushAll() {
+  for (auto& set : sets_) {
+    for (Entry& e : set) {
+      e.valid = false;
+    }
+  }
+  ++stats_.flushes;
+}
+
+void Tlb::FlushVpid(uint16_t vpid) {
+  for (auto& set : sets_) {
+    for (Entry& e : set) {
+      if (e.valid && e.vpid == vpid) {
+        e.valid = false;
+      }
+    }
+  }
+  ++stats_.flushes;
+}
+
+}  // namespace memsentry::machine

@@ -1,0 +1,62 @@
+// Set-associative TLB with LRU replacement and VPID-style tags. Cached
+// entries retain the leaf PTE so permission and protection-key checks are
+// still evaluated on hits (as on real hardware: PKRU changes take effect
+// without a TLB flush; PTE permission changes require one).
+#ifndef MEMSENTRY_SRC_MACHINE_TLB_H_
+#define MEMSENTRY_SRC_MACHINE_TLB_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/base/types.h"
+
+namespace memsentry::machine {
+
+struct TlbStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t flushes = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class Tlb {
+ public:
+  static constexpr int kSets = 64;
+  static constexpr int kWays = 8;
+
+  struct Entry {
+    bool valid = false;
+    uint16_t vpid = 0;
+    uint64_t vpn = 0;   // virtual page number
+    uint64_t pte = 0;   // cached leaf PTE (frame + permission bits + pkey)
+    uint64_t lru = 0;   // higher == more recently used
+  };
+
+  // Looks up a virtual page; bumps LRU and stats on hit.
+  std::optional<uint64_t> Lookup(VirtAddr virt, uint16_t vpid);
+  void Insert(VirtAddr virt, uint16_t vpid, uint64_t pte);
+  // Invalidates one page across all VPIDs (invlpg).
+  void InvalidatePage(VirtAddr virt);
+  // Flushes everything (mov cr3 without PCID) or one VPID.
+  void FlushAll();
+  void FlushVpid(uint16_t vpid);
+
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+
+ private:
+  static int SetIndex(uint64_t vpn) { return static_cast<int>(vpn & (kSets - 1)); }
+
+  std::array<std::array<Entry, kWays>, kSets> sets_{};
+  uint64_t tick_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace memsentry::machine
+
+#endif  // MEMSENTRY_SRC_MACHINE_TLB_H_

@@ -1,0 +1,100 @@
+#include "src/mpk/key_virtualizer.h"
+
+#include "src/mpk/mpk.h"
+
+namespace memsentry::mpk {
+namespace {
+
+// Cost of one pkey_mprotect page re-tag: a PTE update plus the TLB
+// invalidation, amortized (the syscall itself is charged by the caller).
+inline constexpr Cycles kRetagPerPage = 60.0;
+
+}  // namespace
+
+int KeyVirtualizer::CreateDomain() {
+  domains_.push_back(Domain{});
+  return static_cast<int>(domains_.size()) - 1;
+}
+
+Status KeyVirtualizer::AttachRange(int domain, VirtAddr base, uint64_t pages) {
+  if (domain < 0 || domain >= domain_count()) {
+    return InvalidArgument("no such domain");
+  }
+  Domain& d = domains_[static_cast<size_t>(domain)];
+  d.ranges.emplace_back(base, pages);
+  const uint8_t key = d.hw_key >= 0 ? static_cast<uint8_t>(d.hw_key) : kParkingKey;
+  MEMSENTRY_RETURN_IF_ERROR(TagRange(*page_table_, base, pages, key));
+  for (uint64_t p = 0; p < pages; ++p) {
+    mmu_->InvalidatePage(base + p * kPageSize);
+  }
+  return OkStatus();
+}
+
+StatusOr<uint8_t> KeyVirtualizer::Bind(int domain, Cycles* cost) {
+  if (domain < 0 || domain >= domain_count()) {
+    return InvalidArgument("no such domain");
+  }
+  Domain& d = domains_[static_cast<size_t>(domain)];
+  d.last_bound = ++bind_tick_;
+  if (d.hw_key >= 0) {
+    return static_cast<uint8_t>(d.hw_key);  // hit: no re-tagging
+  }
+  // Find a free hardware key among 1..kBindableKeys.
+  int key = -1;
+  for (int k = 1; k <= kBindableKeys; ++k) {
+    if (key_owner_[static_cast<size_t>(k)] < 0) {
+      key = k;
+      break;
+    }
+  }
+  if (key < 0) {
+    // Evict the least-recently-bound domain.
+    int victim = -1;
+    uint64_t oldest = ~uint64_t{0};
+    for (int i = 0; i < domain_count(); ++i) {
+      const Domain& candidate = domains_[static_cast<size_t>(i)];
+      if (candidate.hw_key >= 0 && candidate.last_bound < oldest) {
+        oldest = candidate.last_bound;
+        victim = i;
+      }
+    }
+    if (victim < 0) {
+      return InternalError("no evictable domain");
+    }
+    Domain& evicted = domains_[static_cast<size_t>(victim)];
+    key = evicted.hw_key;
+    MEMSENTRY_RETURN_IF_ERROR(Retag(evicted, kParkingKey, cost));
+    evicted.hw_key = -1;
+    ++evictions_;
+  }
+  MEMSENTRY_RETURN_IF_ERROR(Retag(d, static_cast<uint8_t>(key), cost));
+  d.hw_key = key;
+  key_owner_[static_cast<size_t>(key)] = domain;
+  return static_cast<uint8_t>(key);
+}
+
+std::optional<uint8_t> KeyVirtualizer::CurrentKey(int domain) const {
+  if (domain < 0 || domain >= domain_count()) {
+    return std::nullopt;
+  }
+  const Domain& d = domains_[static_cast<size_t>(domain)];
+  if (d.hw_key < 0) {
+    return std::nullopt;
+  }
+  return static_cast<uint8_t>(d.hw_key);
+}
+
+Status KeyVirtualizer::Retag(const Domain& domain, uint8_t key, Cycles* cost) {
+  for (const auto& [base, pages] : domain.ranges) {
+    MEMSENTRY_RETURN_IF_ERROR(TagRange(*page_table_, base, pages, key));
+    for (uint64_t p = 0; p < pages; ++p) {
+      mmu_->InvalidatePage(base + p * kPageSize);
+    }
+    if (cost != nullptr) {
+      *cost += kRetagPerPage * static_cast<double>(pages);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace memsentry::mpk

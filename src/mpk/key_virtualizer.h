@@ -1,0 +1,78 @@
+// Virtualizes the 16 hardware protection keys over arbitrarily many logical
+// domains — the extension the paper's Table 3 limit (16 domains) calls for,
+// later realized by libmpk. Logical domains bind lazily to hardware keys;
+// when all keys are in use, the least-recently-bound domain is evicted: its
+// pages are re-tagged to a permanently-disabled parking key (a
+// pkey_mprotect sweep whose cost scales with the domain's footprint).
+#ifndef MEMSENTRY_SRC_MPK_KEY_VIRTUALIZER_H_
+#define MEMSENTRY_SRC_MPK_KEY_VIRTUALIZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/machine/cost_model.h"
+#include "src/machine/mmu.h"
+#include "src/machine/page_table.h"
+
+namespace memsentry::mpk {
+
+// Key 15 parks evicted domains; PKRU must keep it access-disabled forever.
+inline constexpr uint8_t kParkingKey = 15;
+// Keys 1..14 are bindable (0 is the default domain, 15 parks).
+inline constexpr int kBindableKeys = 14;
+
+class KeyVirtualizer {
+ public:
+  KeyVirtualizer(machine::PageTable* page_table, machine::Mmu* mmu)
+      : page_table_(page_table), mmu_(mmu) {}
+
+  // Creates a logical domain; unbounded count. Returns the domain id.
+  int CreateDomain();
+  int domain_count() const { return static_cast<int>(domains_.size()); }
+
+  // Registers pages as belonging to the domain. The range is tagged with the
+  // domain's current hardware key (or parked if unbound).
+  Status AttachRange(int domain, VirtAddr base, uint64_t pages);
+
+  // Ensures the domain is bound to a hardware key, evicting the
+  // least-recently-bound domain if necessary. Adds the re-tagging cost of
+  // any eviction plus this domain's own re-tag to *cost.
+  StatusOr<uint8_t> Bind(int domain, Cycles* cost);
+
+  // The domain's current hardware key, if bound.
+  std::optional<uint8_t> CurrentKey(int domain) const;
+
+  uint64_t evictions() const { return evictions_; }
+
+  // PKRU template with the parking key disabled; callers OR in their own
+  // policy for the bound keys.
+  static uint32_t BasePkru() {
+    machine::Pkru pkru{};
+    pkru.SetAccessDisable(kParkingKey, true);
+    pkru.SetWriteDisable(kParkingKey, true);
+    return pkru.value;
+  }
+
+ private:
+  struct Domain {
+    std::vector<std::pair<VirtAddr, uint64_t>> ranges;  // base, pages
+    int hw_key = -1;   // -1 == parked
+    uint64_t last_bound = 0;
+  };
+
+  Status Retag(const Domain& domain, uint8_t key, Cycles* cost);
+
+  machine::PageTable* page_table_;
+  machine::Mmu* mmu_;
+  std::vector<Domain> domains_;
+  std::vector<int> key_owner_ = std::vector<int>(16, -1);  // hw key -> domain
+  uint64_t bind_tick_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace memsentry::mpk
+
+#endif  // MEMSENTRY_SRC_MPK_KEY_VIRTUALIZER_H_

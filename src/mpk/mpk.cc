@@ -1,0 +1,53 @@
+#include "src/mpk/mpk.h"
+
+namespace memsentry::mpk {
+
+uint32_t WritePkru(machine::RegisterFile& regs, uint32_t value) {
+  const uint32_t old = regs.pkru.value;
+  regs.pkru.value = value;
+  return old;
+}
+
+uint32_t ReadPkru(const machine::RegisterFile& regs) { return regs.pkru.value; }
+
+StatusOr<uint8_t> KeyAllocator::Alloc() {
+  for (int k = 1; k < kNumKeys; ++k) {
+    if (!in_use_.test(k)) {
+      in_use_.set(k);
+      return static_cast<uint8_t>(k);
+    }
+  }
+  return ResourceExhausted("all 16 protection keys in use");
+}
+
+Status KeyAllocator::Free(uint8_t key) {
+  if (key == 0 || key >= kNumKeys) {
+    return InvalidArgument("cannot free key " + std::to_string(key));
+  }
+  if (!in_use_.test(key)) {
+    return NotFound("key not allocated");
+  }
+  in_use_.reset(key);
+  return OkStatus();
+}
+
+Status TagRange(machine::PageTable& pt, VirtAddr start, uint64_t pages, uint8_t key) {
+  if (PageOffset(start) != 0) {
+    return InvalidArgument("pkey range must be page-aligned");
+  }
+  for (uint64_t i = 0; i < pages; ++i) {
+    MEMSENTRY_RETURN_IF_ERROR(pt.SetKey(start + i * kPageSize, key));
+  }
+  return OkStatus();
+}
+
+uint32_t ClosedPkru(uint8_t key, bool deny_reads) {
+  machine::Pkru pkru{};
+  if (deny_reads) {
+    pkru.SetAccessDisable(key, true);
+  }
+  pkru.SetWriteDisable(key, true);
+  return pkru.value;
+}
+
+}  // namespace memsentry::mpk

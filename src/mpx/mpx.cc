@@ -1,0 +1,45 @@
+#include "src/mpx/mpx.h"
+
+namespace memsentry::mpx {
+
+std::optional<machine::Fault> CheckUpper(const machine::BoundRegister& bnd, VirtAddr pointer) {
+  if (pointer > bnd.upper) {
+    return machine::Fault{machine::FaultType::kBoundRange, pointer, machine::AccessType::kRead};
+  }
+  return std::nullopt;
+}
+
+std::optional<machine::Fault> CheckLower(const machine::BoundRegister& bnd, VirtAddr pointer) {
+  if (pointer < bnd.lower) {
+    return machine::Fault{machine::FaultType::kBoundRange, pointer, machine::AccessType::kRead};
+  }
+  return std::nullopt;
+}
+
+machine::BoundRegister MakeBounds(VirtAddr base, uint64_t size) {
+  return machine::BoundRegister{.lower = base, .upper = base + size - 1};
+}
+
+bool OnLegacyBranch(machine::RegisterFile& regs) {
+  if (regs.bnd_preserve) {
+    return false;
+  }
+  for (auto& bnd : regs.bnd) {
+    bnd = machine::BoundRegister{};  // INIT: [0, ~0]
+  }
+  return true;
+}
+
+void BoundTable::Store(VirtAddr pointer_slot, const machine::BoundRegister& bounds) {
+  entries_[pointer_slot] = bounds;
+}
+
+std::optional<machine::BoundRegister> BoundTable::Load(VirtAddr pointer_slot) const {
+  auto it = entries_.find(pointer_slot);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace memsentry::mpx

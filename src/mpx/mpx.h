@@ -1,0 +1,51 @@
+// Intel MPX semantics: bndcu/bndcl checks against the bound registers, bndmk,
+// and the two-level bound directory/table used when more than four bounds are
+// live (the spill path whose cost makes GCC-style full bounds checking slow —
+// paper Section 3.2/5.4). MemSentry itself needs only bnd0 = [0, 64 TiB).
+#ifndef MEMSENTRY_SRC_MPX_MPX_H_
+#define MEMSENTRY_SRC_MPX_MPX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/machine/fault.h"
+#include "src/machine/registers.h"
+
+namespace memsentry::mpx {
+
+// Checks `pointer <= bnd.upper` — the bndcu instruction. Returns a #BR fault
+// on violation. (Real bndcu compares against the one's complement; the
+// semantics are identical.)
+std::optional<machine::Fault> CheckUpper(const machine::BoundRegister& bnd, VirtAddr pointer);
+
+// Checks `pointer >= bnd.lower` — the bndcl instruction.
+std::optional<machine::Fault> CheckLower(const machine::BoundRegister& bnd, VirtAddr pointer);
+
+// bndmk: creates a bound register value [base, base+size-1].
+machine::BoundRegister MakeBounds(VirtAddr base, uint64_t size);
+
+// Legacy-branch behaviour: without BNDPRESERVE, any branch not prefixed with
+// BND resets all bound registers to INIT (permit-everything) and subsequent
+// checks must reload bounds from the bound table. Returns true if bounds were
+// reset (the caller charges the reload cost).
+bool OnLegacyBranch(machine::RegisterFile& regs);
+
+// The in-memory bound directory/table pair (BNDLDX/BNDSTX paths). Keyed by
+// the pointer's address as on real hardware. Used to model the spill cost of
+// many live bounds (Table 3: "infinite when also using memory").
+class BoundTable {
+ public:
+  void Store(VirtAddr pointer_slot, const machine::BoundRegister& bounds);
+  std::optional<machine::BoundRegister> Load(VirtAddr pointer_slot) const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<VirtAddr, machine::BoundRegister> entries_;
+};
+
+}  // namespace memsentry::mpx
+
+#endif  // MEMSENTRY_SRC_MPX_MPX_H_

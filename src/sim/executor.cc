@@ -1,0 +1,443 @@
+#include "src/sim/executor.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/mpk/mpk.h"
+#include "src/mpx/mpx.h"
+
+namespace memsentry::sim {
+namespace {
+
+// Return addresses pushed on the simulated stack encode an instruction
+// position behind a tag; corrupting one either produces an invalid decode
+// (#GP on ret) or — if the attacker forges a valid encoding — a control-flow
+// hijack, both observable by tests.
+inline constexpr uint64_t kRaTag = 0xCA11ULL << 48;
+inline constexpr uint64_t kRaTagMask = 0xFFFFULL << 48;
+
+uint64_t EncodeRa(int func, int block, int index) {
+  return kRaTag | (static_cast<uint64_t>(func & 0xfff) << 36) |
+         (static_cast<uint64_t>(block & 0x3ffff) << 18) | static_cast<uint64_t>(index & 0x3ffff);
+}
+
+bool DecodeRa(uint64_t value, int* func, int* block, int* index) {
+  if ((value & kRaTagMask) != kRaTag) {
+    return false;
+  }
+  *func = static_cast<int>((value >> 36) & 0xfff);
+  *block = static_cast<int>((value >> 18) & 0x3ffff);
+  *index = static_cast<int>(value & 0x3ffff);
+  return true;
+}
+
+struct Position {
+  int func = 0;
+  int block = 0;
+  int index = 0;
+};
+
+}  // namespace
+
+RunResult Executor::Run(const RunConfig& config) {
+  RunResult result;
+  auto& regs = process_->regs();
+  auto& mmu = process_->mmu();
+  auto& functions = module_->functions;
+
+  Position pos{module_->entry, 0, 0};
+  int call_depth = 0;
+
+  auto fault_out = [&](const machine::Fault& fault) {
+    result.fault = fault;
+    return result;
+  };
+
+  // Validates + prices + performs one data access; returns false on fault.
+  auto data_access = [&](VirtAddr va, machine::AccessType access, uint64_t* value,
+                         machine::Fault* fault) -> bool {
+    // SGX rule: enclave pages are untouchable from outside the enclave.
+    if (process_->enclave() != nullptr && !process_->enclave()->AccessAllowed(va)) {
+      *fault = machine::Fault{machine::FaultType::kEnclaveAccess, va, access};
+      return false;
+    }
+    if (access == machine::AccessType::kRead) {
+      auto r = mmu.Read64(va, regs.pkru, &result.cycles);
+      if (!r.ok()) {
+        *fault = r.fault();
+        return false;
+      }
+      *value = r.value();
+    } else {
+      auto w = mmu.Write64(va, *value, regs.pkru, &result.cycles);
+      if (!w.ok()) {
+        *fault = w.fault();
+        return false;
+      }
+    }
+    if (config.record_safe_accesses && process_->InSafeRegion(va)) {
+      result.safe_access_refs.insert(PackRef(pos.func, pos.block, pos.index));
+    }
+    return true;
+  };
+
+  while (result.instructions < config.max_instructions) {
+    const auto& func = functions[static_cast<size_t>(pos.func)];
+    const auto& block = func.blocks[static_cast<size_t>(pos.block)];
+    if (pos.index >= static_cast<int>(block.instrs.size())) {
+      // Structurally impossible after verification; guard anyway.
+      return fault_out({machine::FaultType::kGeneralProtection, 0, machine::AccessType::kExecute});
+    }
+    const ir::Instr& instr = block.instrs[static_cast<size_t>(pos.index)];
+    ++result.instructions;
+    const Cycles cycles_before = result.cycles;
+    bool advance = true;
+
+    switch (instr.op) {
+      case ir::Opcode::kNop:
+        result.cycles += cost_->nop_slot;
+        break;
+      case ir::Opcode::kMovImm:
+        regs[instr.dst] = instr.imm;
+        result.cycles += instr.IsInstrumentation() ? cost_->sfi_movabs_slot : cost_->mov_imm_slot;
+        break;
+      case ir::Opcode::kAddImm:
+        regs[instr.dst] += static_cast<int64_t>(instr.imm);
+        regs.zero_flag = regs[instr.dst] == 0;
+        result.cycles += cost_->alu_slot;
+        break;
+      case ir::Opcode::kAndImm:
+        regs[instr.dst] &= instr.imm;
+        result.cycles += cost_->sfi_and_slot;
+        if (instr.IsCritical()) {
+          result.cycles += cost_->sfi_and_dep_latency;
+        }
+        break;
+      case ir::Opcode::kAluRR: {
+        uint64_t& dst = regs[instr.dst];
+        const uint64_t src = regs[instr.src];
+        switch (instr.imm & 3) {
+          case 0:
+            dst += src;
+            break;
+          case 1:
+            dst -= src;
+            break;
+          case 2:
+            dst ^= src;
+            break;
+          case 3:
+            dst *= src;
+            break;
+        }
+        regs.zero_flag = dst == 0;
+        result.cycles += cost_->alu_slot;
+        break;
+      }
+      case ir::Opcode::kLea:
+        regs[instr.dst] = regs[instr.src] + static_cast<int64_t>(instr.imm);
+        result.cycles += cost_->lea_slot;
+        break;
+      case ir::Opcode::kVecOp:
+        result.cycles += cost_->vector_slot;
+        if (process_->ymm_reserved()) {
+          result.cycles += static_cast<double>(instr.imm) * cost_->ymm_reserve_vec_penalty;
+        }
+        break;
+      case ir::Opcode::kLoad: {
+        ++result.loads;
+        result.cycles += cost_->load_slot;
+        uint64_t value = 0;
+        machine::Fault fault;
+        if (!data_access(regs[instr.src], machine::AccessType::kRead, &value, &fault)) {
+          return fault_out(fault);
+        }
+        regs[instr.dst] = value;
+        break;
+      }
+      case ir::Opcode::kStore: {
+        ++result.stores;
+        result.cycles += cost_->store_slot;
+        uint64_t value = regs[instr.src];
+        machine::Fault fault;
+        if (!data_access(regs[instr.dst], machine::AccessType::kWrite, &value, &fault)) {
+          return fault_out(fault);
+        }
+        break;
+      }
+      case ir::Opcode::kJmp:
+        result.cycles += cost_->branch_slot;
+        mpx::OnLegacyBranch(regs);  // no-op when BNDPRESERVE is set
+        pos.block = instr.target;
+        pos.index = 0;
+        advance = false;
+        break;
+      case ir::Opcode::kCondBr:
+        result.cycles += cost_->branch_slot;
+        mpx::OnLegacyBranch(regs);
+        if (!regs.zero_flag) {
+          pos.block = instr.target;
+        } else {
+          pos.block = pos.block + 1;
+        }
+        pos.index = 0;
+        advance = false;
+        break;
+      case ir::Opcode::kCall:
+      case ir::Opcode::kIndirectCall: {
+        int callee = instr.target;
+        if (instr.op == ir::Opcode::kIndirectCall) {
+          ++result.indirect_calls;
+          callee = static_cast<int>(regs[instr.src]);
+          if (callee < 0 || callee >= static_cast<int>(functions.size())) {
+            return fault_out({machine::FaultType::kGeneralProtection, regs[instr.src],
+                              machine::AccessType::kExecute});
+          }
+        }
+        ++result.calls;
+        result.cycles += cost_->call_slot;
+        mpx::OnLegacyBranch(regs);
+        if (call_depth >= 4096) {
+          return fault_out({machine::FaultType::kGeneralProtection, regs[machine::Gpr::kRsp],
+                            machine::AccessType::kWrite});
+        }
+        const uint64_t ra = EncodeRa(pos.func, pos.block, pos.index + 1);
+        regs[machine::Gpr::kRsp] -= 8;
+        uint64_t value = ra;
+        machine::Fault fault;
+        if (!data_access(regs[machine::Gpr::kRsp], machine::AccessType::kWrite, &value, &fault)) {
+          return fault_out(fault);
+        }
+        // The call also exposes the return address in r11, the "link
+        // register" convention that shadow-stack instrumentation consumes.
+        regs[machine::Gpr::kR11] = ra;
+        ++call_depth;
+        pos = Position{callee, 0, 0};
+        advance = false;
+        break;
+      }
+      case ir::Opcode::kRet: {
+        ++result.rets;
+        result.cycles += cost_->ret_slot;
+        mpx::OnLegacyBranch(regs);
+        if (call_depth == 0) {
+          // Returning from the entry function ends the program (there is no
+          // caller frame to pop).
+          result.halted = true;
+          return result;
+        }
+        uint64_t ra = 0;
+        machine::Fault fault;
+        if (!data_access(regs[machine::Gpr::kRsp], machine::AccessType::kRead, &ra, &fault)) {
+          return fault_out(fault);
+        }
+        regs[machine::Gpr::kRsp] += 8;
+        int f = 0, b = 0, i = 0;
+        if (!DecodeRa(ra, &f, &b, &i) || f >= static_cast<int>(functions.size())) {
+          return fault_out({machine::FaultType::kGeneralProtection, ra,
+                            machine::AccessType::kExecute});
+        }
+        const auto& rf = functions[static_cast<size_t>(f)];
+        if (b >= static_cast<int>(rf.blocks.size()) ||
+            i >= static_cast<int>(rf.blocks[static_cast<size_t>(b)].instrs.size())) {
+          return fault_out({machine::FaultType::kGeneralProtection, ra,
+                            machine::AccessType::kExecute});
+        }
+        --call_depth;
+        pos = Position{f, b, i};
+        advance = false;
+        break;
+      }
+      case ir::Opcode::kHalt:
+        result.cycles += cost_->nop_slot;
+        result.halted = true;
+        return result;
+      case ir::Opcode::kSyscall: {
+        ++result.syscalls;
+        if (process_->dune_enabled()) {
+          // Dune's libOS converts every syscall into a hypercall.
+          result.cycles += cost_->vmcall;
+          auto r = process_->dune()->vmx().VmCall(dune::kHcSyscall, instr.imm,
+                                                  regs[machine::Gpr::kRdi],
+                                                  regs[machine::Gpr::kRsi]);
+          if (!r.ok()) {
+            return fault_out(r.fault());
+          }
+          regs[machine::Gpr::kRax] = r.value();
+        } else {
+          result.cycles += cost_->syscall;
+          regs[machine::Gpr::kRax] = process_->DispatchSyscall(
+              instr.imm, regs[machine::Gpr::kRdi], regs[machine::Gpr::kRsi]);
+        }
+        break;
+      }
+      case ir::Opcode::kMprotect: {
+        ++result.domain_switches;
+        result.cycles += cost_->mprotect_call;
+        const bool open = instr.imm != 0;
+        for (auto& region : process_->safe_regions()) {
+          machine::PageFlags flags = machine::PageFlags::Data();
+          flags.user = open;
+          flags.pkey = region.pkey;
+          const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+          for (uint64_t p = 0; p < pages; ++p) {
+            (void)process_->page_table().Protect(region.base + p * kPageSize, flags);
+            process_->mmu().InvalidatePage(region.base + p * kPageSize);
+          }
+          region.mprotected = !open;
+        }
+        break;
+      }
+      case ir::Opcode::kBndcu: {
+        result.cycles += cost_->bndcu_slot;
+        if (instr.IsCritical()) {
+          result.cycles += cost_->bndcu_latency;
+        }
+        // A legacy-branch reset left this register in INIT state: reload it
+        // from the bound table (the BNDPRESERVE=0 cost the paper avoids).
+        auto& bnd = regs.bnd[instr.imm];
+        if (bnd.upper == ~uint64_t{0} && process_->bnd_reload(static_cast<int>(instr.imm))) {
+          bnd = *process_->bnd_reload(static_cast<int>(instr.imm));
+          result.cycles += cost_->bnd_table_load;
+        }
+        auto fault = mpx::CheckUpper(bnd, regs[instr.src]);
+        if (fault.has_value()) {
+          return fault_out(*fault);
+        }
+        break;
+      }
+      case ir::Opcode::kBndcl: {
+        result.cycles += cost_->bndcu_slot;
+        if (instr.IsCritical()) {
+          result.cycles += cost_->bndcl_pair_extra_latency;
+        }
+        auto& bnd = regs.bnd[instr.imm];
+        if (bnd.upper == ~uint64_t{0} && process_->bnd_reload(static_cast<int>(instr.imm))) {
+          bnd = *process_->bnd_reload(static_cast<int>(instr.imm));
+          result.cycles += cost_->bnd_table_load;
+        }
+        auto fault = mpx::CheckLower(bnd, regs[instr.src]);
+        if (fault.has_value()) {
+          return fault_out(*fault);
+        }
+        break;
+      }
+      case ir::Opcode::kWrpkru: {
+        ++result.domain_switches;
+        result.cycles += cost_->wrpkru;
+        if (instr.IsInstrumentation()) {
+          // rax/rcx/rdx clobbers force spills around dense call sites.
+          result.cycles += cost_->mpk_clobber_spills / 2.0;
+        }
+        mpk::WritePkru(regs, static_cast<uint32_t>(instr.imm));
+        break;
+      }
+      case ir::Opcode::kRdpkru:
+        result.cycles += cost_->rdpkru;
+        regs[instr.dst] = mpk::ReadPkru(regs);
+        break;
+      case ir::Opcode::kVmFunc: {
+        ++result.domain_switches;
+        result.cycles += cost_->vmfunc;
+        if (!process_->dune_enabled()) {
+          return fault_out({machine::FaultType::kGeneralProtection, instr.imm,
+                            machine::AccessType::kExecute});
+        }
+        auto r = process_->dune()->vmx().VmFunc(0, instr.imm);
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        break;
+      }
+      case ir::Opcode::kVmCall: {
+        result.cycles += cost_->vmcall;
+        if (!process_->dune_enabled()) {
+          return fault_out({machine::FaultType::kGeneralProtection, instr.imm,
+                            machine::AccessType::kExecute});
+        }
+        auto r = process_->dune()->vmx().VmCall(instr.imm, regs[machine::Gpr::kRdi],
+                                                regs[machine::Gpr::kRsi], 0);
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        regs[machine::Gpr::kRax] = r.value();
+        break;
+      }
+      case ir::Opcode::kMFence:
+        result.cycles += 20.0;
+        break;
+      case ir::Opcode::kAesCryptRegion: {
+        ++result.domain_switches;
+        SafeRegion* region = process_->FindSafeRegion(regs[instr.src]);
+        if (region == nullptr || !region->crypt) {
+          return fault_out({machine::FaultType::kGeneralProtection, regs[instr.src],
+                            machine::AccessType::kRead});
+        }
+        const uint64_t size = instr.imm == 0 ? region->size : instr.imm;
+        const uint64_t blocks = (size + aes::kBlockSize - 1) / aes::kBlockSize;
+        result.cycles += cost_->ymm_to_xmm_all_keys +
+                         static_cast<double>(blocks) * (cost_->aes_encdec_block / 2.0) +
+                         static_cast<double>(instr.target) * cost_->xmm_spill;
+        // CTR keystream XOR: the same operation encrypts and decrypts.
+        std::vector<uint8_t> bytes(size);
+        if (!process_->PeekBytes(region->base, bytes.data(), size).ok()) {
+          return fault_out({machine::FaultType::kPageNotPresent, region->base,
+                            machine::AccessType::kRead});
+        }
+        aes::CryptRegion(bytes, region->enc_keys, region->nonce);
+        (void)process_->PokeBytes(region->base, bytes.data(), size);
+        region->encrypted_now = !region->encrypted_now;
+        break;
+      }
+      case ir::Opcode::kEnclaveEnter: {
+        ++result.domain_switches;
+        result.cycles += cost_->sgx_ecall_roundtrip / 2.0;
+        if (process_->enclave() == nullptr) {
+          return fault_out({machine::FaultType::kEnclaveExit, 0, machine::AccessType::kExecute});
+        }
+        auto r = process_->enclave()->Enter(static_cast<uint32_t>(instr.imm));
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        break;
+      }
+      case ir::Opcode::kEnclaveExit: {
+        result.cycles += cost_->sgx_ecall_roundtrip / 2.0;
+        if (process_->enclave() == nullptr) {
+          return fault_out({machine::FaultType::kEnclaveExit, 0, machine::AccessType::kExecute});
+        }
+        auto r = process_->enclave()->Exit();
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        break;
+      }
+      case ir::Opcode::kTrap:
+        result.trapped = true;
+        return result;
+      case ir::Opcode::kTrapIf:
+        result.cycles += cost_->branch_slot;
+        if (!regs.zero_flag) {
+          result.trapped = true;
+          return result;
+        }
+        break;
+    }
+
+    if (instr.IsInstrumentation()) {
+      ++result.instrumentation_instrs;
+      result.instrumentation_cycles += result.cycles - cycles_before;
+    }
+    if (advance) {
+      ++pos.index;
+      // Fall off the end of a block only after kCall-style non-terminators;
+      // the verifier guarantees blocks end in terminators, so this index is
+      // always valid.
+    }
+  }
+
+  result.hit_instruction_limit = true;
+  return result;
+}
+
+}  // namespace memsentry::sim

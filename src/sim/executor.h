@@ -1,0 +1,74 @@
+// The executor: interprets MemSentry IR against a Process, enforcing every
+// isolation mechanism architecturally (page permissions, protection keys,
+// EPT presence, MPX bounds, enclave membership, encryption state) and
+// accruing cycles through the cost model. Architectural faults terminate the
+// run and are reported in the result — they are the observable evidence that
+// deterministic isolation held.
+#ifndef MEMSENTRY_SRC_SIM_EXECUTOR_H_
+#define MEMSENTRY_SRC_SIM_EXECUTOR_H_
+
+#include <optional>
+#include <unordered_set>
+
+#include "src/base/types.h"
+#include "src/ir/module.h"
+#include "src/machine/fault.h"
+#include "src/sim/process.h"
+
+namespace memsentry::sim {
+
+struct RunConfig {
+  uint64_t max_instructions = 500'000'000;
+  // Dynamic (PIN-style) points-to profiling: record which instructions
+  // touched a safe region (paper Section 5.5).
+  bool record_safe_accesses = false;
+};
+
+// Packs an instruction position for the profiling set.
+constexpr uint64_t PackRef(int func, int block, int index) {
+  return (static_cast<uint64_t>(func) << 40) | (static_cast<uint64_t>(block) << 20) |
+         static_cast<uint64_t>(index);
+}
+
+struct RunResult {
+  uint64_t instructions = 0;
+  Cycles cycles = 0;
+  bool halted = false;                   // reached kHalt (or returned from entry)
+  bool trapped = false;                  // a defense's kTrap fired
+  bool hit_instruction_limit = false;
+  std::optional<machine::Fault> fault;   // architectural fault stopped the run
+
+  // Breakdown.
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t calls = 0;
+  uint64_t rets = 0;
+  uint64_t indirect_calls = 0;
+  uint64_t syscalls = 0;
+  uint64_t domain_switches = 0;          // wrpkru/vmfunc/crypt/ecall/mprotect events
+  uint64_t instrumentation_instrs = 0;
+  Cycles instrumentation_cycles = 0;
+
+  std::unordered_set<uint64_t> safe_access_refs;  // populated when profiling
+
+  double Cpi() const {
+    return instructions == 0 ? 0.0 : cycles / static_cast<double>(instructions);
+  }
+};
+
+class Executor {
+ public:
+  Executor(Process* process, const ir::Module* module)
+      : process_(process), module_(module), cost_(&process->machine().cost) {}
+
+  RunResult Run(const RunConfig& config = {});
+
+ private:
+  Process* process_;
+  const ir::Module* module_;
+  const machine::CostModel* cost_;
+};
+
+}  // namespace memsentry::sim
+
+#endif  // MEMSENTRY_SRC_SIM_EXECUTOR_H_

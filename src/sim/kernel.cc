@@ -1,0 +1,132 @@
+#include "src/sim/kernel.h"
+
+namespace memsentry::sim {
+namespace {
+
+// The kernel's mmap area sits between the heap and the stack.
+inline constexpr VirtAddr kMmapBase = 0x240000000000ULL;  // 36 TiB
+
+}  // namespace
+
+Kernel::Kernel(Process* process)
+    : process_(process), mmap_cursor_(kMmapBase), brk_(kHeapBase) {}
+
+void Kernel::Install() {
+  process_->SetSyscallHandler(
+      [this](uint64_t nr, uint64_t a0, uint64_t a1) { return Dispatch(nr, a0, a1); });
+}
+
+uint64_t Kernel::Dispatch(uint64_t nr, uint64_t a0, uint64_t a1) {
+  switch (static_cast<Sysno>(nr)) {
+    case Sysno::kNop:
+      return 0;
+    case Sysno::kWrite:
+      write_sink_ += a0;
+      return 8;
+    case Sysno::kMmap:
+      return DoMmap(a0, a1);
+    case Sysno::kMprotect:
+      return DoMprotect(a0, a1);
+    case Sysno::kMunmap:
+      return DoMunmap(a0, a1);
+    case Sysno::kBrk:
+      return DoBrk(a0);
+    case Sysno::kPkeyMprotect:
+      return DoPkeyMprotect(a0, a1);
+    case Sysno::kPkeyAlloc: {
+      auto key = keys_.Alloc();
+      return key.ok() ? key.value() : kSysError;
+    }
+    case Sysno::kPkeyFree:
+      return keys_.Free(static_cast<uint8_t>(a0)).ok() ? 0 : kSysError;
+  }
+  return kSysError;  // ENOSYS
+}
+
+uint64_t Kernel::DoMmap(VirtAddr hint, uint64_t length) {
+  ++mmap_calls_;
+  if (length == 0) {
+    return kSysError;
+  }
+  const uint64_t pages = PageAlignUp(length) >> kPageShift;
+  VirtAddr base;
+  if (hint != 0) {
+    if (PageOffset(hint) != 0) {
+      return kSysError;
+    }
+    base = hint;
+  } else {
+    auto run = process_->FindFreeRun(mmap_cursor_, kStackTop, pages);
+    if (!run.has_value()) {
+      return kSysError;
+    }
+    base = *run;
+  }
+  if (!process_->MapRange(base, pages, machine::PageFlags::Data()).ok()) {
+    return kSysError;
+  }
+  return base;
+}
+
+uint64_t Kernel::DoMprotect(VirtAddr addr, uint64_t prot) {
+  ++mprotect_calls_;
+  if (PageOffset(addr) != 0) {
+    return kSysError;
+  }
+  machine::PageFlags flags = machine::PageFlags::Data();
+  flags.user = prot != kProtNone;
+  flags.writable = (prot & 2) != 0;
+  // Keep the page's protection key (mprotect must not strip MPK tags).
+  auto walk = process_->page_table().Walk(addr);
+  if (!walk.ok()) {
+    return kSysError;
+  }
+  flags.pkey = machine::PageTable::PtePkey(walk.value().pte);
+  if (!process_->page_table().Protect(addr, flags).ok()) {
+    return kSysError;
+  }
+  process_->mmu().InvalidatePage(addr);  // the kernel's TLB shootdown
+  return 0;
+}
+
+uint64_t Kernel::DoMunmap(VirtAddr addr, uint64_t length) {
+  const uint64_t pages = PageAlignUp(length) >> kPageShift;
+  return process_->Unmap(addr, pages).ok() ? 0 : kSysError;
+}
+
+uint64_t Kernel::DoBrk(VirtAddr new_brk) {
+  if (new_brk == 0) {
+    return brk_;
+  }
+  if (new_brk < brk_ || new_brk > kHeapBase + (uint64_t{1} << 32)) {
+    return brk_;  // shrinking/unreasonable: report current break, like Linux
+  }
+  const VirtAddr old_end = PageAlignUp(brk_);
+  const VirtAddr new_end = PageAlignUp(new_brk);
+  if (new_end > old_end) {
+    if (!process_->MapRange(old_end, (new_end - old_end) >> kPageShift,
+                            machine::PageFlags::Data())
+             .ok()) {
+      return brk_;
+    }
+  }
+  brk_ = new_brk;
+  return brk_;
+}
+
+uint64_t Kernel::DoPkeyMprotect(VirtAddr addr, uint64_t packed) {
+  const uint8_t key = static_cast<uint8_t>(packed & 0xff);
+  const uint64_t pages = packed >> 8;
+  if (!keys_.InUse(key)) {
+    return kSysError;  // EINVAL: unallocated key
+  }
+  if (!mpk::TagRange(process_->page_table(), addr, pages, key).ok()) {
+    return kSysError;
+  }
+  for (uint64_t p = 0; p < pages; ++p) {
+    process_->mmu().InvalidatePage(addr + p * kPageSize);
+  }
+  return 0;
+}
+
+}  // namespace memsentry::sim

@@ -1,0 +1,68 @@
+// A tiny kernel for simulated processes: the syscall surface the isolation
+// techniques and defenses interact with — mmap/munmap/mprotect (the slow
+// baseline's toggle path), pkey_alloc/pkey_free/pkey_mprotect (the Linux MPK
+// API), brk-style heap growth, and a write-like sink. Installed as the
+// process's syscall handler; under Dune the same calls arrive as hypercalls,
+// exactly as the paper's modified Dune forwards them.
+#ifndef MEMSENTRY_SRC_SIM_KERNEL_H_
+#define MEMSENTRY_SRC_SIM_KERNEL_H_
+
+#include <cstdint>
+
+#include "src/mpk/mpk.h"
+#include "src/sim/process.h"
+
+namespace memsentry::sim {
+
+// Syscall numbers (stable ABI for simulated programs).
+enum class Sysno : uint64_t {
+  kNop = 0,
+  kWrite = 1,         // a0 = value to "write"; returns bytes (8)
+  kMmap = 9,          // a0 = hint (0 = kernel chooses), a1 = length; returns base
+  kMprotect = 10,     // a0 = page-aligned addr, a1 = prot (kProtNone/kProtRw)
+  kMunmap = 11,       // a0 = addr, a1 = length
+  kBrk = 12,          // a0 = new break (0 = query); returns break
+  kPkeyMprotect = 329,  // a0 = addr, a1 = packed(len_pages << 8 | pkey)
+  kPkeyAlloc = 330,   // returns key or -1
+  kPkeyFree = 331,    // a0 = key
+};
+
+inline constexpr uint64_t kProtNone = 0;
+inline constexpr uint64_t kProtRw = 3;
+inline constexpr uint64_t kSysError = ~uint64_t{0};
+
+class Kernel {
+ public:
+  explicit Kernel(Process* process);
+
+  // Installs the syscall handler on the process.
+  void Install();
+
+  uint64_t Dispatch(uint64_t nr, uint64_t a0, uint64_t a1);
+
+  // Bookkeeping the tests inspect.
+  uint64_t mmap_calls() const { return mmap_calls_; }
+  uint64_t mprotect_calls() const { return mprotect_calls_; }
+  uint64_t write_sink() const { return write_sink_; }
+  VirtAddr current_brk() const { return brk_; }
+  mpk::KeyAllocator& key_allocator() { return keys_; }
+
+ private:
+  uint64_t DoMmap(VirtAddr hint, uint64_t length);
+  uint64_t DoMprotect(VirtAddr addr, uint64_t prot);
+  uint64_t DoMunmap(VirtAddr addr, uint64_t length);
+  uint64_t DoBrk(VirtAddr new_brk);
+  uint64_t DoPkeyMprotect(VirtAddr addr, uint64_t packed);
+
+  Process* process_;
+  mpk::KeyAllocator keys_;
+  VirtAddr mmap_cursor_;  // kernel-chosen placements grow up from here
+  VirtAddr brk_;
+  uint64_t mmap_calls_ = 0;
+  uint64_t mprotect_calls_ = 0;
+  uint64_t write_sink_ = 0;
+};
+
+}  // namespace memsentry::sim
+
+#endif  // MEMSENTRY_SRC_SIM_KERNEL_H_

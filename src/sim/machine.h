@@ -1,0 +1,19 @@
+// The simulated machine: physical memory plus the cost model. Processes
+// (src/sim/process.h) each own their MMU/TLB state; the machine is what they
+// share.
+#ifndef MEMSENTRY_SRC_SIM_MACHINE_H_
+#define MEMSENTRY_SRC_SIM_MACHINE_H_
+
+#include "src/machine/cost_model.h"
+#include "src/machine/phys_mem.h"
+
+namespace memsentry::sim {
+
+struct Machine {
+  machine::PhysicalMemory pmem;
+  machine::CostModel cost;
+};
+
+}  // namespace memsentry::sim
+
+#endif  // MEMSENTRY_SRC_SIM_MACHINE_H_

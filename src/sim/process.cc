@@ -1,0 +1,186 @@
+#include "src/sim/process.h"
+
+#include <algorithm>
+
+namespace memsentry::sim {
+
+Process::Process(Machine* machine)
+    : machine_(machine), page_table_(&machine->pmem), mmu_(&machine->pmem, &machine->cost) {
+  mmu_.SetPageTable(&page_table_);
+  regs_[machine::Gpr::kRsp] = kStackTop;
+}
+
+Status Process::EnableDune() {
+  if (dune_ != nullptr) {
+    return FailedPrecondition("Dune already enabled");
+  }
+  dune_ = std::make_unique<dune::DuneVm>(&machine_->pmem);
+  dune_->SetSyscallHandler(
+      [this](uint64_t nr, uint64_t a0, uint64_t a1) { return DispatchSyscall(nr, a0, a1); });
+  mmu_.SetSecondLevel(&dune_->vmx());
+  return OkStatus();
+}
+
+Status Process::MapRange(VirtAddr base, uint64_t pages, machine::PageFlags flags) {
+  if (PageOffset(base) != 0) {
+    return InvalidArgument("MapRange requires a page-aligned base");
+  }
+  for (uint64_t p = 0; p < pages; ++p) {
+    const VirtAddr va = base + p * kPageSize;
+    if (dune_ != nullptr) {
+      MEMSENTRY_ASSIGN_OR_RETURN(GuestPhysAddr gpa, dune_->AllocGuestFrame());
+      MEMSENTRY_RETURN_IF_ERROR(page_table_.Map(va, gpa, flags));
+    } else {
+      MEMSENTRY_RETURN_IF_ERROR(page_table_.MapNew(va, flags).status());
+    }
+  }
+  mappings_.push_back(Mapping{base, pages});
+  return OkStatus();
+}
+
+Status Process::Unmap(VirtAddr base, uint64_t pages) {
+  for (uint64_t p = 0; p < pages; ++p) {
+    MEMSENTRY_RETURN_IF_ERROR(page_table_.Unmap(base + p * kPageSize));
+    mmu_.InvalidatePage(base + p * kPageSize);
+  }
+  for (auto it = mappings_.begin(); it != mappings_.end(); ++it) {
+    if (it->base == base && it->pages == pages) {
+      mappings_.erase(it);
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+std::optional<VirtAddr> Process::FindFreeRun(VirtAddr lo, VirtAddr hi, uint64_t pages) const {
+  // Collect mapped ranges overlapping [lo, hi), sorted by base.
+  std::vector<Mapping> sorted;
+  for (const Mapping& m : mappings_) {
+    const VirtAddr end = m.base + m.pages * kPageSize;
+    if (end > lo && m.base < hi) {
+      sorted.push_back(m);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Mapping& a, const Mapping& b) { return a.base < b.base; });
+  VirtAddr cursor = lo;
+  const uint64_t need = pages * kPageSize;
+  for (const Mapping& m : sorted) {
+    if (m.base > cursor && m.base - cursor >= need) {
+      return cursor;
+    }
+    cursor = std::max(cursor, m.base + m.pages * kPageSize);
+  }
+  if (hi > cursor && hi - cursor >= need) {
+    return cursor;
+  }
+  return std::nullopt;
+}
+
+Status Process::ReserveRange(VirtAddr base, uint64_t pages) {
+  if (PageOffset(base) != 0) {
+    return InvalidArgument("ReserveRange requires a page-aligned base");
+  }
+  mappings_.push_back(Mapping{base, pages});
+  return OkStatus();
+}
+
+Status Process::ReleaseRange(VirtAddr base, uint64_t pages) {
+  for (auto it = mappings_.begin(); it != mappings_.end(); ++it) {
+    if (it->base == base && it->pages == pages) {
+      mappings_.erase(it);
+      return OkStatus();
+    }
+  }
+  return NotFound("no such reservation");
+}
+
+Status Process::SetupStack(uint64_t pages) {
+  return MapRange(kStackTop - pages * kPageSize, pages, machine::PageFlags::Data());
+}
+
+SafeRegion& Process::AddSafeRegion(const std::string& name, VirtAddr base, uint64_t size) {
+  SafeRegion region;
+  region.name = name;
+  region.base = base;
+  region.size = size;
+  safe_regions_.push_back(std::move(region));
+  return safe_regions_.back();
+}
+
+SafeRegion* Process::FindSafeRegion(VirtAddr base) {
+  for (SafeRegion& r : safe_regions_) {
+    if (r.Contains(base)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+bool Process::InSafeRegion(VirtAddr va) const {
+  for (const SafeRegion& r : safe_regions_) {
+    if (r.Contains(va)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<PhysAddr> Process::TranslateRaw(VirtAddr va) const {
+  auto walk = page_table_.Walk(va);
+  if (!walk.ok()) {
+    return walk.status();
+  }
+  PhysAddr addr = walk.value().phys;
+  if (dune_ != nullptr) {
+    // Under Dune the guest page table produces guest-physical addresses.
+    MEMSENTRY_ASSIGN_OR_RETURN(addr, dune_->HostFrame(addr));
+  }
+  return addr;
+}
+
+StatusOr<uint64_t> Process::Peek64(VirtAddr va) const {
+  MEMSENTRY_ASSIGN_OR_RETURN(PhysAddr phys, TranslateRaw(va));
+  return machine_->pmem.Read64(phys);
+}
+
+Status Process::Poke64(VirtAddr va, uint64_t value) {
+  MEMSENTRY_ASSIGN_OR_RETURN(PhysAddr phys, TranslateRaw(va));
+  machine_->pmem.Write64(phys, value);
+  return OkStatus();
+}
+
+Status Process::PokeBytes(VirtAddr va, const void* data, uint64_t size) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    const uint64_t chunk = std::min<uint64_t>(size, kPageSize - PageOffset(va));
+    MEMSENTRY_ASSIGN_OR_RETURN(PhysAddr phys, TranslateRaw(va));
+    machine_->pmem.WriteBytes(phys, src, chunk);
+    va += chunk;
+    src += chunk;
+    size -= chunk;
+  }
+  return OkStatus();
+}
+
+Status Process::PeekBytes(VirtAddr va, void* out, uint64_t size) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (size > 0) {
+    const uint64_t chunk = std::min<uint64_t>(size, kPageSize - PageOffset(va));
+    MEMSENTRY_ASSIGN_OR_RETURN(PhysAddr phys, TranslateRaw(va));
+    machine_->pmem.ReadBytes(phys, dst, chunk);
+    va += chunk;
+    dst += chunk;
+    size -= chunk;
+  }
+  return OkStatus();
+}
+
+uint64_t Process::DispatchSyscall(uint64_t nr, uint64_t a0, uint64_t a1) {
+  if (syscall_) {
+    return syscall_(nr, a0, a1);
+  }
+  return 0;
+}
+
+}  // namespace memsentry::sim

@@ -1,0 +1,37 @@
+#include "src/sim/profiling.h"
+
+namespace memsentry::sim {
+
+StatusOr<DynamicPointsToResult> DynamicPointsTo(Process& process, ir::Module& module,
+                                                uint64_t max_instructions) {
+  RunConfig config;
+  config.max_instructions = max_instructions;
+  config.record_safe_accesses = true;
+  Executor executor(&process, &module);
+  const RunResult result = executor.Run(config);
+  if (result.fault.has_value()) {
+    return FailedPrecondition("profiling run faulted: " + result.fault->ToString() +
+                              " (profile before Technique::Prepare)");
+  }
+  DynamicPointsToResult out;
+  out.profile_instructions = result.instructions;
+  for (uint64_t ref : result.safe_access_refs) {
+    const int func = static_cast<int>(ref >> 40);
+    const int block = static_cast<int>((ref >> 20) & 0xfffff);
+    const int index = static_cast<int>(ref & 0xfffff);
+    if (func >= static_cast<int>(module.functions.size())) {
+      continue;
+    }
+    auto& blocks = module.functions[static_cast<size_t>(func)].blocks;
+    if (block >= static_cast<int>(blocks.size()) ||
+        index >= static_cast<int>(blocks[static_cast<size_t>(block)].instrs.size())) {
+      continue;
+    }
+    blocks[static_cast<size_t>(block)].instrs[static_cast<size_t>(index)].flags |=
+        ir::kFlagSafeAccess;
+    ++out.annotated;
+  }
+  return out;
+}
+
+}  // namespace memsentry::sim

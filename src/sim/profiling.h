@@ -1,0 +1,29 @@
+// Dynamic points-to analysis (the paper's PIN pass, Section 5.5): run the
+// program once while recording which instructions touch a safe region, then
+// annotate exactly those with saferegion_access(). Precise for the profiled
+// input but prone to *under*-approximation — unprofiled paths fault at run
+// time — whereas the static DSA-style analysis (src/ir/pointsto.h) is
+// conservative and over-approximates. The profiling run must happen before
+// Technique::Prepare (the region must still be plainly accessible), and it
+// mutates process memory/registers: profile on a scratch process.
+#ifndef MEMSENTRY_SRC_SIM_PROFILING_H_
+#define MEMSENTRY_SRC_SIM_PROFILING_H_
+
+#include "src/base/status.h"
+#include "src/ir/module.h"
+#include "src/sim/executor.h"
+#include "src/sim/process.h"
+
+namespace memsentry::sim {
+
+struct DynamicPointsToResult {
+  uint64_t annotated = 0;             // instructions flagged kFlagSafeAccess
+  uint64_t profile_instructions = 0;  // dynamic length of the profiling run
+};
+
+StatusOr<DynamicPointsToResult> DynamicPointsTo(Process& process, ir::Module& module,
+                                                uint64_t max_instructions = 10'000'000);
+
+}  // namespace memsentry::sim
+
+#endif  // MEMSENTRY_SRC_SIM_PROFILING_H_

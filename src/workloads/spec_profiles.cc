@@ -1,0 +1,64 @@
+#include "src/workloads/spec_profiles.h"
+
+#include <array>
+
+namespace memsentry::workloads {
+namespace {
+
+// Field order: name, cpp, loads, stores, calls, ind_frac, syscalls,
+//              vec_frac, vec_pressure, ws_kb, cold_frac, mem_exposure.
+const std::array<SpecProfile, 19> kProfiles = {{
+    // Interpreter: call-dense, branchy, moderate working set.
+    {"400.perlbench", false, 270, 120, 18, 0.40, 0.30, 0.00, 0, 512, 0.03, 0.25},
+    // Compression: tight loops, few calls.
+    {"401.bzip2", false, 260, 95, 4, 0.05, 0.09, 0.00, 0, 4096, 0.04, 0.20},
+    // Compiler: call-dense, large code/data footprint.
+    {"403.gcc", false, 260, 110, 14, 0.20, 0.30, 0.00, 0, 8192, 0.05, 0.22},
+    // Pointer chasing over a huge graph: memory-bound, instrumentation hides.
+    {"429.mcf", false, 320, 55, 3, 0.00, 0.06, 0.00, 0, 65536, 0.60, 0.05},
+    // Lattice QCD: vector-heavy FP, streaming working set.
+    {"433.milc", false, 230, 90, 2, 0.00, 0.06, 0.35, 3, 32768, 0.30, 0.04},
+    // Molecular dynamics: FP-dense but cache-resident.
+    {"444.namd", true, 240, 60, 3, 0.05, 0.06, 0.35, 2, 1024, 0.02, 0.22},
+    // Go engine: branchy integer code, moderate calls.
+    {"445.gobmk", false, 230, 80, 12, 0.10, 0.09, 0.00, 0, 512, 0.03, 0.25},
+    // Finite elements (C++): virtual-call heavy, some FP.
+    {"447.dealII", true, 290, 95, 16, 0.35, 0.15, 0.20, 2, 4096, 0.05, 0.20},
+    // LP solver (C++): FP + pointer-heavy sparse algebra.
+    {"450.soplex", true, 300, 65, 8, 0.25, 0.12, 0.25, 2, 16384, 0.15, 0.12},
+    // Ray tracer (C++): extremely call-dense, cache-hot.
+    {"453.povray", true, 260, 110, 32, 0.45, 0.12, 0.20, 1, 256, 0.01, 0.28},
+    // HMM search: load-dense inner loop, nearly no calls.
+    {"456.hmmer", false, 340, 140, 2, 0.00, 0.06, 0.00, 0, 256, 0.01, 0.30},
+    // Chess engine: branchy, moderate calls.
+    {"458.sjeng", false, 220, 80, 14, 0.20, 0.06, 0.00, 0, 512, 0.02, 0.28},
+    // Quantum simulation: streaming, vectorizable.
+    {"462.libquantum", false, 250, 80, 2, 0.00, 0.06, 0.10, 1, 32768, 0.40, 0.05},
+    // Video encoder: load/store dense, some vector work.
+    {"464.h264ref", false, 270, 110, 8, 0.15, 0.09, 0.25, 2, 4096, 0.04, 0.20},
+    // Lattice Boltzmann: pure streaming FP stencil, almost no calls.
+    {"470.lbm", false, 200, 110, 1, 0.00, 0.03, 0.25, 3, 65536, 0.35, 0.04},
+    // Discrete-event simulator (C++): indirect-call heavy, allocation heavy.
+    {"471.omnetpp", true, 280, 120, 20, 0.55, 0.45, 0.00, 0, 8192, 0.12, 0.15},
+    // Pathfinding (C++): pointer-heavy, moderate calls.
+    {"473.astar", true, 290, 80, 8, 0.20, 0.09, 0.00, 0, 16384, 0.15, 0.12},
+    // Speech recognition: FP + large tables.
+    {"482.sphinx3", false, 270, 70, 6, 0.15, 0.09, 0.30, 2, 8192, 0.10, 0.15},
+    // XSLT processor (C++): the most call/virtual-dispatch dense benchmark.
+    {"483.xalancbmk", true, 280, 90, 42, 0.75, 0.24, 0.00, 0, 2048, 0.03, 0.25},
+}};
+
+}  // namespace
+
+std::span<const SpecProfile> SpecCpu2006() { return kProfiles; }
+
+const SpecProfile* FindProfile(const std::string& name) {
+  for (const auto& p : kProfiles) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace memsentry::workloads

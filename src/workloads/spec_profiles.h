@@ -1,0 +1,47 @@
+// Synthetic stand-ins for the 19 SPEC CPU2006 C/C++ benchmarks the paper
+// evaluates. Each profile is an instruction-mix description (loads, stores,
+// call density, indirect-branch fraction, syscall rate, vector pressure,
+// working-set size, memory-latency exposure). The synthesizer
+// (src/workloads/synth.h) turns a profile into an executable IR program, so
+// Figures 3-6 emerge from executing instrumented code rather than from
+// closed-form arithmetic. Mixes are drawn from published SPEC
+// characterization studies, quantized coarsely — the goal is each benchmark's
+// *position* on the paper's figures (call-dense C++ vs FP-vector vs
+// memory-bound), not microarchitectural exactness.
+#ifndef MEMSENTRY_SRC_WORKLOADS_SPEC_PROFILES_H_
+#define MEMSENTRY_SRC_WORKLOADS_SPEC_PROFILES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace memsentry::workloads {
+
+struct SpecProfile {
+  std::string name;
+  bool is_cpp = false;
+  // Events per 1000 executed instructions.
+  double loads_per_ki = 250;
+  double stores_per_ki = 80;
+  double calls_per_ki = 8;        // call events; each implies a matching ret
+  double indirect_frac = 0.1;     // fraction of calls through function pointers
+  double syscalls_per_ki = 0.05;  // incl. allocator-entry events
+  // Vector/FP character.
+  double vec_frac = 0.0;   // fraction of instructions that are xmm/ymm ops
+  int vec_pressure = 0;    // 0..3: live-register pressure class of those ops
+  // Memory behaviour. Accesses split between a hot, L1-resident window and
+  // a cold stream over the full working set (never revisited -> DRAM).
+  uint64_t ws_kb = 1024;        // cold-stream working-set size
+  double cold_frac = 0.05;      // fraction of accesses going to the cold stream
+  double mem_exposure = 0.25;   // fraction of load latency OoO fails to hide
+};
+
+// All 19 C/C++ SPEC CPU2006 benchmarks, in suite order (as on the figures'
+// x axes).
+std::span<const SpecProfile> SpecCpu2006();
+
+const SpecProfile* FindProfile(const std::string& name);
+
+}  // namespace memsentry::workloads
+
+#endif  // MEMSENTRY_SRC_WORKLOADS_SPEC_PROFILES_H_

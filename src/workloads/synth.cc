@@ -1,0 +1,244 @@
+#include "src/workloads/synth.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/rng.h"
+#include "src/ir/builder.h"
+
+namespace memsentry::workloads {
+namespace {
+
+inline constexpr uint64_t kStride = 64;  // one cache line per pointer advance
+inline constexpr int kBodyKis = 20;      // body models 20k instructions so
+                                         // sub-1/ki event rates materialize
+
+enum class Token { kLoad, kStore, kCall, kVec, kSyscall, kSafeData, kFiller };
+
+void EmitCallee(ir::Builder& builder, const SpecProfile& profile, int flavor) {
+  // Small leaf: a few ALU/vector ops and a return. The body mix already
+  // counts these instructions via the call token's cost.
+  builder.AluRR(kRegScratch, kRegValue, /*alu_op=*/0);
+  if (profile.vec_frac > 0.25 && flavor % 2 == 0) {
+    builder.VecOp(profile.vec_pressure);
+  } else {
+    builder.AddImm(kRegScratch, flavor + 1);
+  }
+  builder.AluRR(kRegScratch, kRegValue, /*alu_op=*/2);
+  builder.Ret();
+}
+
+}  // namespace
+
+ir::Module SynthesizeSpecProgram(const SpecProfile& profile, const SynthOptions& options) {
+  ir::Module module;
+  ir::Builder builder(&module);
+  Rng rng(options.seed);
+
+  // Entry must be function 0; callees follow.
+  const int entry = builder.CreateFunction("main");
+  module.entry = entry;
+  std::vector<int> callees;
+  for (int i = 0; i < options.num_callees; ++i) {
+    const int f = builder.CreateFunction("leaf" + std::to_string(i));
+    EmitCallee(builder, profile, i);
+    callees.push_back(f);
+  }
+
+  // Token multiset for one body (kBodyKis kilo-instructions).
+  const auto count = [](double per_ki) {
+    return static_cast<uint64_t>(per_ki * kBodyKis + 0.5);
+  };
+  const uint64_t loads = count(profile.loads_per_ki);
+  const uint64_t stores = count(profile.stores_per_ki);
+  const uint64_t calls = count(profile.calls_per_ki);
+  const uint64_t vecs = count(profile.vec_frac * 1000.0);
+  const uint64_t syscalls = count(profile.syscalls_per_ki);
+  const uint64_t safe_accesses = count(options.safe_accesses_per_ki);
+  const double call_cost = 5.0 + profile.indirect_frac;
+  const double used = 2.0 * static_cast<double>(loads + stores) +
+                      call_cost * static_cast<double>(calls) + static_cast<double>(vecs) +
+                      static_cast<double>(syscalls) + 3.0 * static_cast<double>(safe_accesses);
+  const uint64_t budget = 1000 * kBodyKis;
+  const uint64_t fillers =
+      used >= static_cast<double>(budget) ? 0 : static_cast<uint64_t>(budget - used);
+
+  std::vector<Token> tokens;
+  tokens.reserve(loads + stores + calls + vecs + syscalls + fillers);
+  tokens.insert(tokens.end(), loads, Token::kLoad);
+  tokens.insert(tokens.end(), stores, Token::kStore);
+  tokens.insert(tokens.end(), calls, Token::kCall);
+  tokens.insert(tokens.end(), vecs, Token::kVec);
+  tokens.insert(tokens.end(), syscalls, Token::kSyscall);
+  tokens.insert(tokens.end(), safe_accesses, Token::kSafeData);
+  tokens.insert(tokens.end(), fillers, Token::kFiller);
+  // Fisher-Yates shuffle for a deterministic interleaving.
+  for (size_t i = tokens.size(); i > 1; --i) {
+    std::swap(tokens[i - 1], tokens[rng.Below(i)]);
+  }
+
+  // Working-set wrap masks: base is a single high bit far above ws, so
+  // (ptr + stride) & (base | (ws - 1)) keeps a pointer inside its window.
+  // Hot accesses stay in an L1-resident window; cold accesses stream over
+  // the full working set and essentially never revisit a line.
+  const uint64_t ws_bytes = profile.ws_kb * 1024;
+  assert((ws_bytes & (ws_bytes - 1)) == 0 && "working set must be a power of two");
+  const uint64_t hot_bytes = std::min<uint64_t>(ws_bytes, 16 * 1024);
+  const uint64_t hot_mask = sim::kWorkingSetBase | (hot_bytes - 1);
+  const uint64_t cold_mask = sim::kWorkingSetBase | (ws_bytes - 1);
+
+  // --- entry block 0: setup ---
+  builder.SetInsertPoint(entry, 0);
+  builder.MovImm(kRegWsBase, sim::kWorkingSetBase);
+  builder.MovImm(kRegPtr, sim::kWorkingSetBase);
+  builder.MovImm(kRegColdPtr, sim::kWorkingSetBase);
+  builder.MovImm(kRegValue, 0x123456789abcdef0ULL);
+  builder.MovImm(kRegScratch, 1);
+  builder.MovImm(kRegConst8, 8);
+  if (safe_accesses > 0) {
+    // Park a pointer to the safe region in a table slot; half of the
+    // kSafeData accesses reload it from memory, defeating static provenance
+    // tracking exactly as heap-carried pointers defeat DSA.
+    builder.MovImm(kRegDefScratch, options.safe_region_base);
+    builder.MovImm(kRegICallTarget, sim::kTableBase);
+    builder.Store(kRegICallTarget, kRegDefScratch);
+  }
+
+  // --- body ---
+  const int body_block = builder.NewBlock();
+  const int exit_block = builder.NewBlock();
+  builder.SetInsertPoint(entry, body_block);
+  bool advance = false;
+  uint32_t callsite = 0;
+  uint64_t body_instrs = 0;
+  // Returns the register holding the access address for this token.
+  auto emit_access_addr = [&]() -> machine::Gpr {
+    if (rng.NextDouble() < profile.cold_frac) {
+      // Cold stream: always advances one line, wraps over the full set.
+      builder.AddImm(kRegColdPtr, static_cast<int64_t>(kStride));
+      builder.AndImm(kRegColdPtr, cold_mask);
+      body_instrs += 2;
+      return kRegColdPtr;
+    }
+    advance = !advance;
+    if (advance) {
+      builder.AddImm(kRegPtr, static_cast<int64_t>(kStride));
+      builder.AndImm(kRegPtr, hot_mask);
+      body_instrs += 2;
+    }
+    return kRegPtr;
+  };
+  for (Token token : tokens) {
+    switch (token) {
+      case Token::kLoad:
+        builder.Load(kRegValue, emit_access_addr());
+        body_instrs += 1;
+        break;
+      case Token::kStore:
+        builder.Store(emit_access_addr(), kRegValue);
+        body_instrs += 1;
+        break;
+      case Token::kCall: {
+        const int callee = callees[rng.Below(callees.size())];
+        if (rng.NextDouble() < profile.indirect_frac) {
+          builder.MovImm(kRegICallTarget, static_cast<uint64_t>(callee));
+          builder.IndirectCall(kRegICallTarget, callsite++);
+          body_instrs += 2;
+        } else {
+          builder.Call(callee);
+          body_instrs += 1;
+        }
+        body_instrs += 4;  // callee body executes too
+        break;
+      }
+      case Token::kVec:
+        builder.VecOp(profile.vec_pressure);
+        body_instrs += 1;
+        break;
+      case Token::kSyscall:
+        builder.Syscall(0);
+        body_instrs += 1;
+        break;
+      case Token::kSafeData: {
+        const uint64_t offset =
+            (rng.Below(options.safe_region_size / 8)) * 8;  // 8-byte aligned
+        if (rng.Chance(0.5)) {
+          // Constant pointer: static analysis can prove the target.
+          builder.MovImm(kRegDefScratch, options.safe_region_base + offset);
+          body_instrs += 1;
+        } else {
+          // Pointer reloaded from memory: unknown provenance for DSA.
+          builder.MovImm(kRegDefScratch, sim::kTableBase);
+          builder.Load(kRegDefScratch, kRegDefScratch);
+          builder.Lea(kRegDefScratch, kRegDefScratch, static_cast<int64_t>(offset));
+          body_instrs += 3;
+        }
+        if (rng.Chance(0.5)) {
+          builder.Load(kRegValue, kRegDefScratch);
+        } else {
+          builder.Store(kRegDefScratch, kRegValue);
+        }
+        body_instrs += 1;
+        break;
+      }
+      case Token::kFiller:
+        if (rng.Chance(0.5)) {
+          builder.AluRR(kRegScratch, kRegValue, /*alu_op=*/0);
+        } else {
+          builder.AddImm(kRegScratch, 3);
+        }
+        body_instrs += 1;
+        break;
+    }
+  }
+  builder.AddImm(kRegCounter, -1);
+  builder.CondBr(body_block);
+  body_instrs += 2;
+
+  builder.SetInsertPoint(entry, exit_block);
+  builder.Halt();
+
+  // Now that the true body size is known, set the iteration count in setup.
+  const uint64_t iterations =
+      std::max<uint64_t>(1, (options.target_instructions + body_instrs / 2) / body_instrs);
+  builder.SetInsertPoint(entry, 0);
+  builder.MovImm(kRegCounter, iterations);
+  builder.Jmp(body_block);
+
+  return module;
+}
+
+Status PrepareWorkloadProcess(sim::Process& process, const SpecProfile& profile) {
+  process.machine().cost.load_latency_exposure = profile.mem_exposure;
+  MEMSENTRY_RETURN_IF_ERROR(process.SetupStack());
+  // One table page for dispatch/pointer slots used by defenses and the
+  // program-data scenario.
+  MEMSENTRY_RETURN_IF_ERROR(process.MapRange(sim::kTableBase, 1, machine::PageFlags::Data()));
+  const uint64_t ws_pages = (profile.ws_kb * 1024) >> kPageShift;
+  return process.MapRange(sim::kWorkingSetBase, ws_pages, machine::PageFlags::Data());
+}
+
+ir::Module BuildLoop(const std::vector<ir::Instr>& body, uint64_t iters) {
+  ir::Module module;
+  ir::Builder builder(&module);
+  const int f = builder.CreateFunction("microloop");
+  module.entry = f;
+  builder.MovImm(kRegCounter, iters);
+  builder.MovImm(kRegWsBase, sim::kWorkingSetBase);
+  builder.MovImm(kRegPtr, sim::kWorkingSetBase);
+  const int loop = builder.NewBlock();
+  const int exit = builder.NewBlock();
+  builder.SetInsertPoint(f, 0);
+  builder.Jmp(loop);
+  builder.SetInsertPoint(f, loop);
+  for (const ir::Instr& instr : body) {
+    builder.Emit(instr);
+  }
+  builder.AddImm(kRegCounter, -1);
+  builder.CondBr(loop);
+  builder.SetInsertPoint(f, exit);
+  builder.Halt();
+  return module;
+}
+
+}  // namespace memsentry::workloads

@@ -1,0 +1,70 @@
+// Program synthesis: turns a SpecProfile into an executable IR program whose
+// instruction mix matches the profile, plus helpers for building microbench
+// loops (Table 4) and preparing a process to run a workload.
+#ifndef MEMSENTRY_SRC_WORKLOADS_SYNTH_H_
+#define MEMSENTRY_SRC_WORKLOADS_SYNTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/module.h"
+#include "src/sim/process.h"
+#include "src/workloads/spec_profiles.h"
+
+namespace memsentry::workloads {
+
+// Register conventions for synthesized programs (see src/sim/executor.cc for
+// the executor-imposed ones: rsp = stack, r11 = link register):
+//   r8  working-set base          r9   roving data pointer
+//   r10 indirect-call target      rbx  load/store value register
+//   r13 outer loop counter        rsi  filler scratch
+//   rbp defense scratch           r14  defense table base
+//   r15 shadow-stack pointer      rdi  constant 8 (defense index scaling)
+//   rcx cold-stream pointer       rax/rdx reserved for instrumentation
+inline constexpr machine::Gpr kRegWsBase = machine::Gpr::kR8;
+inline constexpr machine::Gpr kRegPtr = machine::Gpr::kR9;
+inline constexpr machine::Gpr kRegICallTarget = machine::Gpr::kR10;
+inline constexpr machine::Gpr kRegValue = machine::Gpr::kRbx;
+inline constexpr machine::Gpr kRegCounter = machine::Gpr::kR13;
+inline constexpr machine::Gpr kRegScratch = machine::Gpr::kRsi;
+inline constexpr machine::Gpr kRegDefScratch = machine::Gpr::kRbp;
+inline constexpr machine::Gpr kRegDefTable = machine::Gpr::kR14;
+inline constexpr machine::Gpr kRegShadowPtr = machine::Gpr::kR15;
+inline constexpr machine::Gpr kRegConst8 = machine::Gpr::kRdi;
+// Cold-stream pointer. rcx is architecturally clobber-listed by wrpkru-style
+// instrumentation, but our cost model charges that clobber in cycles rather
+// than by rewriting the register, so the workload may carry state here.
+inline constexpr machine::Gpr kRegColdPtr = machine::Gpr::kRcx;
+
+struct SynthOptions {
+  uint64_t target_instructions = 400'000;  // approximate dynamic length
+  uint64_t seed = 0xbe7cd06eULL;
+  int num_callees = 6;  // leaf functions reachable by (indirect) calls
+
+  // Program-data protection scenario (Table 2, last row): emit this many
+  // *un-annotated* accesses per ki to the safe region at safe_region_base.
+  // Half go through a constant pointer (statically provable), half through a
+  // pointer loaded from memory (exactly the provenance DSA cannot track):
+  // points-to analysis — static or dynamic profiling — must find them.
+  double safe_accesses_per_ki = 0;
+  VirtAddr safe_region_base = 0;
+  uint64_t safe_region_size = 4096;
+};
+
+// Builds a program for `profile`. The program walks a ws_kb working set,
+// calls leaf functions directly and indirectly, performs vector work and
+// syscalls, all at the profile's per-ki rates.
+ir::Module SynthesizeSpecProgram(const SpecProfile& profile, const SynthOptions& options = {});
+
+// Maps the working set and stack for the program and points the cost model's
+// load-latency exposure at the profile's value. Call once per fresh process.
+Status PrepareWorkloadProcess(sim::Process& process, const SpecProfile& profile);
+
+// Builds `iters` iterations of a loop whose body is `body` — the Table 4
+// microbenchmark harness ("timing a tight loop of many iterations").
+ir::Module BuildLoop(const std::vector<ir::Instr>& body, uint64_t iters);
+
+}  // namespace memsentry::workloads
+
+#endif  // MEMSENTRY_SRC_WORKLOADS_SYNTH_H_

@@ -1,0 +1,120 @@
+// The technique advisor encodes paper Section 6.3; these tests pin its
+// decision boundaries.
+#include <gtest/gtest.h>
+
+#include "src/core/advisor.h"
+
+namespace memsentry::core {
+namespace {
+
+ScenarioSpec Base() {
+  ScenarioSpec spec;
+  spec.cpu_year = 2017;
+  spec.hypervisor_ok = true;
+  spec.mpk_available = false;
+  return spec;
+}
+
+TEST(AdvisorTest, DenseSwitchesFavorAddressBased) {
+  ScenarioSpec spec = Base();
+  spec.point = InstrumentationPoint::kCallRet;
+  spec.events_per_kinstr = 25;
+  const Recommendation rec = Advise(spec);
+  EXPECT_EQ(rec.primary, TechniqueKind::kMpx);
+  ASSERT_FALSE(rec.alternatives.empty());
+  EXPECT_EQ(rec.alternatives[0], TechniqueKind::kSfi);
+}
+
+TEST(AdvisorTest, OldCpuFallsBackToSfi) {
+  ScenarioSpec spec = Base();
+  spec.events_per_kinstr = 25;
+  spec.cpu_year = 2012;  // pre-Skylake: no MPX
+  EXPECT_EQ(Advise(spec).primary, TechniqueKind::kSfi);
+}
+
+TEST(AdvisorTest, ManyPartitionsRuleOutMpx) {
+  ScenarioSpec spec = Base();
+  spec.events_per_kinstr = 25;
+  spec.domains_needed = 6;  // more than 4 bound registers
+  EXPECT_EQ(Advise(spec).primary, TechniqueKind::kSfi);
+}
+
+TEST(AdvisorTest, SparseEventsWithMpkPickMpk) {
+  ScenarioSpec spec = Base();
+  spec.events_per_kinstr = 0.1;
+  spec.mpk_available = true;
+  EXPECT_EQ(Advise(spec).primary, TechniqueKind::kMpk);
+}
+
+TEST(AdvisorTest, TinyRegionPicksCrypt) {
+  ScenarioSpec spec = Base();
+  spec.events_per_kinstr = 0.1;
+  spec.region_bytes = 16;
+  EXPECT_EQ(Advise(spec).primary, TechniqueKind::kCrypt);
+}
+
+TEST(AdvisorTest, LargerRegionPicksVmfunc) {
+  ScenarioSpec spec = Base();
+  spec.events_per_kinstr = 0.1;
+  spec.region_bytes = 4096;
+  EXPECT_EQ(Advise(spec).primary, TechniqueKind::kVmfunc);
+}
+
+TEST(AdvisorTest, NoHypervisorForcesCrypt) {
+  ScenarioSpec spec = Base();
+  spec.events_per_kinstr = 0.1;
+  spec.region_bytes = 4096;
+  spec.hypervisor_ok = false;
+  EXPECT_EQ(Advise(spec).primary, TechniqueKind::kCrypt);
+}
+
+TEST(AdvisorTest, PreHaswellForcesCrypt) {
+  ScenarioSpec spec = Base();
+  spec.events_per_kinstr = 0.1;
+  spec.region_bytes = 4096;
+  spec.cpu_year = 2012;  // pre-Haswell: no VMFUNC; AES-NI since 2010
+  EXPECT_EQ(Advise(spec).primary, TechniqueKind::kCrypt);
+}
+
+TEST(AdvisorTest, NeverRecommendsSgxMprotectOrHiding) {
+  // Sweep a grid of scenarios: the losers of Section 6.3 never surface.
+  for (double events : {0.05, 1.0, 10.0, 50.0}) {
+    for (uint64_t bytes : {16ULL, 4096ULL, 1048576ULL}) {
+      for (int year : {2010, 2013, 2015, 2017}) {
+        for (bool mpk : {false, true}) {
+          ScenarioSpec spec = Base();
+          spec.events_per_kinstr = events;
+          spec.region_bytes = bytes;
+          spec.cpu_year = year;
+          spec.mpk_available = mpk;
+          const Recommendation rec = Advise(spec);
+          EXPECT_NE(rec.primary, TechniqueKind::kSgx);
+          EXPECT_NE(rec.primary, TechniqueKind::kMprotect);
+          EXPECT_NE(rec.primary, TechniqueKind::kInfoHide);
+          EXPECT_FALSE(rec.rationale.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(AdvisorTest, ApplicabilityTableMatchesPaper) {
+  const auto rows = ApplicabilityTable();
+  ASSERT_EQ(rows.size(), 11u);
+  int address = 0;
+  int domain = 0;
+  for (const auto& row : rows) {
+    (row.category == Category::kAddressBased ? address : domain) += 1;
+  }
+  EXPECT_EQ(address, 5);
+  EXPECT_EQ(domain, 6);
+}
+
+TEST(AdvisorTest, InstrumentationPointNames) {
+  EXPECT_STREQ(InstrumentationPointName(InstrumentationPoint::kCallRet), "call/ret");
+  EXPECT_STREQ(InstrumentationPointName(InstrumentationPoint::kAllocatorCall),
+               "allocator calls");
+}
+
+}  // namespace
+}  // namespace memsentry::core

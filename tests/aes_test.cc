@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/aes/aes128.h"
+
+namespace memsentry::aes {
+namespace {
+
+Block FromHex(const char* hex) {
+  Block b{};
+  for (int i = 0; i < kBlockSize; ++i) {
+    unsigned v = 0;
+    sscanf(hex + 2 * i, "%2x", &v);
+    b[static_cast<size_t>(i)] = static_cast<uint8_t>(v);
+  }
+  return b;
+}
+
+// FIPS-197 Appendix B / C.1 vectors.
+const char* kKeyHex = "000102030405060708090a0b0c0d0e0f";
+const char* kPlainHex = "00112233445566778899aabbccddeeff";
+const char* kCipherHex = "69c4e0d86a7b0430d8cdb78070b4c55a";
+
+TEST(AesTest, Fips197EncryptVector) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  EXPECT_EQ(EncryptBlock(FromHex(kPlainHex), keys), FromHex(kCipherHex));
+}
+
+TEST(AesTest, Fips197DecryptVector) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  EXPECT_EQ(DecryptBlock(FromHex(kCipherHex), keys), FromHex(kPlainHex));
+}
+
+TEST(AesTest, Fips197AppendixAKeyExpansion) {
+  // FIPS-197 Appendix A.1: key 2b7e151628aed2a6abf7158809cf4f3c.
+  const KeySchedule keys = ExpandKey(FromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_EQ(keys[1], FromHex("a0fafe1788542cb123a339392a6c7605"));
+  EXPECT_EQ(keys[10], FromHex("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+}
+
+TEST(AesTest, Fips197AppendixBKnownAnswer) {
+  // FIPS-197 Appendix B: key 2b7e1516..., input 3243f6a8885a308d313198a2e0370734.
+  const KeySchedule keys = ExpandKey(FromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_EQ(EncryptBlock(FromHex("3243f6a8885a308d313198a2e0370734"), keys),
+            FromHex("3925841d02dc09fbdc118597196a0b32"));
+}
+
+TEST(AesTest, RoundTripManyBlocks) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  Block b{};
+  for (int trial = 0; trial < 64; ++trial) {
+    for (int i = 0; i < kBlockSize; ++i) {
+      b[static_cast<size_t>(i)] = static_cast<uint8_t>(trial * 31 + i * 7);
+    }
+    EXPECT_EQ(DecryptBlock(EncryptBlock(b, keys), keys), b);
+  }
+}
+
+TEST(AesTest, SboxSpotValues) {
+  // Computed S-box must match the published table at known points:
+  // S(0x00)=0x63, S(0x53)=0xed (both from FIPS-197 Figure 7).
+  const KeySchedule keys = ExpandKey(Block{});  // forces table construction
+  (void)keys;
+  // Verify indirectly: encrypting zeroes with a zero key gives the published
+  // value 66e94bd4ef8a2c3b884cfa59ca342b2e.
+  EXPECT_EQ(EncryptBlock(Block{}, ExpandKey(Block{})),
+            FromHex("66e94bd4ef8a2c3b884cfa59ca342b2e"));
+}
+
+TEST(AesTest, InverseScheduleMatchesImcSemantics) {
+  const KeySchedule enc = ExpandKey(FromHex(kKeyHex));
+  const KeySchedule dec = InverseKeySchedule(enc);
+  // Keys 0 and 10 pass through unchanged; middle keys are InvMixColumns'd.
+  EXPECT_EQ(dec[0], enc[0]);
+  EXPECT_EQ(dec[10], enc[10]);
+  for (int r = 1; r < 10; ++r) {
+    EXPECT_EQ(dec[static_cast<size_t>(r)], InvMixColumnsBlock(enc[static_cast<size_t>(r)]));
+    EXPECT_NE(dec[static_cast<size_t>(r)], enc[static_cast<size_t>(r)]);
+  }
+}
+
+TEST(AesTest, RoundFunctionsComposeToFullCipher) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  Block state = FromHex(kPlainHex);
+  for (int i = 0; i < kBlockSize; ++i) {
+    state[static_cast<size_t>(i)] ^= keys[0][static_cast<size_t>(i)];
+  }
+  for (int r = 1; r < kNumRounds; ++r) {
+    state = EncryptRound(state, keys[static_cast<size_t>(r)]);
+  }
+  state = EncryptLastRound(state, keys[kNumRounds]);
+  EXPECT_EQ(state, FromHex(kCipherHex));
+}
+
+TEST(CryptRegionTest, IsAnInvolution) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  std::vector<uint8_t> data(100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  const std::vector<uint8_t> original = data;
+  CryptRegion(data, keys, /*nonce=*/42);
+  EXPECT_NE(data, original);
+  CryptRegion(data, keys, /*nonce=*/42);
+  EXPECT_EQ(data, original);
+}
+
+TEST(CryptRegionTest, NonceSeparatesKeystreams) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  std::vector<uint8_t> a(32, 0);
+  std::vector<uint8_t> b(32, 0);
+  CryptRegion(a, keys, 1);
+  CryptRegion(b, keys, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(CryptRegionTest, HandlesNonBlockMultiples) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  for (size_t size : {1u, 15u, 16u, 17u, 31u, 1024u}) {
+    std::vector<uint8_t> data(size, 0x5a);
+    const std::vector<uint8_t> original = data;
+    CryptRegion(data, keys, 7);
+    CryptRegion(data, keys, 7);
+    EXPECT_EQ(data, original) << "size " << size;
+  }
+}
+
+TEST(CryptRegionTest, CiphertextLooksUniform) {
+  const KeySchedule keys = ExpandKey(FromHex(kKeyHex));
+  std::vector<uint8_t> data(4096, 0);
+  CryptRegion(data, keys, 99);
+  // Crude sanity: byte histogram roughly flat (chi-style bound, generous).
+  int counts[256] = {0};
+  for (uint8_t byte : data) {
+    ++counts[byte];
+  }
+  for (int c : counts) {
+    EXPECT_LT(c, 64);  // mean is 16
+  }
+}
+
+}  // namespace
+}  // namespace memsentry::aes

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/stats_util.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace memsentry {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad page");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFound("nothing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(4);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    hit_lo |= v == 5;
+    hit_hi |= v == 8;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(StatsTest, GeoMeanOfEqualValues) {
+  std::vector<double> v = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(GeoMean(v), 2.0);
+}
+
+TEST(StatsTest, GeoMeanKnownValue) {
+  std::vector<double> v = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(GeoMean(v), 2.0);
+}
+
+TEST(StatsTest, OverheadPercent) {
+  EXPECT_DOUBLE_EQ(ToOverheadPercent(1.125), 12.5);
+}
+
+TEST(TypesTest, PageHelpers) {
+  EXPECT_EQ(PageAlignDown(0x1fff), 0x1000u);
+  EXPECT_EQ(PageAlignUp(0x1001), 0x2000u);
+  EXPECT_EQ(PageAlignUp(0x1000), 0x1000u);
+  EXPECT_EQ(PageNumber(0x3456), 3u);
+  EXPECT_EQ(PageOffset(0x3456), 0x456u);
+}
+
+TEST(TypesTest, SfiMaskMatchesPaperFigure2) {
+  // Figure 2c: movabs $0x00003fffffffffff, %rax
+  EXPECT_EQ(kSfiMask, 0x00003fffffffffffULL);
+  EXPECT_EQ(kPartitionSplit, uint64_t{64} << 40);  // 64 TiB
+}
+
+}  // namespace
+}  // namespace memsentry

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/defenses/ccfi.h"
+
+namespace memsentry::defenses {
+namespace {
+
+TEST(CcfiTest, SealUnsealRoundTrip) {
+  CcfiSealer sealer;
+  const uint64_t ptr = 0x401234;
+  const VirtAddr slot = 0x7fff0008;
+  auto unsealed = sealer.Unseal(sealer.Seal(ptr, slot), slot);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(unsealed.value(), ptr);
+}
+
+TEST(CcfiTest, SealedValueIsNotThePointer) {
+  CcfiSealer sealer;
+  const SealedPointer sealed = sealer.Seal(0x401234, 0x1000);
+  uint64_t head = 0;
+  memcpy(&head, sealed.bytes.data(), 8);
+  EXPECT_NE(head, 0x401234u);
+}
+
+TEST(CcfiTest, ReplayIntoDifferentSlotDetected) {
+  // The classic attack CCFI's location binding stops: copy a valid sealed
+  // pointer from one slot over another.
+  CcfiSealer sealer;
+  const SealedPointer sealed = sealer.Seal(0x401234, /*slot=*/0x1000);
+  auto replayed = sealer.Unseal(sealed, /*slot=*/0x2000);
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(CcfiTest, BitFlipDetected) {
+  CcfiSealer sealer;
+  SealedPointer sealed = sealer.Seal(0x401234, 0x1000);
+  for (int byte = 0; byte < 16; ++byte) {
+    SealedPointer tampered = sealed;
+    tampered.bytes[static_cast<size_t>(byte)] ^= 0x40;
+    auto unsealed = sealer.Unseal(tampered, 0x1000);
+    // AES diffusion: any flip scrambles the location tag with overwhelming
+    // probability; a silent mis-unseal would need a 2^-64 collision.
+    EXPECT_FALSE(unsealed.ok()) << "byte " << byte;
+  }
+}
+
+TEST(CcfiTest, ForgeryWithoutKeyDetected) {
+  CcfiSealer sealer;
+  SealedPointer forged;
+  for (int i = 0; i < 16; ++i) {
+    forged.bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(i * 17 + 3);
+  }
+  EXPECT_FALSE(sealer.Unseal(forged, 0x1000).ok());
+}
+
+TEST(CcfiTest, DistinctKeySeedsProduceIncompatibleSeals) {
+  CcfiSealer a(/*key_seed=*/1);
+  CcfiSealer b(/*key_seed=*/2);
+  const SealedPointer sealed = a.Seal(0x401234, 0x1000);
+  EXPECT_FALSE(b.Unseal(sealed, 0x1000).ok());
+  EXPECT_NE(sealed, b.Seal(0x401234, 0x1000));
+}
+
+TEST(CcfiTest, SameInputsSealDeterministically) {
+  CcfiSealer sealer(7);
+  EXPECT_EQ(sealer.Seal(0x1111, 0x2000), sealer.Seal(0x1111, 0x2000));
+  EXPECT_NE(sealer.Seal(0x1111, 0x2000), sealer.Seal(0x1111, 0x2008));
+  EXPECT_NE(sealer.Seal(0x1111, 0x2000), sealer.Seal(0x2222, 0x2000));
+}
+
+}  // namespace
+}  // namespace memsentry::defenses

@@ -1,0 +1,88 @@
+// Cost-model invariants: the orderings the paper's conclusions depend on.
+// If a future calibration breaks one of these, the figures stop meaning what
+// the paper means.
+#include <gtest/gtest.h>
+
+#include "src/machine/cost_model.h"
+
+namespace memsentry::machine {
+namespace {
+
+TEST(CostModelTest, MemoryHierarchyIsMonotone) {
+  const CostModel cost;
+  EXPECT_LT(cost.lat_l1, cost.lat_l2);
+  EXPECT_LT(cost.lat_l2, cost.lat_l3);
+  EXPECT_LT(cost.lat_l3, cost.lat_dram);
+  EXPECT_EQ(cost.MemLatency(CacheLevel::kL1), cost.lat_l1);
+  EXPECT_EQ(cost.MemLatency(CacheLevel::kDram), cost.lat_dram);
+  EXPECT_GT(cost.load_latency_exposure, 0.0);
+  EXPECT_LE(cost.load_latency_exposure, 1.0);
+}
+
+TEST(CostModelTest, Table4OrderingsHold) {
+  const CostModel cost;
+  // The paper's core microbenchmark relations (Table 4 / Section 6.1):
+  // a vmfunc is much cheaper than a vmcall but comparable to a syscall;
+  // SGX crossings dwarf everything; MPK switches sit between address-based
+  // checks and vmfunc.
+  EXPECT_LT(cost.vmfunc, cost.vmcall);
+  EXPECT_GT(cost.vmfunc, cost.syscall);                 // "similar", slightly above
+  EXPECT_LT(cost.vmfunc / cost.syscall, 2.0);
+  EXPECT_GT(cost.sgx_ecall_roundtrip, 10 * cost.vmcall);
+  EXPECT_GT(cost.wrpkru, cost.bndcu_slot * 10);
+  EXPECT_LT(cost.wrpkru, cost.vmfunc);
+  // mprotect is the worst non-SGX switch.
+  EXPECT_GT(cost.mprotect_call, cost.vmcall);
+}
+
+TEST(CostModelTest, AddressBasedChecksAreSubCycle) {
+  const CostModel cost;
+  EXPECT_LT(cost.bndcu_slot + cost.bndcu_latency, 1.0);
+  EXPECT_LT(cost.sfi_and_slot + cost.sfi_and_dep_latency, 1.0);
+  // MPX's single check must beat SFI's dependent mask in the load path
+  // ("MPX should be faster than SFI in basically all cases").
+  EXPECT_LT(cost.bndcu_slot, cost.sfi_and_slot + cost.sfi_and_dep_latency);
+  // The double-check penalty makes the pair worse than SFI (Section 6.3:
+  // "slightly worse than our SFI results").
+  EXPECT_GT(cost.bndcu_slot * 2 + cost.bndcl_pair_extra_latency,
+            cost.sfi_and_slot + cost.sfi_and_dep_latency);
+}
+
+TEST(CostModelTest, AesCostsMatchPaperStructure) {
+  const CostModel cost;
+  // Keygen is "far more expensive than fetching round-keys from ymm".
+  EXPECT_GT(cost.aes_keygen10, 10 * cost.ymm_to_xmm_all_keys);
+  // Decryption schedule (imc) costs more than extracting encrypt keys.
+  EXPECT_GT(cost.aes_imc9, cost.ymm_to_xmm_all_keys);
+  // One block enc+dec = 41 cycles (Table 4).
+  EXPECT_NEAR(cost.aes_encdec_block, 41.0, 1e-9);
+  EXPECT_NEAR(cost.aes_round * 22.0, cost.aes_encdec_block, 1e-9);
+}
+
+TEST(CostModelTest, IssueWidthConsistent) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.slot, 1.0 / cost.issue_width);
+  for (double slot_cost : {cost.alu_slot, cost.lea_slot, cost.mov_imm_slot, cost.load_slot,
+                           cost.store_slot, cost.nop_slot}) {
+    EXPECT_GE(slot_cost, cost.slot * 0.5);
+    EXPECT_LE(slot_cost, 1.0);
+  }
+}
+
+TEST(CostModelTest, DomainSwitchLadder) {
+  // The ladder Section 6.3's advice derives from, cheapest to dearest:
+  // MPK < crypt(16B) < 2x vmfunc < 2x mprotect < SGX crossing.
+  const CostModel cost;
+  const double mpk_pair = 2 * cost.wrpkru + cost.mpk_clobber_spills;
+  const double crypt_pair =
+      2 * (cost.ymm_to_xmm_all_keys + cost.aes_encdec_block / 2 + 6 * cost.xmm_spill);
+  const double vmfunc_pair = 2 * cost.vmfunc;
+  const double mprotect_pair = 2 * cost.mprotect_call;
+  EXPECT_LT(mpk_pair, crypt_pair);
+  EXPECT_LT(crypt_pair, vmfunc_pair);
+  EXPECT_LT(vmfunc_pair, mprotect_pair);
+  EXPECT_LT(mprotect_pair, cost.sgx_ecall_roundtrip);
+}
+
+}  // namespace
+}  // namespace memsentry::machine

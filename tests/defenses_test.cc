@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include "src/core/memsentry.h"
+#include "src/defenses/aslr_guard.h"
+#include "src/defenses/cfi.h"
+#include "src/defenses/event_annotator.h"
+#include "src/defenses/registry.h"
+#include "src/defenses/safe_alloc.h"
+#include "src/defenses/safestack.h"
+#include "src/defenses/shadow_stack.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/sim/executor.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry::defenses {
+namespace {
+
+using ir::Builder;
+using ir::Module;
+using ir::Opcode;
+using machine::Gpr;
+
+// ---- shadow stack ----
+
+class ShadowStackTest : public ::testing::Test {
+ protected:
+  ShadowStackTest() : process_(&machine_) {
+    EXPECT_TRUE(process_.SetupStack().ok());
+    EXPECT_TRUE(
+        process_.MapRange(0x480000000000ULL, 1, machine::PageFlags::Data()).ok());
+  }
+  // main calls callee; if `smash`, callee overwrites its return address with
+  // a *valid* encoding of another instruction (a forged control transfer the
+  // base machine accepts).
+  Module CallProgram(bool smash) {
+    Module m;
+    Builder b(&m);
+    b.CreateFunction("main");
+    b.Call(1);
+    b.AddImm(Gpr::kRbx, 1);
+    b.Halt();
+    b.CreateFunction("callee");
+    b.MovImm(Gpr::kRbx, 100);
+    if (smash) {
+      // Forge an RA targeting main's Halt (skipping the AddImm): a hijack.
+      // Encoding mirrors the executor's internal scheme.
+      const uint64_t forged = (0xCA11ULL << 48) | (0ULL << 36) | (0ULL << 18) | 2ULL;
+      b.MovImm(Gpr::kRcx, forged);
+      b.Store(Gpr::kRsp, Gpr::kRcx);
+    }
+    b.Ret();
+    return m;
+  }
+  sim::Machine machine_;
+  sim::Process process_;
+};
+
+TEST_F(ShadowStackTest, BenignProgramUnaffected) {
+  Module m = CallProgram(/*smash=*/false);
+  ShadowStackPass pass(0x480000000000ULL);
+  ASSERT_TRUE(pass.Run(m).ok());
+  ASSERT_TRUE(ir::Verify(m).ok());
+  EXPECT_EQ(pass.prologues(), 2u);
+  EXPECT_EQ(pass.epilogues(), 1u);
+  sim::Executor executor(&process_, &m);
+  auto result = executor.Run();
+  EXPECT_TRUE(result.halted);
+  EXPECT_FALSE(result.trapped);
+  EXPECT_EQ(process_.regs()[Gpr::kRbx], 101u);
+}
+
+TEST_F(ShadowStackTest, HijackSucceedsWithoutDefense) {
+  Module m = CallProgram(/*smash=*/true);
+  sim::Executor executor(&process_, &m);
+  auto result = executor.Run();
+  // The forged RA is architecturally valid: control flow is hijacked and the
+  // AddImm is skipped.
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(process_.regs()[Gpr::kRbx], 100u);
+}
+
+TEST_F(ShadowStackTest, HijackTrappedWithDefense) {
+  Module m = CallProgram(/*smash=*/true);
+  ShadowStackPass pass(0x480000000000ULL);
+  ASSERT_TRUE(pass.Run(m).ok());
+  sim::Executor executor(&process_, &m);
+  auto result = executor.Run();
+  EXPECT_TRUE(result.trapped);
+  EXPECT_FALSE(result.halted);
+}
+
+TEST_F(ShadowStackTest, ShadowAccessesAreAnnotated) {
+  Module m = CallProgram(false);
+  ShadowStackPass pass(0x480000000000ULL);
+  ASSERT_TRUE(pass.Run(m).ok());
+  EXPECT_EQ(m.CountIf([](const ir::Instr& i) {
+              return i.IsSafeAccess() && i.IsDefense();
+            }),
+            3u);  // 2 prologue stores + 1 epilogue load
+}
+
+// ---- CFI ----
+
+class CfiTest : public ::testing::Test {
+ protected:
+  CfiTest() : process_(&machine_) {
+    EXPECT_TRUE(process_.SetupStack().ok());
+    EXPECT_TRUE(process_.MapRange(sim::kTableBase, 1, machine::PageFlags::Data()).ok());
+  }
+  Module IndirectProgram(uint64_t target) {
+    Module m;
+    Builder b(&m);
+    b.CreateFunction("main");
+    b.MovImm(Gpr::kR10, target);
+    b.IndirectCall(Gpr::kR10, 0);
+    b.Halt();
+    b.CreateFunction("good");
+    b.MovImm(Gpr::kRbx, 1);
+    b.Ret();
+    return m;
+  }
+  sim::Machine machine_;
+  sim::Process process_;
+};
+
+TEST_F(CfiTest, ValidTargetPasses) {
+  Module m = IndirectProgram(1);
+  CfiPass pass(sim::kTableBase);
+  ASSERT_TRUE(pass.Run(m).ok());
+  EXPECT_EQ(pass.checks_inserted(), 1u);
+  ASSERT_TRUE(PopulateCfiTable(process_, sim::kTableBase, m).ok());
+  sim::Executor executor(&process_, &m);
+  auto result = executor.Run();
+  EXPECT_TRUE(result.halted) << (result.fault ? result.fault->ToString() : "");
+  EXPECT_FALSE(result.trapped);
+}
+
+TEST_F(CfiTest, InvalidTargetTraps) {
+  Module m = IndirectProgram(0);  // "call main": not in the target set
+  CfiPass pass(sim::kTableBase);
+  ASSERT_TRUE(pass.Run(m).ok());
+  ASSERT_TRUE(PopulateCfiTable(process_, sim::kTableBase, m).ok());
+  sim::Executor executor(&process_, &m);
+  auto result = executor.Run();
+  EXPECT_TRUE(result.trapped);
+}
+
+TEST_F(CfiTest, CorruptedTableDissolvesPolicy) {
+  // If the attacker can flip the table entry, the "invalid" target passes —
+  // the motivating scenario for isolating the table.
+  Module m = IndirectProgram(0);
+  CfiPass pass(sim::kTableBase);
+  ASSERT_TRUE(pass.Run(m).ok());
+  ASSERT_TRUE(PopulateCfiTable(process_, sim::kTableBase, m).ok());
+  ASSERT_TRUE(process_.Poke64(sim::kTableBase + 0 * 8, 1).ok());  // attacker write
+  sim::Executor executor(&process_, &m);
+  auto result = executor.Run();
+  EXPECT_FALSE(result.trapped);  // policy bypassed
+}
+
+// ---- event annotator ----
+
+TEST(EventAnnotatorTest, AnnotatesIndirectBranches) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR10, 1);
+  b.IndirectCall(Gpr::kR10, 0);
+  b.Call(1);  // direct: not annotated
+  b.Halt();
+  b.CreateFunction("f");
+  b.Ret();
+  EventAnnotatorPass pass(EventKind::kIndirectBranch, 0x480000000000ULL);
+  ASSERT_TRUE(pass.Run(m).ok());
+  EXPECT_EQ(pass.events_annotated(), 1u);
+  EXPECT_EQ(m.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); }), 1u);
+}
+
+TEST(EventAnnotatorTest, AnnotatesSyscalls) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Syscall(0);
+  b.Syscall(1);
+  b.Halt();
+  EventAnnotatorPass pass(EventKind::kSyscall, 0x480000000000ULL);
+  ASSERT_TRUE(pass.Run(m).ok());
+  EXPECT_EQ(pass.events_annotated(), 2u);
+}
+
+// ---- SafeStack ----
+
+TEST(SafeStackTest, RelocatesStackIntoSensitivePartition) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  core::SafeRegionAllocator allocator(&process, core::TechniqueKind::kSfi);
+  auto base = SafeStackDefense::Install(process, allocator);
+  ASSERT_TRUE(base.ok());
+  EXPECT_GE(base.value(), kPartitionSplit);
+  EXPECT_EQ(process.regs()[Gpr::kRsp], base.value() + 16 * kPageSize);
+  // Implicit call/ret pushes work on the relocated stack.
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Call(1);
+  b.Halt();
+  b.CreateFunction("f");
+  b.Ret();
+  sim::Executor executor(&process, &m);
+  auto result = executor.Run();
+  EXPECT_TRUE(result.halted);
+}
+
+// ---- DieHard-style allocator ----
+
+class SafeAllocTest : public ::testing::Test {
+ protected:
+  SafeAllocTest() : process_(&machine_) {
+    EXPECT_TRUE(process_.MapRange(sim::kHeapBase, 64, machine::PageFlags::Data()).ok());
+    EXPECT_TRUE(
+        process_.MapRange(0x480000000000ULL, 8, machine::PageFlags::Data()).ok());
+  }
+  sim::Machine machine_;
+  sim::Process process_;
+};
+
+TEST_F(SafeAllocTest, AllocationsAreDistinctAndInBounds) {
+  SafeAllocator alloc(&process_, sim::kHeapBase, 0x480000000000ULL, 256, 64);
+  ASSERT_TRUE(alloc.Init().ok());
+  std::vector<VirtAddr> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    auto p = alloc.Alloc();
+    ASSERT_TRUE(p.ok());
+    for (VirtAddr q : ptrs) {
+      EXPECT_NE(p.value(), q);
+    }
+    EXPECT_GE(p.value(), sim::kHeapBase);
+    EXPECT_LT(p.value(), sim::kHeapBase + 256 * 64);
+    ptrs.push_back(p.value());
+  }
+}
+
+TEST_F(SafeAllocTest, RefusesBeyondHalfFull) {
+  SafeAllocator alloc(&process_, sim::kHeapBase, 0x480000000000ULL, 16, 64);
+  ASSERT_TRUE(alloc.Init().ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(alloc.Alloc().ok());
+  }
+  EXPECT_FALSE(alloc.Alloc().ok());  // M-factor guard
+}
+
+TEST_F(SafeAllocTest, DetectsDoubleAndInvalidFree) {
+  SafeAllocator alloc(&process_, sim::kHeapBase, 0x480000000000ULL, 64, 64);
+  ASSERT_TRUE(alloc.Init().ok());
+  auto p = alloc.Alloc();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(alloc.Free(p.value()).ok());
+  EXPECT_FALSE(alloc.Free(p.value()).ok());           // double free
+  EXPECT_FALSE(alloc.Free(p.value() + 1).ok());       // misaligned
+  EXPECT_FALSE(alloc.Free(sim::kHeapBase - 64).ok()); // before heap
+}
+
+TEST_F(SafeAllocTest, PlacementIsRandomized) {
+  SafeAllocator a(&process_, sim::kHeapBase, 0x480000000000ULL, 1024, 64, /*seed=*/1);
+  SafeAllocator b(&process_, sim::kHeapBase, 0x480000000000ULL + 2048 * 8, 1024, 64,
+                  /*seed=*/2);
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    auto pa = a.Alloc();
+    auto pb = b.Alloc();
+    ASSERT_TRUE(pa.ok());
+    ASSERT_TRUE(pb.ok());
+    same += (pa.value() - sim::kHeapBase) == (pb.value() - (sim::kHeapBase)) ? 1 : 0;
+  }
+  EXPECT_LT(same, 8);  // different seeds, different layouts
+}
+
+// ---- ASLR-Guard ----
+
+TEST(AgRandMapTest, SealUnsealRoundTrip) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(process.MapRange(0x480000000000ULL, 1, machine::PageFlags::Data()).ok());
+  AgRandMap map(&process, 0x480000000000ULL, 128);
+  ASSERT_TRUE(map.Init().ok());
+  const uint64_t ptr = 0x00401234;
+  auto sealed = map.Encrypt(7, ptr);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_NE(sealed.value(), ptr);
+  auto unsealed = map.Decrypt(7, sealed.value());
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(unsealed.value(), ptr);
+}
+
+TEST(AgRandMapTest, PerEntryKeysDiffer) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(process.MapRange(0x480000000000ULL, 1, machine::PageFlags::Data()).ok());
+  AgRandMap map(&process, 0x480000000000ULL, 128);
+  ASSERT_TRUE(map.Init().ok());
+  auto a = map.Encrypt(1, 0x1000);
+  auto b = map.Encrypt(2, 0x1000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());  // one leak does not unlock the rest
+  EXPECT_FALSE(map.Encrypt(128, 0x1000).ok());
+}
+
+// ---- registry (Table 1) ----
+
+TEST(RegistryTest, ThirteenSurveyedDefenses) {
+  EXPECT_EQ(SurveyedDefenses().size(), 13u);
+}
+
+TEST(RegistryTest, KnownRows) {
+  const DefenseInfo* cpi = FindDefense("CPI");
+  ASSERT_NE(cpi, nullptr);
+  EXPECT_TRUE(cpi->probabilistic);
+  EXPECT_FALSE(cpi->deterministic);
+  EXPECT_EQ(cpi->instrumentation_points, "Memory accesses");
+  const DefenseInfo* lr2 = FindDefense("LR2");
+  ASSERT_NE(lr2, nullptr);
+  EXPECT_TRUE(lr2->deterministic);
+  EXPECT_EQ(FindDefense("nope"), nullptr);
+}
+
+TEST(RegistryTest, MostSurveyedDefensesAreProbabilistic) {
+  // The paper's core observation: nearly everything relies on hiding.
+  int probabilistic = 0;
+  for (const auto& d : SurveyedDefenses()) {
+    probabilistic += d.probabilistic ? 1 : 0;
+  }
+  EXPECT_GE(probabilistic, 10);
+}
+
+}  // namespace
+}  // namespace memsentry::defenses

@@ -1,0 +1,87 @@
+// Unit tests of the experiment harness (src/eval/figures.h) — structural
+// properties; the quantitative bands live in calibration_test.cc.
+#include <gtest/gtest.h>
+
+#include "src/eval/figures.h"
+#include "src/workloads/spec_profiles.h"
+
+namespace memsentry::eval {
+namespace {
+
+ExperimentOptions Tiny() {
+  ExperimentOptions options;
+  options.target_instructions = 40'000;
+  return options;
+}
+
+TEST(EvalTest, ScenarioNames) {
+  EXPECT_STREQ(DomainScenarioName(DomainScenario::kCallRet), "call/ret");
+  EXPECT_STREQ(DomainScenarioName(DomainScenario::kIndirectBranch), "indirect-branch");
+  EXPECT_STREQ(DomainScenarioName(DomainScenario::kSyscall), "syscall");
+}
+
+TEST(EvalTest, AddressBasedExperimentReturnsOverheadAboveOne) {
+  const auto& profile = *workloads::FindProfile("456.hmmer");
+  const double x = RunAddressBasedExperiment(profile, core::TechniqueKind::kMpx,
+                                             core::ProtectMode::kReadWrite, Tiny());
+  EXPECT_GT(x, 1.0);
+  EXPECT_LT(x, 2.0);
+}
+
+TEST(EvalTest, DomainBasedExperimentRunsEveryScenario) {
+  const auto& profile = *workloads::FindProfile("445.gobmk");
+  for (auto scenario : {DomainScenario::kCallRet, DomainScenario::kIndirectBranch,
+                        DomainScenario::kSyscall}) {
+    const double x =
+        RunDomainBasedExperiment(profile, core::TechniqueKind::kMpk, scenario, Tiny());
+    EXPECT_GT(x, 0.99) << DomainScenarioName(scenario);
+  }
+}
+
+TEST(EvalTest, ScenariosOrderByEventDensity) {
+  // call/ret events are denser than indirect branches, which are denser than
+  // syscalls: overheads must order the same way for any one technique.
+  const auto& profile = *workloads::FindProfile("400.perlbench");
+  const double callret =
+      RunDomainBasedExperiment(profile, core::TechniqueKind::kMpk, DomainScenario::kCallRet,
+                               Tiny());
+  const double indirect = RunDomainBasedExperiment(profile, core::TechniqueKind::kMpk,
+                                                   DomainScenario::kIndirectBranch, Tiny());
+  const double syscall =
+      RunDomainBasedExperiment(profile, core::TechniqueKind::kMpk, DomainScenario::kSyscall,
+                               Tiny());
+  EXPECT_GT(callret, indirect);
+  EXPECT_GT(indirect, syscall);
+}
+
+TEST(EvalTest, SeriesCoverTheWholeSuite) {
+  const auto series = RunFigure3(Tiny());
+  ASSERT_EQ(series.size(), 6u);
+  for (const auto& s : series) {
+    EXPECT_EQ(s.normalized.size(), workloads::SpecCpu2006().size());
+    EXPECT_GT(s.geomean, 1.0);
+  }
+}
+
+TEST(EvalTest, CryptSweepReturnsRequestedSizes) {
+  const auto points =
+      RunCryptSizeSweep(*workloads::FindProfile("401.bzip2"), {16, 64}, Tiny());
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].region_bytes, 16u);
+  EXPECT_EQ(points[1].region_bytes, 64u);
+  EXPECT_GT(points[1].normalized, points[0].normalized);
+}
+
+TEST(EvalTest, SgxWorksAsDomainTechniqueButCostsDearly) {
+  // Our harness supports SGX as a fourth domain technique (an extension
+  // beyond the paper's three-way figures).
+  const auto& profile = *workloads::FindProfile("462.libquantum");
+  const double sgx = RunDomainBasedExperiment(profile, core::TechniqueKind::kSgx,
+                                              DomainScenario::kSyscall, Tiny());
+  const double mpk = RunDomainBasedExperiment(profile, core::TechniqueKind::kMpk,
+                                              DomainScenario::kSyscall, Tiny());
+  EXPECT_GT(sgx, mpk);
+}
+
+}  // namespace
+}  // namespace memsentry::eval

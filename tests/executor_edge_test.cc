@@ -1,0 +1,212 @@
+// Executor edge cases: fault paths, rare opcodes, and pricing invariants not
+// covered by the main executor tests.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/sim/executor.h"
+#include "src/sim/process.h"
+
+namespace memsentry::sim {
+namespace {
+
+using ir::Builder;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using machine::Gpr;
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  ExecutorEdgeTest() : process_(&machine_) {
+    EXPECT_TRUE(process_.SetupStack().ok());
+    EXPECT_TRUE(process_.MapRange(kWorkingSetBase, 2, machine::PageFlags::Data()).ok());
+  }
+  RunResult Run(const Module& m) { return Executor(&process_, &m).Run(); }
+  Machine machine_;
+  Process process_;
+};
+
+TEST_F(ExecutorEdgeTest, NonCanonicalAccessFaults) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR9, kAddressSpaceEnd + 0x1000);
+  b.Load(Gpr::kRbx, Gpr::kR9);
+  b.Halt();
+  auto r = Run(m);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_EQ(r.fault->type, machine::FaultType::kNonCanonical);
+}
+
+TEST_F(ExecutorEdgeTest, ReadOnlyPageRejectsStores) {
+  ASSERT_TRUE(process_.MapRange(0x700000000000ULL, 1, machine::PageFlags::ReadOnlyData()).ok());
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR9, 0x700000000000ULL);
+  b.Load(Gpr::kRbx, Gpr::kR9);   // reads fine
+  b.Store(Gpr::kR9, Gpr::kRbx);  // write faults
+  b.Halt();
+  auto r = Run(m);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_EQ(r.fault->type, machine::FaultType::kWriteProtection);
+  EXPECT_EQ(r.loads, 1u);
+}
+
+TEST_F(ExecutorEdgeTest, EnclaveOpsWithoutEnclaveFault) {
+  for (Opcode op : {Opcode::kEnclaveEnter, Opcode::kEnclaveExit}) {
+    Module m;
+    Builder b(&m);
+    b.CreateFunction("main");
+    b.Emit(Instr{.op = op});
+    b.Halt();
+    auto r = Run(m);
+    ASSERT_TRUE(r.fault.has_value()) << ir::OpcodeName(op);
+    EXPECT_EQ(r.fault->type, machine::FaultType::kEnclaveExit);
+  }
+}
+
+TEST_F(ExecutorEdgeTest, VmCallWithoutDuneFaults) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Emit(Instr{.op = Opcode::kVmCall, .imm = 2});
+  b.Halt();
+  auto r = Run(m);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_EQ(r.fault->type, machine::FaultType::kGeneralProtection);
+}
+
+TEST_F(ExecutorEdgeTest, AesCryptOnNonCryptRegionFaults) {
+  process_.AddSafeRegion("plain", kWorkingSetBase, 64);  // crypt flag unset
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kRax, kWorkingSetBase);
+  b.Emit(Instr{.op = Opcode::kAesCryptRegion, .src = Gpr::kRax});
+  b.Halt();
+  auto r = Run(m);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_EQ(r.fault->type, machine::FaultType::kGeneralProtection);
+}
+
+TEST_F(ExecutorEdgeTest, RdpkruReadsCurrentValue) {
+  process_.regs().pkru.value = 0x30;
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Emit(Instr{.op = Opcode::kRdpkru, .dst = Gpr::kRbx});
+  b.Halt();
+  auto r = Run(m);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(process_.regs()[Gpr::kRbx], 0x30u);
+}
+
+TEST_F(ExecutorEdgeTest, MfenceAndNopCostButDoNothing) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Emit(Instr{.op = Opcode::kNop});
+  b.Emit(Instr{.op = Opcode::kMFence});
+  b.Halt();
+  auto r = Run(m);
+  EXPECT_TRUE(r.halted);
+  EXPECT_GT(r.cycles, 20.0);  // the fence dominates
+  EXPECT_EQ(r.instructions, 3u);
+}
+
+TEST_F(ExecutorEdgeTest, MprotectOpcodeTogglesAllRegions) {
+  ASSERT_TRUE(process_.MapRange(0x480000000000ULL, 1, machine::PageFlags::Data()).ok());
+  process_.AddSafeRegion("r", 0x480000000000ULL, 4096);
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Emit(Instr{.op = Opcode::kMprotect, .imm = 0});  // close
+  b.MovImm(Gpr::kR9, 0x480000000000ULL);
+  b.Load(Gpr::kRbx, Gpr::kR9);                       // must fault
+  b.Halt();
+  auto closed = Run(m);
+  ASSERT_TRUE(closed.fault.has_value());
+  EXPECT_EQ(closed.fault->type, machine::FaultType::kUserSupervisor);
+
+  Module m2;
+  Builder b2(&m2);
+  b2.CreateFunction("main");
+  b2.Emit(Instr{.op = Opcode::kMprotect, .imm = 1});  // reopen
+  b2.MovImm(Gpr::kR9, 0x480000000000ULL);
+  b2.Load(Gpr::kRbx, Gpr::kR9);
+  b2.Halt();
+  auto open = Run(m2);
+  EXPECT_TRUE(open.halted);
+  EXPECT_EQ(open.domain_switches, 1u);
+}
+
+TEST_F(ExecutorEdgeTest, CondBrFallthroughPath) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  const int taken = b.NewBlock();
+  const int fall = b.NewBlock();
+  b.MovImm(Gpr::kRbx, 5);
+  b.AddImm(Gpr::kRbx, -5);  // zero_flag set -> fall through
+  b.CondBr(taken);
+  b.SetInsertPoint(0, taken);
+  b.MovImm(Gpr::kRcx, 1);
+  b.Halt();
+  b.SetInsertPoint(0, fall);
+  b.MovImm(Gpr::kRcx, 2);
+  b.Halt();
+  auto r = Run(m);
+  EXPECT_TRUE(r.halted);
+  // Fallthrough goes to the *next* block in layout order (taken = block 1).
+  EXPECT_EQ(process_.regs()[Gpr::kRcx], 1u);
+}
+
+TEST_F(ExecutorEdgeTest, EntryFunctionRetEndsProgram) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kRbx, 9);
+  b.Ret();  // return from entry: clean exit
+  auto r = Run(m);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(process_.regs()[Gpr::kRbx], 9u);
+}
+
+TEST_F(ExecutorEdgeTest, InstrumentationCyclesAttributed) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  auto& wrpkru = b.Emit(Instr{.op = Opcode::kWrpkru, .imm = 0});
+  wrpkru.flags |= ir::kFlagInstrumentation;
+  b.AddImm(Gpr::kRbx, 1);  // not instrumentation
+  b.Halt();
+  auto r = Run(m);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.instrumentation_instrs, 1u);
+  EXPECT_GE(r.instrumentation_cycles, machine_.cost.wrpkru);
+  EXPECT_LT(r.instrumentation_cycles, r.cycles);
+}
+
+TEST_F(ExecutorEdgeTest, StoreValueSurvivesFaultFreePath) {
+  // WriteBytes/ReadBytes consistency through the MMU on page straddles.
+  ASSERT_TRUE(process_.MapRange(0x700000000000ULL, 2, machine::PageFlags::Data()).ok());
+  std::vector<uint8_t> data(300);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 3);
+  }
+  Cycles cycles = 0;
+  ASSERT_TRUE(process_.mmu()
+                  .WriteBytes(0x700000000F80ULL, data.data(), data.size(),
+                              process_.regs().pkru, &cycles)
+                  .ok());
+  std::vector<uint8_t> back(300);
+  ASSERT_TRUE(process_.mmu()
+                  .ReadBytes(0x700000000F80ULL, back.data(), back.size(), process_.regs().pkru,
+                             &cycles)
+                  .ok());
+  EXPECT_EQ(data, back);
+}
+
+}  // namespace
+}  // namespace memsentry::sim

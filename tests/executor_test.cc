@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/sim/executor.h"
+#include "src/sim/process.h"
+
+namespace memsentry::sim {
+namespace {
+
+using ir::Builder;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using machine::Gpr;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : process_(&machine_) {
+    EXPECT_TRUE(process_.SetupStack().ok());
+    EXPECT_TRUE(process_.MapRange(kWorkingSetBase, 4, machine::PageFlags::Data()).ok());
+  }
+  RunResult Run(const Module& module, RunConfig config = {}) {
+    Executor executor(&process_, &module);
+    return executor.Run(config);
+  }
+  Machine machine_;
+  Process process_;
+};
+
+TEST_F(ExecutorTest, CountedLoopExecutesExactly) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR13, 10);
+  const int loop = b.NewBlock();
+  const int exit = b.NewBlock();
+  b.Jmp(loop);
+  b.SetInsertPoint(0, loop);
+  b.AddImm(Gpr::kRbx, 3);
+  b.AddImm(Gpr::kR13, -1);
+  b.CondBr(loop);
+  b.SetInsertPoint(0, exit);
+  b.Halt();
+  auto result = Run(m);
+  EXPECT_TRUE(result.halted);
+  EXPECT_FALSE(result.fault.has_value());
+  // setup(2) + 10 * (3 loop instrs) + halt.
+  EXPECT_EQ(result.instructions, 2u + 30u + 1u);
+  EXPECT_EQ(process_.regs()[Gpr::kRbx], 30u);
+  EXPECT_GT(result.cycles, 0.0);
+}
+
+TEST_F(ExecutorTest, LoadStoreRoundTrip) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR9, kWorkingSetBase + 64);
+  b.MovImm(Gpr::kRbx, 0xfeedULL);
+  b.Store(Gpr::kR9, Gpr::kRbx);
+  b.Load(Gpr::kRcx, Gpr::kR9);
+  b.Halt();
+  auto result = Run(m);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(process_.regs()[Gpr::kRcx], 0xfeedULL);
+  EXPECT_EQ(result.loads, 1u);
+  EXPECT_EQ(result.stores, 1u);
+}
+
+TEST_F(ExecutorTest, UnmappedAccessFaults) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR9, 0x500000000000ULL);
+  b.Load(Gpr::kRbx, Gpr::kR9);
+  b.Halt();
+  auto result = Run(m);
+  EXPECT_FALSE(result.halted);
+  ASSERT_TRUE(result.fault.has_value());
+  EXPECT_EQ(result.fault->type, machine::FaultType::kPageNotPresent);
+}
+
+TEST_F(ExecutorTest, CallAndReturn) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Call(1);
+  b.AddImm(Gpr::kRbx, 1);
+  b.Halt();
+  b.CreateFunction("callee");
+  b.MovImm(Gpr::kRbx, 100);
+  b.Ret();
+  m.entry = 0;
+  auto result = Run(m);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.calls, 1u);
+  EXPECT_EQ(result.rets, 1u);
+  EXPECT_EQ(process_.regs()[Gpr::kRbx], 101u);
+}
+
+TEST_F(ExecutorTest, IndirectCallThroughRegister) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR10, 1);
+  b.IndirectCall(Gpr::kR10, 0);
+  b.Halt();
+  b.CreateFunction("target");
+  b.MovImm(Gpr::kRbx, 7);
+  b.Ret();
+  auto result = Run(m);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.indirect_calls, 1u);
+  EXPECT_EQ(process_.regs()[Gpr::kRbx], 7u);
+}
+
+TEST_F(ExecutorTest, IndirectCallOutOfRangeFaults) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR10, 55);
+  b.IndirectCall(Gpr::kR10, 0);
+  b.Halt();
+  auto result = Run(m);
+  ASSERT_TRUE(result.fault.has_value());
+  EXPECT_EQ(result.fault->type, machine::FaultType::kGeneralProtection);
+}
+
+TEST_F(ExecutorTest, CorruptedReturnAddressFaults) {
+  // main calls callee; callee overwrites its own in-memory return address
+  // with garbage before returning (the classic stack smash).
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Call(1);
+  b.Halt();
+  b.CreateFunction("callee");
+  b.MovImm(Gpr::kRbx, 0x4141414141414141ULL);
+  b.Store(Gpr::kRsp, Gpr::kRbx);  // rsp points at the pushed RA inside callee
+  b.Ret();
+  auto result = Run(m);
+  EXPECT_FALSE(result.halted);
+  ASSERT_TRUE(result.fault.has_value());
+  EXPECT_EQ(result.fault->type, machine::FaultType::kGeneralProtection);
+}
+
+TEST_F(ExecutorTest, SyscallDispatchesToHandler) {
+  process_.SetSyscallHandler([](uint64_t nr, uint64_t a0, uint64_t) { return nr + a0 + 1; });
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kRdi, 10);
+  b.Syscall(31);
+  b.Halt();
+  auto result = Run(m);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.syscalls, 1u);
+  EXPECT_EQ(process_.regs()[Gpr::kRax], 42u);
+}
+
+TEST_F(ExecutorTest, TrapStopsExecution) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Emit(Instr{.op = Opcode::kTrap});
+  b.Halt();
+  auto result = Run(m);
+  EXPECT_TRUE(result.trapped);
+  EXPECT_FALSE(result.halted);
+}
+
+TEST_F(ExecutorTest, TrapIfRespectsZeroFlag) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kRbx, 5);
+  b.AddImm(Gpr::kRbx, -5);             // zero_flag set
+  b.Emit(Instr{.op = Opcode::kTrapIf});  // must NOT trap
+  b.AddImm(Gpr::kRbx, 1);              // zero_flag clear
+  b.Emit(Instr{.op = Opcode::kTrapIf});  // must trap
+  b.Halt();
+  auto result = Run(m);
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.instructions, 5u);
+}
+
+TEST_F(ExecutorTest, InstructionLimitRespected) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  const int loop = b.NewBlock();
+  b.Jmp(loop);
+  b.SetInsertPoint(0, loop);
+  b.AddImm(Gpr::kRbx, 1);
+  b.Jmp(loop);  // infinite
+  auto result = Run(m, RunConfig{.max_instructions = 1000});
+  EXPECT_TRUE(result.hit_instruction_limit);
+  EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST_F(ExecutorTest, WrpkruChangesPkruAndCosts) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Emit(Instr{.op = Opcode::kWrpkru, .imm = 0xc});
+  b.Halt();
+  auto result = Run(m);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(process_.regs().pkru.value, 0xcu);
+  EXPECT_EQ(result.domain_switches, 1u);
+  EXPECT_GE(result.cycles, machine_.cost.wrpkru);
+}
+
+TEST_F(ExecutorTest, BndcuFaultsAboveBound) {
+  process_.regs().bnd[0] = machine::BoundRegister{0, kPartitionSplit - 1};
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR9, kPartitionSplit + 0x1000);
+  b.Emit(Instr{.op = Opcode::kBndcu, .src = Gpr::kR9, .imm = 0});
+  b.Halt();
+  auto result = Run(m);
+  ASSERT_TRUE(result.fault.has_value());
+  EXPECT_EQ(result.fault->type, machine::FaultType::kBoundRange);
+}
+
+TEST_F(ExecutorTest, VmFuncWithoutDuneFaults) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.Emit(Instr{.op = Opcode::kVmFunc, .imm = 0});
+  b.Halt();
+  auto result = Run(m);
+  ASSERT_TRUE(result.fault.has_value());
+  EXPECT_EQ(result.fault->type, machine::FaultType::kGeneralProtection);
+}
+
+TEST_F(ExecutorTest, DynamicProfilingRecordsSafeAccesses) {
+  process_.AddSafeRegion("secret", kWorkingSetBase + kPageSize, 64);
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR9, kWorkingSetBase + kPageSize);  // inside the safe region
+  b.Load(Gpr::kRbx, Gpr::kR9);
+  b.MovImm(Gpr::kR9, kWorkingSetBase);  // outside
+  b.Load(Gpr::kRbx, Gpr::kR9);
+  b.Halt();
+  auto result = Run(m, RunConfig{.record_safe_accesses = true});
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.safe_access_refs.size(), 1u);
+  EXPECT_TRUE(result.safe_access_refs.count(PackRef(0, 0, 1)) == 1);
+}
+
+TEST_F(ExecutorTest, VecOpPenalizedOnlyWhenYmmReserved) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.VecOp(3);
+  b.Halt();
+  auto plain = Run(m);
+  process_.SetYmmReserved(true);
+  auto reserved = Run(m);
+  EXPECT_GT(reserved.cycles, plain.cycles);
+}
+
+TEST_F(ExecutorTest, MemoryBoundCodeCostsMoreThanCacheHot) {
+  // Two pointer-walk loops over 8 KiB vs 16 MiB working sets.
+  auto make = [&](uint64_t ws_bytes) {
+    Module m;
+    Builder b(&m);
+    b.CreateFunction("main");
+    b.MovImm(Gpr::kR13, 20000);
+    b.MovImm(Gpr::kR9, kWorkingSetBase);
+    const int loop = b.NewBlock();
+    const int exit = b.NewBlock();
+    b.Jmp(loop);
+    b.SetInsertPoint(0, loop);
+    b.AddImm(Gpr::kR9, 64);
+    b.AndImm(Gpr::kR9, kWorkingSetBase | (ws_bytes - 1));
+    b.Load(Gpr::kRbx, Gpr::kR9);
+    b.AddImm(Gpr::kR13, -1);
+    b.CondBr(loop);
+    b.SetInsertPoint(0, exit);
+    b.Halt();
+    return m;
+  };
+  ASSERT_TRUE(process_.MapRange(kWorkingSetBase + 4 * kPageSize, 4096 - 4,
+                                machine::PageFlags::Data())
+                  .ok());  // extend to 16 MiB
+  auto hot = Run(make(8 * 1024));
+  auto cold = Run(make(16 * 1024 * 1024));
+  EXPECT_TRUE(hot.halted);
+  EXPECT_TRUE(cold.halted);
+  EXPECT_GT(cold.cycles, hot.cycles * 1.5);
+}
+
+}  // namespace
+}  // namespace memsentry::sim

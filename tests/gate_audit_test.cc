@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/core/gate_audit.h"
+#include "src/core/memsentry.h"
+#include "src/defenses/shadow_stack.h"
+#include "src/ir/builder.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry::core {
+namespace {
+
+using machine::Gpr;
+
+// Every technique's MemSentry output must pass the audit, over a real
+// workload with a real defense pass.
+class GateAuditCleanTest : public ::testing::TestWithParam<TechniqueKind> {};
+
+INSTANTIATE_TEST_SUITE_P(DomainTechniques, GateAuditCleanTest,
+                         ::testing::Values(TechniqueKind::kMpk, TechniqueKind::kVmfunc,
+                                           TechniqueKind::kCrypt, TechniqueKind::kSgx,
+                                           TechniqueKind::kMprotect),
+                         [](const auto& info) {
+                           return std::string(TechniqueKindName(info.param));
+                         });
+
+TEST_P(GateAuditCleanTest, MemSentryOutputPassesAudit) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  if (GetParam() == TechniqueKind::kVmfunc) {
+    ASSERT_TRUE(process.EnableDune().ok());
+  }
+  const auto& profile = *workloads::FindProfile("445.gobmk");
+  ASSERT_TRUE(workloads::PrepareWorkloadProcess(process, profile).ok());
+  MemSentryConfig config;
+  config.technique = GetParam();
+  MemSentry ms(&process, config);
+  auto region =
+      ms.allocator().Alloc("r", GetParam() == TechniqueKind::kCrypt ? 16 : 4096);
+  ASSERT_TRUE(region.ok());
+  workloads::SynthOptions synth;
+  synth.target_instructions = 40'000;
+  ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
+  defenses::ShadowStackPass defense(region.value()->base);
+  ASSERT_TRUE(defense.Run(module).ok());
+  ASSERT_TRUE(ms.Protect(module).ok());
+
+  const GateAuditResult audit = AuditDomainGates(module);
+  EXPECT_TRUE(audit.ok()) << audit.findings.size() << " findings, first: "
+                          << (audit.findings.empty() ? "" : audit.findings[0].problem);
+  EXPECT_GT(audit.gates_checked, 0u);
+}
+
+ir::Module BareModule() {
+  ir::Module m;
+  ir::Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kRbx, 1);
+  b.Halt();
+  return m;
+}
+
+TEST(GateAuditTest, CleanModuleHasNoGates) {
+  const ir::Module m = BareModule();
+  const auto audit = AuditDomainGates(m);
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.gates_checked, 0u);
+}
+
+TEST(GateAuditTest, FlagsAttackerReachableWrpkru) {
+  // A wrpkru the compiler/attacker smuggled in without the MemSentry flag —
+  // the gadget ERIM scans binaries for.
+  ir::Module m = BareModule();
+  auto& instrs = m.functions[0].blocks[0].instrs;
+  instrs.insert(instrs.begin(), ir::Instr{.op = ir::Opcode::kWrpkru, .imm = 0});
+  const auto audit = AuditDomainGates(m);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.findings[0].problem.find("attacker-reachable"), std::string::npos);
+}
+
+TEST(GateAuditTest, FlagsDanglingOpen) {
+  ir::Module m = BareModule();
+  auto& instrs = m.functions[0].blocks[0].instrs;
+  ir::Instr open{.op = ir::Opcode::kWrpkru, .imm = 0};
+  open.flags = ir::kFlagInstrumentation;
+  instrs.insert(instrs.begin(), open);  // opened, never closed
+  const auto audit = AuditDomainGates(m);
+  ASSERT_FALSE(audit.ok());
+  bool found = false;
+  for (const auto& finding : audit.findings) {
+    found |= finding.problem.find("left open") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GateAuditTest, FlagsCloseWithoutOpen) {
+  ir::Module m = BareModule();
+  auto& instrs = m.functions[0].blocks[0].instrs;
+  ir::Instr close{.op = ir::Opcode::kWrpkru, .imm = 0xc};
+  close.flags = ir::kFlagInstrumentation;
+  instrs.insert(instrs.begin(), close);
+  const auto audit = AuditDomainGates(m);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.findings[0].problem.find("without a matching open"), std::string::npos);
+}
+
+TEST(GateAuditTest, FlagsDoubleOpen) {
+  ir::Module m = BareModule();
+  auto& instrs = m.functions[0].blocks[0].instrs;
+  ir::Instr open{.op = ir::Opcode::kVmFunc, .imm = 1};
+  open.flags = ir::kFlagInstrumentation;
+  ir::Instr close{.op = ir::Opcode::kVmFunc, .imm = 0};
+  close.flags = ir::kFlagInstrumentation;
+  instrs.insert(instrs.begin(), {open, open, close});
+  const auto audit = AuditDomainGates(m);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.findings[0].problem.find("already open"), std::string::npos);
+}
+
+TEST(GateAuditTest, FlagsUnbalancedCryptToggle) {
+  ir::Module m = BareModule();
+  auto& instrs = m.functions[0].blocks[0].instrs;
+  ir::Instr toggle{.op = ir::Opcode::kAesCryptRegion, .src = Gpr::kRax};
+  toggle.flags = ir::kFlagInstrumentation;
+  instrs.insert(instrs.begin(), toggle);  // one toggle: region left decrypted
+  const auto audit = AuditDomainGates(m);
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.findings[0].problem.find("unbalanced crypt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memsentry::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/mpk/key_virtualizer.h"
+#include "src/mpk/mpk.h"
+
+namespace memsentry::mpk {
+namespace {
+
+class KeyVirtualizerTest : public ::testing::Test {
+ protected:
+  KeyVirtualizerTest() : pt_(&pmem_), mmu_(&pmem_, &cost_), kv_(&pt_, &mmu_) {
+    mmu_.SetPageTable(&pt_);
+  }
+
+  // One mapped page per domain at a predictable address.
+  VirtAddr PageFor(int domain) {
+    const VirtAddr va = 0x10000 + static_cast<uint64_t>(domain) * kPageSize;
+    if (!pt_.IsMapped(va)) {
+      EXPECT_TRUE(pt_.MapNew(va, machine::PageFlags::Data()).ok());
+    }
+    return va;
+  }
+
+  uint8_t PteKey(VirtAddr va) {
+    auto walk = pt_.Walk(va);
+    EXPECT_TRUE(walk.ok());
+    return machine::PageTable::PtePkey(walk.value().pte);
+  }
+
+  machine::PhysicalMemory pmem_{1 << 16};
+  machine::CostModel cost_;
+  machine::PageTable pt_;
+  machine::Mmu mmu_;
+  KeyVirtualizer kv_;
+};
+
+TEST_F(KeyVirtualizerTest, UnboundDomainsAreParked) {
+  const int d = kv_.CreateDomain();
+  ASSERT_TRUE(kv_.AttachRange(d, PageFor(d), 1).ok());
+  EXPECT_FALSE(kv_.CurrentKey(d).has_value());
+  EXPECT_EQ(PteKey(PageFor(d)), kParkingKey);
+  // Parked pages are inaccessible under the base PKRU.
+  machine::Pkru pkru{KeyVirtualizer::BasePkru()};
+  EXPECT_FALSE(mmu_.Access(PageFor(d), machine::AccessType::kRead, pkru).ok());
+}
+
+TEST_F(KeyVirtualizerTest, BindTagsPagesWithHardwareKey) {
+  const int d = kv_.CreateDomain();
+  ASSERT_TRUE(kv_.AttachRange(d, PageFor(d), 1).ok());
+  Cycles cost = 0;
+  auto key = kv_.Bind(d, &cost);
+  ASSERT_TRUE(key.ok());
+  EXPECT_GE(key.value(), 1);
+  EXPECT_LE(key.value(), kBindableKeys);
+  EXPECT_EQ(PteKey(PageFor(d)), key.value());
+  EXPECT_GT(cost, 0.0);
+  // Rebinding a bound domain is free.
+  Cycles rebind_cost = 0;
+  auto again = kv_.Bind(d, &rebind_cost);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), key.value());
+  EXPECT_DOUBLE_EQ(rebind_cost, 0.0);
+}
+
+TEST_F(KeyVirtualizerTest, FourteenDomainsBindWithoutEviction) {
+  for (int i = 0; i < kBindableKeys; ++i) {
+    const int d = kv_.CreateDomain();
+    ASSERT_TRUE(kv_.AttachRange(d, PageFor(d), 1).ok());
+    Cycles cost = 0;
+    ASSERT_TRUE(kv_.Bind(d, &cost).ok());
+  }
+  EXPECT_EQ(kv_.evictions(), 0u);
+}
+
+TEST_F(KeyVirtualizerTest, FifteenthDomainEvictsLeastRecentlyBound) {
+  std::vector<int> domains;
+  for (int i = 0; i < kBindableKeys; ++i) {
+    const int d = kv_.CreateDomain();
+    ASSERT_TRUE(kv_.AttachRange(d, PageFor(d), 1).ok());
+    Cycles cost = 0;
+    ASSERT_TRUE(kv_.Bind(d, &cost).ok());
+    domains.push_back(d);
+  }
+  // Touch domain 0 so domain 1 becomes the LRU victim.
+  Cycles cost = 0;
+  ASSERT_TRUE(kv_.Bind(domains[0], &cost).ok());
+
+  const int extra = kv_.CreateDomain();
+  ASSERT_TRUE(kv_.AttachRange(extra, PageFor(extra), 1).ok());
+  auto key = kv_.Bind(extra, &cost);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(kv_.evictions(), 1u);
+  EXPECT_FALSE(kv_.CurrentKey(domains[1]).has_value());  // evicted
+  EXPECT_TRUE(kv_.CurrentKey(domains[0]).has_value());   // recently used: kept
+  // The evicted domain's page is parked and inaccessible.
+  EXPECT_EQ(PteKey(PageFor(domains[1])), kParkingKey);
+  // The new domain inherited the evicted key.
+  EXPECT_EQ(PteKey(PageFor(extra)), key.value());
+}
+
+TEST_F(KeyVirtualizerTest, EvictionCostScalesWithFootprint) {
+  // Domain A has 1 page, domain B has 8: evicting B costs more.
+  std::vector<int> domains;
+  for (int i = 0; i < kBindableKeys; ++i) {
+    const int d = kv_.CreateDomain();
+    const uint64_t pages = (i == 0) ? 8 : 1;
+    const VirtAddr base = 0x900000 + static_cast<uint64_t>(i) * 16 * kPageSize;
+    for (uint64_t p = 0; p < pages; ++p) {
+      ASSERT_TRUE(pt_.MapNew(base + p * kPageSize, machine::PageFlags::Data()).ok());
+    }
+    ASSERT_TRUE(kv_.AttachRange(d, base, pages).ok());
+    Cycles cost = 0;
+    ASSERT_TRUE(kv_.Bind(d, &cost).ok());
+    domains.push_back(d);
+  }
+  // Evict domain 0 (8 pages): bind a new domain, with domain 0 as LRU.
+  const int extra = kv_.CreateDomain();
+  ASSERT_TRUE(pt_.MapNew(0xa00000, machine::PageFlags::Data()).ok());
+  ASSERT_TRUE(kv_.AttachRange(extra, 0xa00000, 1).ok());
+  Cycles big_evict = 0;
+  ASSERT_TRUE(kv_.Bind(extra, &big_evict).ok());
+  EXPECT_EQ(kv_.evictions(), 1u);
+
+  // Now evict a 1-page domain for comparison.
+  const int extra2 = kv_.CreateDomain();
+  ASSERT_TRUE(pt_.MapNew(0xb00000, machine::PageFlags::Data()).ok());
+  ASSERT_TRUE(kv_.AttachRange(extra2, 0xb00000, 1).ok());
+  Cycles small_evict = 0;
+  ASSERT_TRUE(kv_.Bind(extra2, &small_evict).ok());
+  EXPECT_GT(big_evict, small_evict);
+}
+
+TEST_F(KeyVirtualizerTest, ManyDomainsRotateSoundly) {
+  // 50 domains over 14 keys: every bind leaves exactly its own pages
+  // accessible under a PKRU opening only that key.
+  std::vector<int> domains;
+  for (int i = 0; i < 50; ++i) {
+    const int d = kv_.CreateDomain();
+    ASSERT_TRUE(kv_.AttachRange(d, PageFor(d), 1).ok());
+    domains.push_back(d);
+  }
+  for (int round = 0; round < 100; ++round) {
+    const int d = domains[static_cast<size_t>((round * 17) % 50)];
+    Cycles cost = 0;
+    auto key = kv_.Bind(d, &cost);
+    ASSERT_TRUE(key.ok());
+    EXPECT_EQ(PteKey(PageFor(d)), key.value());
+    // All-closed-except-this-key PKRU reaches only this domain's page.
+    machine::Pkru pkru{};
+    for (int k = 1; k < 16; ++k) {
+      if (k != key.value()) {
+        pkru.SetAccessDisable(static_cast<uint8_t>(k), true);
+      }
+    }
+    EXPECT_TRUE(mmu_.Access(PageFor(d), machine::AccessType::kRead, pkru).ok());
+  }
+  EXPECT_GT(kv_.evictions(), 30u);  // heavy rotation
+}
+
+TEST_F(KeyVirtualizerTest, InvalidDomainIdsRejected) {
+  EXPECT_FALSE(kv_.AttachRange(0, 0x10000, 1).ok());
+  Cycles cost = 0;
+  EXPECT_FALSE(kv_.Bind(5, &cost).ok());
+  EXPECT_FALSE(kv_.CurrentKey(-1).has_value());
+}
+
+}  // namespace
+}  // namespace memsentry::mpk

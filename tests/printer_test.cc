@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "src/core/memsentry.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+
+namespace memsentry::ir {
+namespace {
+
+using machine::Gpr;
+
+TEST(PrinterTest, InstructionForms) {
+  EXPECT_EQ(ToString(Instr{.op = Opcode::kMovImm, .dst = Gpr::kRax, .imm = 0x1234}),
+            "mov.imm rax, 0x1234");
+  EXPECT_EQ(ToString(Instr{.op = Opcode::kLoad, .dst = Gpr::kRbx, .src = Gpr::kR9}),
+            "load rbx, [r9]");
+  EXPECT_EQ(ToString(Instr{.op = Opcode::kStore, .dst = Gpr::kR9, .src = Gpr::kRbx}),
+            "store [r9], rbx");
+  EXPECT_EQ(ToString(Instr{.op = Opcode::kLea, .dst = Gpr::kR9, .src = Gpr::kR8,
+                           .imm = static_cast<uint64_t>(-8)}),
+            "lea r9, [r8-8]");
+  EXPECT_EQ(ToString(Instr{.op = Opcode::kBndcu, .src = Gpr::kR9, .imm = 0}),
+            "bndcu bnd0, r9");
+  EXPECT_EQ(ToString(Instr{.op = Opcode::kJmp, .target = 3}), "jmp bb3");
+  EXPECT_EQ(ToString(Instr{.op = Opcode::kRet}), "ret");
+}
+
+TEST(PrinterTest, FlagsAppearAsComments) {
+  Instr instr{.op = Opcode::kWrpkru, .imm = 0xc};
+  instr.flags = kFlagInstrumentation;
+  EXPECT_EQ(ToString(instr), "wrpkru 0xc  ; [instrumentation]");
+  instr.flags |= kFlagCritical;
+  EXPECT_EQ(ToString(instr), "wrpkru 0xc  ; [instrumentation, critical]");
+}
+
+TEST(PrinterTest, ModuleListing) {
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kRax, 1);
+  b.Halt();
+  const std::string text = ToString(m);
+  EXPECT_NE(text.find("; entry"), std::string::npos);
+  EXPECT_NE(text.find("func @main {"), std::string::npos);
+  EXPECT_NE(text.find("bb0:"), std::string::npos);
+  EXPECT_NE(text.find("mov.imm rax, 0x1"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(PrinterTest, InstrumentedModuleShowsChecks) {
+  // The printer is how humans audit what the MemSentry pass actually did.
+  sim::Machine machine;
+  sim::Process process(&machine);
+  core::MemSentryConfig config;
+  config.technique = core::TechniqueKind::kMpx;
+  core::MemSentry ms(&process, config);
+  ASSERT_TRUE(ms.allocator().Alloc("r", 4096).ok());
+  Module m;
+  Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR9, sim::kWorkingSetBase);
+  b.Load(Gpr::kRbx, Gpr::kR9);
+  b.Halt();
+  ASSERT_TRUE(ms.Protect(m).ok());
+  const std::string text = ToString(m);
+  EXPECT_NE(text.find("bndcu bnd0, r9  ; [instrumentation]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memsentry::ir

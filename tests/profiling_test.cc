@@ -1,0 +1,181 @@
+// Dynamic (PIN-style) vs static (DSA-style) points-to — paper Section 5.5:
+// the static analysis over-approximates (conservative), the dynamic profile
+// is exact for the profiled input but under-approximates across inputs.
+#include <gtest/gtest.h>
+
+#include "src/core/memsentry.h"
+#include "src/ir/pointsto.h"
+#include "src/sim/executor.h"
+#include "src/sim/profiling.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry {
+namespace {
+
+using workloads::SpecProfile;
+
+SpecProfile SmallProfile() {
+  SpecProfile profile = *workloads::FindProfile("401.bzip2");
+  profile.ws_kb = 64;
+  return profile;
+}
+
+struct DataScenario {
+  sim::Machine machine;
+  std::unique_ptr<sim::Process> process;
+  std::unique_ptr<core::MemSentry> memsentry;
+  ir::Module module;
+  VirtAddr base = 0;
+
+  explicit DataScenario(uint64_t synth_seed = 0xbe7cd06eULL,
+                        core::TechniqueKind kind = core::TechniqueKind::kMpk) {
+    process = std::make_unique<sim::Process>(&machine);
+    const SpecProfile profile = SmallProfile();
+    EXPECT_TRUE(workloads::PrepareWorkloadProcess(*process, profile).ok());
+    core::MemSentryConfig config;
+    config.technique = kind;
+    memsentry = std::make_unique<core::MemSentry>(process.get(), config);
+    auto region = memsentry->allocator().Alloc("program-data", 4096);
+    EXPECT_TRUE(region.ok());
+    base = region.value()->base;
+    workloads::SynthOptions synth;
+    synth.target_instructions = 60'000;
+    synth.seed = synth_seed;
+    synth.safe_accesses_per_ki = 4;
+    synth.safe_region_base = base;
+    module = workloads::SynthesizeSpecProgram(profile, synth);
+  }
+};
+
+TEST(DynamicPointsToTest, FindsExactlyTheTouchingInstructions) {
+  DataScenario s;
+  auto result = sim::DynamicPointsTo(*s.process, s.module);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->annotated, 0u);
+  // Every annotated instruction is a memory access.
+  uint64_t annotated_mem = s.module.CountIf(
+      [](const ir::Instr& i) { return i.IsSafeAccess() && i.IsMemoryAccess(); });
+  uint64_t annotated_all =
+      s.module.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
+  EXPECT_EQ(annotated_mem, annotated_all);
+  EXPECT_EQ(annotated_all, result->annotated);
+}
+
+TEST(DynamicPointsToTest, RefusesToProfileAfterPrepare) {
+  DataScenario s;
+  ASSERT_TRUE(s.memsentry->PrepareRuntime().ok());  // region now closed
+  auto result = sim::DynamicPointsTo(*s.process, s.module);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DynamicPointsToTest, AnnotatedProgramRunsCleanUnderMpk) {
+  DataScenario s;
+  // Profile on a scratch copy of the process (profiling mutates state).
+  {
+    sim::Machine scratch_machine;
+    sim::Process scratch(&scratch_machine);
+    const SpecProfile profile = SmallProfile();
+    ASSERT_TRUE(workloads::PrepareWorkloadProcess(scratch, profile).ok());
+    ASSERT_TRUE(scratch.MapRange(s.base, 1, machine::PageFlags::Data()).ok());
+    scratch.AddSafeRegion("program-data", s.base, 4096);
+    ASSERT_TRUE(sim::DynamicPointsTo(scratch, s.module).ok());
+  }
+  // The annotations transfer to the real process: protect and run.
+  ASSERT_TRUE(s.memsentry->Protect(s.module).ok());
+  sim::Executor executor(s.process.get(), &s.module);
+  auto result = executor.Run();
+  EXPECT_TRUE(result.halted) << (result.fault ? result.fault->ToString() : "");
+  EXPECT_GT(result.domain_switches, 0u);
+}
+
+TEST(DynamicPointsToTest, StaticConservativeIsASuperset) {
+  DataScenario s;
+  // Dynamic: exact annotations.
+  ir::Module dynamic_module = s.module;
+  {
+    sim::Machine scratch_machine;
+    sim::Process scratch(&scratch_machine);
+    ASSERT_TRUE(workloads::PrepareWorkloadProcess(scratch, SmallProfile()).ok());
+    ASSERT_TRUE(scratch.MapRange(s.base, 1, machine::PageFlags::Data()).ok());
+    scratch.AddSafeRegion("program-data", s.base, 4096);
+    ASSERT_TRUE(sim::DynamicPointsTo(scratch, dynamic_module).ok());
+  }
+  const uint64_t dynamic_count =
+      dynamic_module.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
+
+  // Static conservative: must cover everything dynamic found, and more (the
+  // table-indirected pointers have unknown provenance -> DSA conservatism).
+  ir::Module static_module = s.module;
+  const ir::SafeRange range{s.base, 4096};
+  auto result = ir::AnalyzePointsTo(static_module, std::span(&range, 1),
+                                    /*conservative=*/true, /*annotate=*/true);
+  const uint64_t static_count =
+      static_module.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
+  EXPECT_GT(static_count, dynamic_count);
+  EXPECT_GT(result.MayAccessFraction(), 0.0);
+
+  // Every dynamically-found instruction is also statically flagged.
+  for (size_t f = 0; f < s.module.functions.size(); ++f) {
+    for (size_t b = 0; b < s.module.functions[f].blocks.size(); ++b) {
+      const auto& dyn_instrs = dynamic_module.functions[f].blocks[b].instrs;
+      const auto& stat_instrs = static_module.functions[f].blocks[b].instrs;
+      for (size_t i = 0; i < dyn_instrs.size(); ++i) {
+        if (dyn_instrs[i].IsSafeAccess()) {
+          EXPECT_TRUE(stat_instrs[i].IsSafeAccess()) << f << ":" << b << ":" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DynamicPointsToTest, OptimisticStaticMissesLoadedPointers) {
+  // The non-conservative static mode only proves constant-derived pointers:
+  // the accesses through the reloaded table pointer are missed — the
+  // unsoundness that makes pure static under-approximation dangerous.
+  DataScenario s;
+  ir::Module optimistic = s.module;
+  const ir::SafeRange range{s.base, 4096};
+  (void)ir::AnalyzePointsTo(optimistic, std::span(&range, 1), /*conservative=*/false,
+                            /*annotate=*/true);
+  ir::Module dynamic_module = s.module;
+  {
+    sim::Machine scratch_machine;
+    sim::Process scratch(&scratch_machine);
+    ASSERT_TRUE(workloads::PrepareWorkloadProcess(scratch, SmallProfile()).ok());
+    ASSERT_TRUE(scratch.MapRange(s.base, 1, machine::PageFlags::Data()).ok());
+    scratch.AddSafeRegion("program-data", s.base, 4096);
+    ASSERT_TRUE(sim::DynamicPointsTo(scratch, dynamic_module).ok());
+  }
+  const uint64_t optimistic_count =
+      optimistic.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
+  const uint64_t dynamic_count =
+      dynamic_module.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
+  EXPECT_LT(optimistic_count, dynamic_count);
+}
+
+TEST(DynamicPointsToTest, UnderApproximationFaultsOnUnprofiledPaths) {
+  // Profile the program synthesized with seed A, then run the *seed B*
+  // program with A's annotations transplanted: the differently-placed safe
+  // accesses are not annotated and fault under MPK — the paper's warning
+  // about dynamic analysis ("only accesses related to particular inputs are
+  // recorded").
+  DataScenario a(/*synth_seed=*/1);
+  DataScenario b(/*synth_seed=*/2);
+  {
+    sim::Machine scratch_machine;
+    sim::Process scratch(&scratch_machine);
+    ASSERT_TRUE(workloads::PrepareWorkloadProcess(scratch, SmallProfile()).ok());
+    ASSERT_TRUE(scratch.MapRange(a.base, 1, machine::PageFlags::Data()).ok());
+    scratch.AddSafeRegion("program-data", a.base, 4096);
+    ASSERT_TRUE(sim::DynamicPointsTo(scratch, a.module).ok());
+  }
+  // "Transplant": protect b's process but run b's (unannotated) program.
+  ASSERT_TRUE(b.memsentry->Protect(b.module).ok());
+  sim::Executor executor(b.process.get(), &b.module);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.fault.has_value());
+  EXPECT_EQ(result.fault->type, machine::FaultType::kPkeyAccessDisabled);
+}
+
+}  // namespace
+}  // namespace memsentry

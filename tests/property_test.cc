@@ -1,0 +1,297 @@
+// Property-based tests: invariants swept over parameter spaces with
+// deterministic randomness — protection-key lattices, mask algebra, crypt
+// involutions at many sizes, deep call chains, cross-technique determinism,
+// and attack outcomes across region sizes.
+#include <gtest/gtest.h>
+
+#include "src/attacks/harness.h"
+#include "src/base/rng.h"
+#include "src/core/memsentry.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/sim/executor.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry {
+namespace {
+
+using machine::Gpr;
+
+// ---- MPK: every key x every PKRU bit combination behaves per the SDM ----
+
+class PkeyLatticeTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKeys, PkeyLatticeTest, ::testing::Range(0, 16));
+
+TEST_P(PkeyLatticeTest, AdAndWdBitsComposeCorrectly) {
+  const uint8_t key = static_cast<uint8_t>(GetParam());
+  machine::PhysicalMemory pmem(1 << 14);
+  machine::CostModel cost;
+  machine::PageTable pt(&pmem);
+  machine::Mmu mmu(&pmem, &cost);
+  mmu.SetPageTable(&pt);
+  machine::PageFlags flags = machine::PageFlags::Data();
+  flags.pkey = key;
+  ASSERT_TRUE(pt.MapNew(0x4000, flags).ok());
+
+  for (int ad = 0; ad <= 1; ++ad) {
+    for (int wd = 0; wd <= 1; ++wd) {
+      machine::Pkru pkru{};
+      pkru.SetAccessDisable(key, ad != 0);
+      pkru.SetWriteDisable(key, wd != 0);
+      const bool read_ok = mmu.Access(0x4000, machine::AccessType::kRead, pkru).ok();
+      const bool write_ok = mmu.Access(0x4000, machine::AccessType::kWrite, pkru).ok();
+      EXPECT_EQ(read_ok, ad == 0) << "key " << int{key} << " ad " << ad;
+      EXPECT_EQ(write_ok, ad == 0 && wd == 0) << "key " << int{key} << " wd " << wd;
+      // Other keys must be completely unaffected.
+      machine::Pkru other{};
+      other.SetAccessDisable((key + 1) % 16, true);
+      other.SetWriteDisable((key + 1) % 16, true);
+      EXPECT_TRUE(mmu.Access(0x4000, machine::AccessType::kRead, other).ok());
+    }
+  }
+}
+
+// ---- SFI mask algebra ----
+
+TEST(SfiMaskPropertyTest, IdempotentAndAlwaysBelowSplit) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const VirtAddr va = rng.Next() & (kAddressSpaceEnd - 1);
+    const VirtAddr masked = va & kSfiMask;
+    EXPECT_LT(masked, kPartitionSplit);
+    EXPECT_EQ(masked & kSfiMask, masked);          // idempotent
+    if (va < kPartitionSplit) {
+      EXPECT_EQ(masked, va);                        // identity below the split
+    }
+    EXPECT_EQ(PageOffset(masked), PageOffset(va));  // offsets preserved
+  }
+}
+
+// ---- crypt involution across sizes and nonces ----
+
+class CryptSizePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CryptSizePropertyTest,
+                         ::testing::Values(1, 7, 8, 15, 16, 17, 31, 32, 33, 48, 100, 256,
+                                           1000, 4096));
+
+TEST_P(CryptSizePropertyTest, ToggleTwiceRestores) {
+  const size_t size = GetParam();
+  Rng rng(size);
+  aes::Block key{};
+  for (auto& byte : key) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  const aes::KeySchedule keys = aes::ExpandKey(key);
+  std::vector<uint8_t> data(size);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  const std::vector<uint8_t> original = data;
+  aes::CryptRegion(data, keys, /*nonce=*/size);
+  if (size >= 8) {
+    EXPECT_NE(data, original);  // tiny sizes could collide by chance
+  }
+  aes::CryptRegion(data, keys, /*nonce=*/size);
+  EXPECT_EQ(data, original);
+}
+
+TEST_P(CryptSizePropertyTest, PrefixStability) {
+  // The keystream is position-based: encrypting a longer region agrees with
+  // the shorter region on the common prefix (block-aligned property).
+  const size_t size = GetParam();
+  const aes::KeySchedule keys = aes::ExpandKey(aes::Block{1, 2, 3});
+  std::vector<uint8_t> a(size, 0xab);
+  std::vector<uint8_t> b(size + 32, 0xab);
+  aes::CryptRegion(a, keys, 7);
+  aes::CryptRegion(b, keys, 7);
+  for (size_t i = 0; i < size; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+// ---- deep call chains: the simulated stack and RA encoding hold up ----
+
+TEST(CallDepthPropertyTest, DeepRecursionBalances) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(process.SetupStack().ok());
+  // f(n): if (--counter != 0) call f; ret. 1000 nested activations.
+  ir::Module m;
+  ir::Builder b(&m);
+  b.CreateFunction("main");
+  b.MovImm(Gpr::kR13, 1000);
+  b.Call(1);
+  b.Halt();
+  b.CreateFunction("rec");
+  const int done = b.NewBlock();
+  b.AddImm(Gpr::kRbx, 1);
+  b.AddImm(Gpr::kR13, -1);  // last flag setter before the branch
+  b.CondBr(2);  // taken (counter != 0) -> recurse block
+  b.SetInsertPoint(1, done);
+  b.Ret();
+  const int recurse = b.NewBlock();
+  b.SetInsertPoint(1, recurse);
+  b.Call(1);
+  b.Ret();
+  // Block layout: 0 = body, 1 = done (fallthrough), 2 = recurse.
+  sim::Executor executor(&process, &m);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.halted) << (result.fault ? result.fault->ToString() : "");
+  EXPECT_EQ(process.regs()[Gpr::kRbx], 1000u);
+  EXPECT_EQ(result.calls, result.rets);
+}
+
+TEST(CallDepthPropertyTest, RunawayRecursionHitsDepthGuard) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(process.SetupStack(/*pages=*/4096).ok());
+  ir::Module m;
+  ir::Builder b(&m);
+  b.CreateFunction("main");
+  b.Call(1);
+  b.Halt();
+  b.CreateFunction("forever");
+  b.Call(1);
+  b.Ret();
+  sim::Executor executor(&process, &m);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.fault.has_value());
+  EXPECT_EQ(result.fault->type, machine::FaultType::kGeneralProtection);
+}
+
+// ---- determinism across techniques ----
+
+class DeterminismTest : public ::testing::TestWithParam<core::TechniqueKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Techniques, DeterminismTest,
+                         ::testing::Values(core::TechniqueKind::kSfi, core::TechniqueKind::kMpx,
+                                           core::TechniqueKind::kMpk,
+                                           core::TechniqueKind::kVmfunc,
+                                           core::TechniqueKind::kCrypt),
+                         [](const auto& info) {
+                           return std::string(core::TechniqueKindName(info.param));
+                         });
+
+TEST_P(DeterminismTest, TwoIdenticalRunsProduceIdenticalCycles) {
+  auto run = [&]() {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    if (GetParam() == core::TechniqueKind::kVmfunc) {
+      EXPECT_TRUE(process.EnableDune().ok());
+    }
+    const auto& profile = *workloads::FindProfile("458.sjeng");
+    EXPECT_TRUE(workloads::PrepareWorkloadProcess(process, profile).ok());
+    core::MemSentryConfig config;
+    config.technique = GetParam();
+    core::MemSentry ms(&process, config);
+    EXPECT_TRUE(ms.allocator().Alloc("r", GetParam() == core::TechniqueKind::kCrypt ? 16 : 4096)
+                    .ok());
+    workloads::SynthOptions synth;
+    synth.target_instructions = 60'000;
+    ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
+    EXPECT_TRUE(ms.Protect(module).ok());
+    sim::Executor executor(&process, &module);
+    return executor.Run();
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_TRUE(a.halted);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.domain_switches, b.domain_switches);
+}
+
+// ---- attack outcomes are invariant across region sizes ----
+
+class AttackSizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(RegionSizes, AttackSizeTest,
+                         ::testing::Values(16, 64, 4096, 65536));
+
+TEST_P(AttackSizeTest, DeterministicTechniquesHoldAtEverySize) {
+  for (auto kind : {core::TechniqueKind::kMpx, core::TechniqueKind::kMpk,
+                    core::TechniqueKind::kCrypt}) {
+    const auto report = attacks::RunAttackScenario(kind, GetParam());
+    EXPECT_NE(report.read_outcome, attacks::Outcome::kLeaked)
+        << core::TechniqueKindName(kind) << " @ " << GetParam();
+    EXPECT_NE(report.write_outcome, attacks::Outcome::kCorrupted)
+        << core::TechniqueKindName(kind) << " @ " << GetParam();
+  }
+}
+
+// ---- verifier: random instruction soup never crashes, always classified ----
+
+TEST(VerifierFuzzTest, RandomModulesAreHandledGracefully) {
+  Rng rng(0xF0221);
+  for (int trial = 0; trial < 200; ++trial) {
+    ir::Module m;
+    ir::Function f;
+    f.name = "fuzz";
+    ir::BasicBlock block;
+    const int len = 1 + static_cast<int>(rng.Below(8));
+    for (int i = 0; i < len; ++i) {
+      ir::Instr instr;
+      instr.op = static_cast<ir::Opcode>(rng.Below(static_cast<uint64_t>(ir::Opcode::kTrapIf) + 1));
+      instr.dst = static_cast<Gpr>(rng.Below(16));
+      instr.src = static_cast<Gpr>(rng.Below(16));
+      instr.imm = rng.Next() & 0xffff;
+      instr.target = static_cast<int32_t>(rng.Below(4));
+      block.instrs.push_back(instr);
+    }
+    f.blocks.push_back(block);
+    m.functions.push_back(f);
+    // Must not crash; just classifies the module.
+    (void)ir::Verify(m);
+  }
+}
+
+// ---- executor under verified random programs: bounded and fault-clean ----
+
+TEST(ExecutorFuzzTest, VerifiedRandomStraightLineProgramsTerminate) {
+  Rng rng(0xE8EC);
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(process.SetupStack().ok());
+  ASSERT_TRUE(process.MapRange(sim::kWorkingSetBase, 2, machine::PageFlags::Data()).ok());
+  for (int trial = 0; trial < 100; ++trial) {
+    ir::Module m;
+    ir::Builder b(&m);
+    b.CreateFunction("main");
+    b.MovImm(Gpr::kR9, sim::kWorkingSetBase);  // keep the pointer valid
+    const int len = static_cast<int>(rng.Below(24));
+    for (int i = 0; i < len; ++i) {
+      switch (rng.Below(6)) {
+        case 0:
+          b.AddImm(Gpr::kRbx, static_cast<int64_t>(rng.Below(100)));
+          break;
+        case 1:
+          b.AluRR(Gpr::kRbx, Gpr::kRsi, static_cast<int>(rng.Below(4)));
+          break;
+        case 2:
+          b.Load(Gpr::kRbx, Gpr::kR9);
+          break;
+        case 3:
+          b.Store(Gpr::kR9, Gpr::kRbx);
+          break;
+        case 4:
+          b.VecOp(static_cast<int>(rng.Below(4)));
+          break;
+        case 5:
+          b.Lea(Gpr::kRsi, Gpr::kR9, static_cast<int64_t>(rng.Below(64)));
+          break;
+      }
+    }
+    b.Halt();
+    ASSERT_TRUE(ir::Verify(m).ok());
+    sim::Executor executor(&process, &m);
+    auto result = executor.Run(sim::RunConfig{.max_instructions = 1000});
+    EXPECT_TRUE(result.halted);
+    EXPECT_FALSE(result.fault.has_value());
+    EXPECT_GT(result.cycles, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace memsentry

@@ -1,0 +1,268 @@
+// Per-technique semantics: Prepare() configures the region correctly and the
+// attacker's arbitrary read/write primitive behaves per paper Section 3.
+#include <gtest/gtest.h>
+
+#include "src/core/memsentry.h"
+#include "src/mpk/mpk.h"
+
+namespace memsentry::core {
+namespace {
+
+constexpr uint64_t kSecret = 0x5ec4e75ec4e7ULL;
+
+struct Scenario {
+  sim::Machine machine;
+  std::unique_ptr<sim::Process> process;
+  std::unique_ptr<MemSentry> memsentry;
+  VirtAddr base = 0;
+
+  explicit Scenario(TechniqueKind kind, uint64_t region_bytes = 4096) {
+    process = std::make_unique<sim::Process>(&machine);
+    if (kind == TechniqueKind::kVmfunc) {
+      EXPECT_TRUE(process->EnableDune().ok());
+    }
+    EXPECT_TRUE(process->SetupStack().ok());
+    MemSentryConfig config;
+    config.technique = kind;
+    memsentry = std::make_unique<MemSentry>(process.get(), config);
+    auto region = memsentry->allocator().Alloc("secret", region_bytes);
+    EXPECT_TRUE(region.ok());
+    base = region.value()->base;
+    EXPECT_TRUE(process->Poke64(base, kSecret).ok());
+    EXPECT_TRUE(memsentry->PrepareRuntime().ok());
+  }
+
+  machine::FaultOr<uint64_t> Read(VirtAddr va) {
+    return memsentry->technique().AttackerRead(*process, va);
+  }
+  machine::FaultOr<bool> Write(VirtAddr va, uint64_t v) {
+    return memsentry->technique().AttackerWrite(*process, va, v);
+  }
+};
+
+TEST(TechniqueFactoryTest, CreatesAllKinds) {
+  for (int k = 0; k < kNumTechniques; ++k) {
+    auto technique = CreateTechnique(static_cast<TechniqueKind>(k));
+    ASSERT_NE(technique, nullptr);
+    EXPECT_EQ(technique->kind(), static_cast<TechniqueKind>(k));
+    EXPECT_STRNE(TechniqueKindName(technique->kind()), "?");
+  }
+}
+
+TEST(TechniqueLimitsTest, MatchPaperTable3) {
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kSfi)->limits().max_domains, 48);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kMpx)->limits().max_domains, 4);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kMpk)->limits().max_domains, 16);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kVmfunc)->limits().max_domains, 512);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kCrypt)->limits().max_domains, 0);  // unbounded
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kCrypt)->limits().granularity, 16u);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kMpk)->limits().granularity, kPageSize);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kVmfunc)->limits().granularity, kPageSize);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kSfi)->limits().granularity, 1u);
+}
+
+TEST(TechniqueCategoryTest, MatchesPaperSections) {
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kSfi)->category(), Category::kAddressBased);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kMpx)->category(), Category::kAddressBased);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kMpk)->category(), Category::kDomainBased);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kVmfunc)->category(), Category::kDomainBased);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kCrypt)->category(), Category::kDomainBased);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kSgx)->category(), Category::kDomainBased);
+  EXPECT_EQ(CreateTechnique(TechniqueKind::kInfoHide)->category(), Category::kNone);
+}
+
+TEST(SfiTechniqueTest, AttackerReadAliasesBelowSplit) {
+  Scenario s(TechniqueKind::kSfi);
+  EXPECT_GE(s.base, kPartitionSplit);  // placed in the sensitive partition
+  auto read = s.Read(s.base);
+  // The masked address is unmapped -> #PF at the *aliased* address, or a
+  // successful read of unrelated data. Never the secret.
+  if (read.ok()) {
+    EXPECT_NE(read.value(), kSecret);
+  } else {
+    EXPECT_EQ(read.fault().address, s.base & kSfiMask);
+  }
+}
+
+TEST(SfiTechniqueTest, AttackerWriteCannotTouchRegion) {
+  Scenario s(TechniqueKind::kSfi);
+  (void)s.Write(s.base, 0xbad);
+  EXPECT_EQ(s.process->Peek64(s.base).value(), kSecret);
+}
+
+TEST(SfiTechniqueTest, LegitSafeAccessStillWorks) {
+  // Exempt (annotated) code accesses the region without masking.
+  Scenario s(TechniqueKind::kSfi);
+  Cycles cycles = 0;
+  auto v = s.process->mmu().Read64(s.base, s.process->regs().pkru, &cycles);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), kSecret);
+}
+
+TEST(MpxTechniqueTest, PreparesBnd0AndDetects) {
+  Scenario s(TechniqueKind::kMpx);
+  EXPECT_EQ(s.process->regs().bnd[0].upper, kPartitionSplit - 1);
+  EXPECT_TRUE(s.process->regs().bnd_preserve);
+  auto read = s.Read(s.base);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.fault().type, machine::FaultType::kBoundRange);  // detected, not just prevented
+  auto write = s.Write(s.base, 0xbad);
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(s.process->Peek64(s.base).value(), kSecret);
+}
+
+TEST(MpkTechniqueTest, TagsPagesAndClosesDomain) {
+  Scenario s(TechniqueKind::kMpk);
+  auto& region = s.process->safe_regions()[0];
+  EXPECT_NE(region.pkey, 0);
+  auto walk = s.process->page_table().Walk(s.base);
+  ASSERT_TRUE(walk.ok());
+  EXPECT_EQ(machine::PageTable::PtePkey(walk.value().pte), region.pkey);
+
+  auto read = s.Read(s.base);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.fault().type, machine::FaultType::kPkeyAccessDisabled);
+
+  // Opening the domain (as the instrumentation would) permits access.
+  s.process->regs().pkru.value = mpk::kOpenPkru;
+  auto open_read = s.Read(s.base);
+  ASSERT_TRUE(open_read.ok());
+  EXPECT_EQ(open_read.value(), kSecret);
+}
+
+TEST(VmfuncTechniqueTest, SecretOnlyInSecondaryEpt) {
+  Scenario s(TechniqueKind::kVmfunc);
+  auto& region = s.process->safe_regions()[0];
+  EXPECT_EQ(region.ept_index, 1);
+
+  auto read = s.Read(s.base);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.fault().type, machine::FaultType::kEptViolation);
+
+  // Switching to the sensitive EPT (vmfunc) exposes the region.
+  ASSERT_TRUE(s.process->dune()->vmx().VmFunc(0, 1).ok());
+  auto open_read = s.Read(s.base);
+  ASSERT_TRUE(open_read.ok());
+  EXPECT_EQ(open_read.value(), kSecret);
+  // And back.
+  ASSERT_TRUE(s.process->dune()->vmx().VmFunc(0, 0).ok());
+  EXPECT_FALSE(s.Read(s.base).ok());
+}
+
+TEST(VmfuncTechniqueTest, RequiresDune) {
+  sim::Machine machine;
+  sim::Process process(&machine);  // no Dune
+  MemSentryConfig config;
+  config.technique = TechniqueKind::kVmfunc;
+  MemSentry memsentry(&process, config);
+  ASSERT_TRUE(memsentry.allocator().Alloc("r", 4096).ok());
+  EXPECT_FALSE(memsentry.PrepareRuntime().ok());
+}
+
+TEST(CryptTechniqueTest, RegionEncryptedAtRest) {
+  Scenario s(TechniqueKind::kCrypt);
+  auto read = s.Read(s.base);
+  ASSERT_TRUE(read.ok());                // readable...
+  EXPECT_NE(read.value(), kSecret);      // ...but ciphertext
+  EXPECT_TRUE(s.process->ymm_reserved());
+  auto& region = s.process->safe_regions()[0];
+  EXPECT_TRUE(region.crypt);
+  EXPECT_TRUE(region.encrypted_now);
+
+  // The legitimate open (decrypt) recovers the plaintext.
+  std::vector<uint8_t> bytes(region.size);
+  ASSERT_TRUE(s.process->PeekBytes(region.base, bytes.data(), region.size).ok());
+  aes::CryptRegion(bytes, region.enc_keys, region.nonce);
+  uint64_t plain = 0;
+  memcpy(&plain, bytes.data(), 8);
+  EXPECT_EQ(plain, kSecret);
+}
+
+TEST(CryptTechniqueTest, SizeRoundsToAesChunks) {
+  Scenario s(TechniqueKind::kCrypt, /*region_bytes=*/20);
+  EXPECT_EQ(s.process->safe_regions()[0].size, 32u);  // 2 chunks
+}
+
+TEST(SgxTechniqueTest, EnclaveBlocksOutsideAccess) {
+  Scenario s(TechniqueKind::kSgx);
+  ASSERT_NE(s.process->enclave(), nullptr);
+  EXPECT_TRUE(s.process->enclave()->finalized());
+  auto read = s.Read(s.base);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.fault().type, machine::FaultType::kEnclaveAccess);
+  // Inside the enclave (after ECALL) access works.
+  ASSERT_TRUE(s.process->enclave()->Enter(0).ok());
+  auto inside = s.Read(s.base);
+  ASSERT_TRUE(inside.ok());
+  EXPECT_EQ(inside.value(), kSecret);
+}
+
+TEST(MprotectTechniqueTest, RegionClosedByDefault) {
+  Scenario s(TechniqueKind::kMprotect);
+  EXPECT_TRUE(s.process->safe_regions()[0].mprotected);
+  auto read = s.Read(s.base);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.fault().type, machine::FaultType::kUserSupervisor);
+}
+
+TEST(InfoHideTechniqueTest, KnownAddressMeansGameOver) {
+  Scenario s(TechniqueKind::kInfoHide);
+  // Placed at a randomized address...
+  EXPECT_GE(s.base, sim::kStackTop);
+  // ...but nothing stops an attacker who learns it.
+  auto read = s.Read(s.base);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), kSecret);
+  ASSERT_TRUE(s.Write(s.base, 0xbad).ok());
+  EXPECT_EQ(s.process->Peek64(s.base).value(), 0xbadu);
+}
+
+TEST(InfoHideTechniqueTest, PlacementVariesWithSeed) {
+  std::vector<VirtAddr> bases;
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    MemSentryConfig config;
+    config.technique = TechniqueKind::kInfoHide;
+    config.placement_seed = seed;
+    MemSentry ms(&process, config);
+    auto region = ms.allocator().Alloc("r", 4096);
+    ASSERT_TRUE(region.ok());
+    bases.push_back(region.value()->base);
+  }
+  EXPECT_NE(bases[0], bases[1]);
+  EXPECT_NE(bases[1], bases[2]);
+  EXPECT_NE(bases[2], bases[3]);
+}
+
+TEST(SafeRegionAllocatorTest, DeterministicPlacementAboveSplit) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  SafeRegionAllocator allocator(&process, TechniqueKind::kMpk);
+  auto a = allocator.Alloc("a", 100);
+  auto b = allocator.Alloc("b", 100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(a.value()->base, kPartitionSplit);
+  EXPECT_GT(b.value()->base, a.value()->base);
+  EXPECT_EQ(a.value()->size, kPageSize);  // page granularity for MPK
+}
+
+TEST(SafeRegionAllocatorTest, CApiShape) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  SafeRegionAllocator allocator(&process, TechniqueKind::kSfi);
+  auto va = allocator.saferegion_alloc(64);
+  ASSERT_TRUE(va.ok());
+  EXPECT_TRUE(process.InSafeRegion(va.value()));
+}
+
+TEST(SafeRegionAllocatorTest, RejectsZeroSize) {
+  sim::Machine machine;
+  sim::Process process(&machine);
+  SafeRegionAllocator allocator(&process, TechniqueKind::kSfi);
+  EXPECT_FALSE(allocator.Alloc("zero", 0).ok());
+}
+
+}  // namespace
+}  // namespace memsentry::core

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/executor.h"
+#include "src/workloads/spec_profiles.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry::workloads {
+namespace {
+
+TEST(SpecProfilesTest, AllNineteenBenchmarks) {
+  EXPECT_EQ(SpecCpu2006().size(), 19u);
+  EXPECT_NE(FindProfile("429.mcf"), nullptr);
+  EXPECT_NE(FindProfile("483.xalancbmk"), nullptr);
+  EXPECT_EQ(FindProfile("999.nope"), nullptr);
+}
+
+TEST(SpecProfilesTest, WorkingSetsArePowersOfTwo) {
+  for (const auto& p : SpecCpu2006()) {
+    EXPECT_EQ(p.ws_kb & (p.ws_kb - 1), 0u) << p.name;
+    EXPECT_GE(p.ws_kb, 64u) << p.name;
+  }
+}
+
+TEST(SpecProfilesTest, RatesAreSane) {
+  for (const auto& p : SpecCpu2006()) {
+    EXPECT_GT(p.loads_per_ki, 50) << p.name;
+    EXPECT_LT(p.loads_per_ki + p.stores_per_ki, 600) << p.name;
+    EXPECT_GE(p.indirect_frac, 0.0) << p.name;
+    EXPECT_LE(p.indirect_frac, 1.0) << p.name;
+    EXPECT_GE(p.vec_pressure, 0) << p.name;
+    EXPECT_LE(p.vec_pressure, 3) << p.name;
+  }
+}
+
+class SynthesisTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SynthesisTest,
+                         ::testing::Range<size_t>(0, 19), [](const auto& info) {
+                           std::string name = SpecCpu2006()[info.param].name;
+                           for (char& c : name) {
+                             if (c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(SynthesisTest, ProgramRunsAndMatchesMix) {
+  const SpecProfile& profile = SpecCpu2006()[GetParam()];
+  SynthOptions options;
+  options.target_instructions = 150'000;
+  ir::Module module = SynthesizeSpecProgram(profile, options);
+
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(PrepareWorkloadProcess(process, profile).ok());
+  sim::Executor executor(&process, &module);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.halted) << (result.fault ? result.fault->ToString() : "");
+
+  // Dynamic length near target.
+  EXPECT_GT(result.instructions, 100'000u);
+  EXPECT_LT(result.instructions, 300'000u);
+
+  // Measured per-ki rates within 25% of the profile (tokens are exact; the
+  // tolerance absorbs support-instruction dilution).
+  const double ki = static_cast<double>(result.instructions) / 1000.0;
+  EXPECT_NEAR(static_cast<double>(result.loads) / ki, profile.loads_per_ki,
+              profile.loads_per_ki * 0.25 + 5)
+      << profile.name;
+  EXPECT_NEAR(static_cast<double>(result.stores) / ki, profile.stores_per_ki,
+              profile.stores_per_ki * 0.25 + 5)
+      << profile.name;
+  EXPECT_NEAR(static_cast<double>(result.calls) / ki, profile.calls_per_ki,
+              profile.calls_per_ki * 0.30 + 2)
+      << profile.name;
+
+  // CPI in a plausible band: cache-hot benchmarks near 1, memory-bound below 6.
+  EXPECT_GT(result.Cpi(), 0.3) << profile.name;
+  EXPECT_LT(result.Cpi(), 6.0) << profile.name;
+}
+
+TEST(SynthesisTest, DeterministicForSeed) {
+  const SpecProfile& profile = SpecCpu2006()[0];
+  SynthOptions options;
+  options.target_instructions = 50'000;
+  ir::Module a = SynthesizeSpecProgram(profile, options);
+  ir::Module b = SynthesizeSpecProgram(profile, options);
+  ASSERT_EQ(a.InstrCount(), b.InstrCount());
+  // Execute both: identical dynamic behaviour.
+  auto run = [&](const ir::Module& m) {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    EXPECT_TRUE(PrepareWorkloadProcess(process, profile).ok());
+    sim::Executor executor(&process, &m);
+    return executor.Run();
+  };
+  auto ra = run(a);
+  auto rb = run(b);
+  EXPECT_EQ(ra.instructions, rb.instructions);
+  EXPECT_DOUBLE_EQ(ra.cycles, rb.cycles);
+}
+
+TEST(SynthesisTest, SeedChangesLayoutNotRates) {
+  const SpecProfile& profile = SpecCpu2006()[2];  // gcc
+  SynthOptions a;
+  a.target_instructions = 100'000;
+  SynthOptions b = a;
+  b.seed = 123;
+  ir::Module ma = SynthesizeSpecProgram(profile, a);
+  ir::Module mb = SynthesizeSpecProgram(profile, b);
+  auto run = [&](const ir::Module& m) {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    EXPECT_TRUE(PrepareWorkloadProcess(process, profile).ok());
+    sim::Executor executor(&process, &m);
+    return executor.Run();
+  };
+  auto ra = run(ma);
+  auto rb = run(mb);
+  const double la = static_cast<double>(ra.loads) / static_cast<double>(ra.instructions);
+  const double lb = static_cast<double>(rb.loads) / static_cast<double>(rb.instructions);
+  EXPECT_NEAR(la, lb, 0.02);
+}
+
+TEST(BuildLoopTest, IteratesExactly) {
+  std::vector<ir::Instr> body = {
+      ir::Instr{.op = ir::Opcode::kAddImm, .dst = machine::Gpr::kRbx, .imm = 1}};
+  ir::Module m = BuildLoop(body, 100);
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(process.MapRange(sim::kWorkingSetBase, 1, machine::PageFlags::Data()).ok());
+  sim::Executor executor(&process, &m);
+  auto result = executor.Run();
+  ASSERT_TRUE(result.halted);
+  EXPECT_EQ(process.regs()[machine::Gpr::kRbx], 100u);
+}
+
+TEST(MemoryBehaviourTest, LargeWorkingSetsMissMore) {
+  // mcf (64 MiB) must produce a worse CPI than hmmer (256 KiB).
+  auto cpi_of = [](const char* name) {
+    const SpecProfile* profile = FindProfile(name);
+    SynthOptions options;
+    options.target_instructions = 200'000;
+    ir::Module module = SynthesizeSpecProgram(*profile, options);
+    sim::Machine machine;
+    sim::Process process(&machine);
+    EXPECT_TRUE(PrepareWorkloadProcess(process, *profile).ok());
+    sim::Executor executor(&process, &module);
+    auto result = executor.Run();
+    EXPECT_TRUE(result.halted);
+    return result.Cpi();
+  };
+  EXPECT_GT(cpi_of("429.mcf"), cpi_of("456.hmmer") * 1.5);
+}
+
+}  // namespace
+}  // namespace memsentry::workloads

@@ -1,0 +1,210 @@
+// memsentry — command-line front end for the framework.
+//
+//   memsentry figure 3|4|5|6 [--instructions N]   reproduce a paper figure
+//   memsentry attack [--region-bytes N]           run the attack matrix
+//   memsentry advise --events F --bytes N [--year Y] [--mpk] [--no-hypervisor]
+//   memsentry dump --benchmark 403.gcc --technique mpx [--defense shadowstack]
+//                                                  show instrumented IR
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/attacks/harness.h"
+#include "src/core/advisor.h"
+#include "src/core/memsentry.h"
+#include "src/defenses/shadow_stack.h"
+#include "src/eval/figures.h"
+#include "src/ir/printer.h"
+#include "src/workloads/synth.h"
+
+namespace memsentry {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: memsentry_cli <figure N | attack | advise | dump> [options]\n"
+               "  figure 3|4|5|6 [--instructions N]\n"
+               "  attack [--region-bytes N]\n"
+               "  advise [--events F] [--bytes N] [--year Y] [--mpk] [--no-hypervisor]\n"
+               "  dump [--benchmark NAME] [--technique sfi|mpx|mpk|vmfunc|crypt|sgx|mprotect]\n"
+               "       [--defense shadowstack|none] [--lines N]\n");
+  return 2;
+}
+
+const char* Arg(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 0; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintSeries(const std::vector<eval::FigureSeries>& series) {
+  std::printf("%-16s", "benchmark");
+  for (const auto& s : series) {
+    std::printf("%10s", s.config.c_str());
+  }
+  std::printf("\n");
+  const auto profiles = workloads::SpecCpu2006();
+  for (size_t b = 0; b < profiles.size(); ++b) {
+    std::printf("%-16s", profiles[b].name.c_str());
+    for (const auto& s : series) {
+      std::printf("%10.2f", s.normalized[b]);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s", "geomean");
+  for (const auto& s : series) {
+    std::printf("%10.3f", s.geomean);
+  }
+  std::printf("\n");
+}
+
+int RunFigure(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  eval::ExperimentOptions options;
+  options.target_instructions =
+      std::strtoull(Arg(argc, argv, "--instructions", "400000"), nullptr, 10);
+  switch (std::atoi(argv[0])) {
+    case 3:
+      PrintSeries(eval::RunFigure3(options));
+      return 0;
+    case 4:
+      PrintSeries(eval::RunFigure4(options));
+      return 0;
+    case 5:
+      PrintSeries(eval::RunFigure5(options));
+      return 0;
+    case 6:
+      PrintSeries(eval::RunFigure6(options));
+      return 0;
+    default:
+      return Usage();
+  }
+}
+
+int RunAttack(int argc, char** argv) {
+  const uint64_t bytes = std::strtoull(Arg(argc, argv, "--region-bytes", "4096"), nullptr, 10);
+  for (const auto& r : attacks::RunAttackMatrix(bytes)) {
+    std::printf("%-12s located=%-3s probes=%-4llu read=%-10s write=%-10s %s\n",
+                core::TechniqueKindName(r.technique), r.region_located ? "yes" : "no",
+                static_cast<unsigned long long>(r.locate_probes),
+                attacks::OutcomeName(r.read_outcome), attacks::OutcomeName(r.write_outcome),
+                r.detail.c_str());
+  }
+  return 0;
+}
+
+int RunAdvise(int argc, char** argv) {
+  core::ScenarioSpec spec;
+  spec.events_per_kinstr = std::atof(Arg(argc, argv, "--events", "1.0"));
+  spec.region_bytes = std::strtoull(Arg(argc, argv, "--bytes", "4096"), nullptr, 10);
+  spec.cpu_year = std::atoi(Arg(argc, argv, "--year", "2017"));
+  spec.mpk_available = HasFlag(argc, argv, "--mpk");
+  spec.hypervisor_ok = !HasFlag(argc, argv, "--no-hypervisor");
+  const core::Recommendation rec = core::Advise(spec);
+  std::printf("recommendation: %s\n", core::TechniqueKindName(rec.primary));
+  for (auto alt : rec.alternatives) {
+    std::printf("alternative:    %s\n", core::TechniqueKindName(alt));
+  }
+  std::printf("rationale:      %s\n", rec.rationale.c_str());
+  return 0;
+}
+
+core::TechniqueKind ParseTechnique(const std::string& name) {
+  for (int k = 0; k < core::kNumTechniques; ++k) {
+    const auto kind = static_cast<core::TechniqueKind>(k);
+    std::string lower = core::TechniqueKindName(kind);
+    for (char& c : lower) {
+      c = static_cast<char>(std::tolower(c));
+    }
+    if (lower == name) {
+      return kind;
+    }
+  }
+  return core::TechniqueKind::kMpx;
+}
+
+int RunDump(int argc, char** argv) {
+  const workloads::SpecProfile* profile =
+      workloads::FindProfile(Arg(argc, argv, "--benchmark", "403.gcc"));
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown benchmark\n");
+    return 1;
+  }
+  const core::TechniqueKind kind = ParseTechnique(Arg(argc, argv, "--technique", "mpx"));
+  const std::string defense = Arg(argc, argv, "--defense", "shadowstack");
+  const int lines = std::atoi(Arg(argc, argv, "--lines", "60"));
+
+  sim::Machine machine;
+  sim::Process process(&machine);
+  if (kind == core::TechniqueKind::kVmfunc) {
+    (void)process.EnableDune();
+  }
+  (void)workloads::PrepareWorkloadProcess(process, *profile);
+  core::MemSentryConfig config;
+  config.technique = kind;
+  core::MemSentry ms(&process, config);
+  auto region = ms.allocator().Alloc("metadata", 4096);
+  workloads::SynthOptions synth;
+  synth.target_instructions = 2'000;  // a small module for reading
+  ir::Module module = workloads::SynthesizeSpecProgram(*profile, synth);
+  if (defense == "shadowstack") {
+    defenses::ShadowStackPass pass(region.ok() ? region.value()->base : 0);
+    (void)pass.Run(module);
+  }
+  if (Status s = ms.Protect(module); !s.ok()) {
+    std::fprintf(stderr, "protect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::string text = ir::ToString(module);
+  int printed = 0;
+  size_t pos = 0;
+  while (printed < lines && pos < text.size()) {
+    const size_t end = text.find('\n', pos);
+    std::printf("%.*s\n", static_cast<int>(end - pos), text.c_str() + pos);
+    pos = end + 1;
+    ++printed;
+  }
+  if (pos < text.size()) {
+    std::printf("... (%zu more lines)\n", std::count(text.begin() + pos, text.end(), '\n'));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memsentry
+
+int main(int argc, char** argv) {
+  using namespace memsentry;
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "figure") {
+    return RunFigure(argc - 2, argv + 2);
+  }
+  if (command == "attack") {
+    return RunAttack(argc - 2, argv + 2);
+  }
+  if (command == "advise") {
+    return RunAdvise(argc - 2, argv + 2);
+  }
+  if (command == "dump") {
+    return RunDump(argc - 2, argv + 2);
+  }
+  return Usage();
+}
