@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/attack_matrix"
+  "../bench/attack_matrix.pdb"
+  "CMakeFiles/attack_matrix.dir/attack_matrix.cc.o"
+  "CMakeFiles/attack_matrix.dir/attack_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

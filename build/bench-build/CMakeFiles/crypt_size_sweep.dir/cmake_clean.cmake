@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crypt_size_sweep"
+  "../bench/crypt_size_sweep.pdb"
+  "CMakeFiles/crypt_size_sweep.dir/crypt_size_sweep.cc.o"
+  "CMakeFiles/crypt_size_sweep.dir/crypt_size_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypt_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_address"
+  "../bench/fig3_address.pdb"
+  "CMakeFiles/fig3_address.dir/fig3_address.cc.o"
+  "CMakeFiles/fig3_address.dir/fig3_address.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_callret"
+  "../bench/fig4_callret.pdb"
+  "CMakeFiles/fig4_callret.dir/fig4_callret.cc.o"
+  "CMakeFiles/fig4_callret.dir/fig4_callret.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_callret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

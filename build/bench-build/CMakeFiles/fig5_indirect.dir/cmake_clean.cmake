@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_indirect"
+  "../bench/fig5_indirect.pdb"
+  "CMakeFiles/fig5_indirect.dir/fig5_indirect.cc.o"
+  "CMakeFiles/fig5_indirect.dir/fig5_indirect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

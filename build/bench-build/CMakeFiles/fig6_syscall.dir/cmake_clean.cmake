@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_syscall"
+  "../bench/fig6_syscall.pdb"
+  "CMakeFiles/fig6_syscall.dir/fig6_syscall.cc.o"
+  "CMakeFiles/fig6_syscall.dir/fig6_syscall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

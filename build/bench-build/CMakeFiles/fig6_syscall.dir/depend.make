@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_syscall.
+# This may be replaced when dependencies are built.

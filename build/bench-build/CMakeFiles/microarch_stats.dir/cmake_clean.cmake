@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microarch_stats"
+  "../bench/microarch_stats.pdb"
+  "CMakeFiles/microarch_stats.dir/microarch_stats.cc.o"
+  "CMakeFiles/microarch_stats.dir/microarch_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microarch_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

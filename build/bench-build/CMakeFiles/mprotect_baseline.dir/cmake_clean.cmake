@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mprotect_baseline"
+  "../bench/mprotect_baseline.pdb"
+  "CMakeFiles/mprotect_baseline.dir/mprotect_baseline.cc.o"
+  "CMakeFiles/mprotect_baseline.dir/mprotect_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mprotect_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/safestack_casestudy"
+  "../bench/safestack_casestudy.pdb"
+  "CMakeFiles/safestack_casestudy.dir/safestack_casestudy.cc.o"
+  "CMakeFiles/safestack_casestudy.dir/safestack_casestudy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safestack_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_defenses"
+  "../bench/table1_defenses.pdb"
+  "CMakeFiles/table1_defenses.dir/table1_defenses.cc.o"
+  "CMakeFiles/table1_defenses.dir/table1_defenses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_applicability"
+  "../bench/table2_applicability.pdb"
+  "CMakeFiles/table2_applicability.dir/table2_applicability.cc.o"
+  "CMakeFiles/table2_applicability.dir/table2_applicability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

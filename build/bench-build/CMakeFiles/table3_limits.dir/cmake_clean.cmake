@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_limits"
+  "../bench/table3_limits.pdb"
+  "CMakeFiles/table3_limits.dir/table3_limits.cc.o"
+  "CMakeFiles/table3_limits.dir/table3_limits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_micro"
+  "../bench/table4_micro.pdb"
+  "CMakeFiles/table4_micro.dir/table4_micro.cc.o"
+  "CMakeFiles/table4_micro.dir/table4_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

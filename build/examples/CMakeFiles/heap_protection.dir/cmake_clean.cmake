@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_protection.dir/heap_protection.cpp.o"
+  "CMakeFiles/heap_protection.dir/heap_protection.cpp.o.d"
+  "heap_protection"
+  "heap_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_key_vault.dir/private_key_vault.cpp.o"
+  "CMakeFiles/private_key_vault.dir/private_key_vault.cpp.o.d"
+  "private_key_vault"
+  "private_key_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_key_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_stack_demo.dir/shadow_stack_demo.cpp.o"
+  "CMakeFiles/shadow_stack_demo.dir/shadow_stack_demo.cpp.o.d"
+  "shadow_stack_demo"
+  "shadow_stack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_stack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("machine")
+subdirs("aes")
+subdirs("mpx")
+subdirs("mpk")
+subdirs("vmx")
+subdirs("sgx")
+subdirs("dune")
+subdirs("ir")
+subdirs("sim")
+subdirs("core")
+subdirs("workloads")
+subdirs("defenses")
+subdirs("attacks")
+subdirs("eval")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_aes.dir/aes128.cc.o"
+  "CMakeFiles/memsentry_aes.dir/aes128.cc.o.d"
+  "libmemsentry_aes.a"
+  "libmemsentry_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_attacks.dir/harness.cc.o"
+  "CMakeFiles/memsentry_attacks.dir/harness.cc.o.d"
+  "CMakeFiles/memsentry_attacks.dir/strategies.cc.o"
+  "CMakeFiles/memsentry_attacks.dir/strategies.cc.o.d"
+  "libmemsentry_attacks.a"
+  "libmemsentry_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_base.dir/log.cc.o"
+  "CMakeFiles/memsentry_base.dir/log.cc.o.d"
+  "CMakeFiles/memsentry_base.dir/status.cc.o"
+  "CMakeFiles/memsentry_base.dir/status.cc.o.d"
+  "libmemsentry_base.a"
+  "libmemsentry_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

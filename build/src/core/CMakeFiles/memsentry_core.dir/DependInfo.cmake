@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_based.cc" "src/core/CMakeFiles/memsentry_core.dir/address_based.cc.o" "gcc" "src/core/CMakeFiles/memsentry_core.dir/address_based.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/memsentry_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/memsentry_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/domain_based.cc" "src/core/CMakeFiles/memsentry_core.dir/domain_based.cc.o" "gcc" "src/core/CMakeFiles/memsentry_core.dir/domain_based.cc.o.d"
+  "/root/repo/src/core/gate_audit.cc" "src/core/CMakeFiles/memsentry_core.dir/gate_audit.cc.o" "gcc" "src/core/CMakeFiles/memsentry_core.dir/gate_audit.cc.o.d"
+  "/root/repo/src/core/instrument.cc" "src/core/CMakeFiles/memsentry_core.dir/instrument.cc.o" "gcc" "src/core/CMakeFiles/memsentry_core.dir/instrument.cc.o.d"
+  "/root/repo/src/core/safe_region.cc" "src/core/CMakeFiles/memsentry_core.dir/safe_region.cc.o" "gcc" "src/core/CMakeFiles/memsentry_core.dir/safe_region.cc.o.d"
+  "/root/repo/src/core/technique.cc" "src/core/CMakeFiles/memsentry_core.dir/technique.cc.o" "gcc" "src/core/CMakeFiles/memsentry_core.dir/technique.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memsentry_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/memsentry_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/memsentry_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memsentry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpx/CMakeFiles/memsentry_mpx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/memsentry_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/memsentry_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/memsentry_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/dune/CMakeFiles/memsentry_dune.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmx/CMakeFiles/memsentry_vmx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

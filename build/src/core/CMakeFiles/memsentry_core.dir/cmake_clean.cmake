@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_core.dir/address_based.cc.o"
+  "CMakeFiles/memsentry_core.dir/address_based.cc.o.d"
+  "CMakeFiles/memsentry_core.dir/advisor.cc.o"
+  "CMakeFiles/memsentry_core.dir/advisor.cc.o.d"
+  "CMakeFiles/memsentry_core.dir/domain_based.cc.o"
+  "CMakeFiles/memsentry_core.dir/domain_based.cc.o.d"
+  "CMakeFiles/memsentry_core.dir/gate_audit.cc.o"
+  "CMakeFiles/memsentry_core.dir/gate_audit.cc.o.d"
+  "CMakeFiles/memsentry_core.dir/instrument.cc.o"
+  "CMakeFiles/memsentry_core.dir/instrument.cc.o.d"
+  "CMakeFiles/memsentry_core.dir/safe_region.cc.o"
+  "CMakeFiles/memsentry_core.dir/safe_region.cc.o.d"
+  "CMakeFiles/memsentry_core.dir/technique.cc.o"
+  "CMakeFiles/memsentry_core.dir/technique.cc.o.d"
+  "libmemsentry_core.a"
+  "libmemsentry_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defenses/aslr_guard.cc" "src/defenses/CMakeFiles/memsentry_defenses.dir/aslr_guard.cc.o" "gcc" "src/defenses/CMakeFiles/memsentry_defenses.dir/aslr_guard.cc.o.d"
+  "/root/repo/src/defenses/ccfi.cc" "src/defenses/CMakeFiles/memsentry_defenses.dir/ccfi.cc.o" "gcc" "src/defenses/CMakeFiles/memsentry_defenses.dir/ccfi.cc.o.d"
+  "/root/repo/src/defenses/cfi.cc" "src/defenses/CMakeFiles/memsentry_defenses.dir/cfi.cc.o" "gcc" "src/defenses/CMakeFiles/memsentry_defenses.dir/cfi.cc.o.d"
+  "/root/repo/src/defenses/event_annotator.cc" "src/defenses/CMakeFiles/memsentry_defenses.dir/event_annotator.cc.o" "gcc" "src/defenses/CMakeFiles/memsentry_defenses.dir/event_annotator.cc.o.d"
+  "/root/repo/src/defenses/registry.cc" "src/defenses/CMakeFiles/memsentry_defenses.dir/registry.cc.o" "gcc" "src/defenses/CMakeFiles/memsentry_defenses.dir/registry.cc.o.d"
+  "/root/repo/src/defenses/safe_alloc.cc" "src/defenses/CMakeFiles/memsentry_defenses.dir/safe_alloc.cc.o" "gcc" "src/defenses/CMakeFiles/memsentry_defenses.dir/safe_alloc.cc.o.d"
+  "/root/repo/src/defenses/shadow_stack.cc" "src/defenses/CMakeFiles/memsentry_defenses.dir/shadow_stack.cc.o" "gcc" "src/defenses/CMakeFiles/memsentry_defenses.dir/shadow_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memsentry_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/memsentry_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memsentry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/memsentry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/memsentry_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/memsentry_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpx/CMakeFiles/memsentry_mpx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/memsentry_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/memsentry_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/dune/CMakeFiles/memsentry_dune.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmx/CMakeFiles/memsentry_vmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/memsentry_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

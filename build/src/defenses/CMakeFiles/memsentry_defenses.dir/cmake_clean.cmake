@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_defenses.dir/aslr_guard.cc.o"
+  "CMakeFiles/memsentry_defenses.dir/aslr_guard.cc.o.d"
+  "CMakeFiles/memsentry_defenses.dir/ccfi.cc.o"
+  "CMakeFiles/memsentry_defenses.dir/ccfi.cc.o.d"
+  "CMakeFiles/memsentry_defenses.dir/cfi.cc.o"
+  "CMakeFiles/memsentry_defenses.dir/cfi.cc.o.d"
+  "CMakeFiles/memsentry_defenses.dir/event_annotator.cc.o"
+  "CMakeFiles/memsentry_defenses.dir/event_annotator.cc.o.d"
+  "CMakeFiles/memsentry_defenses.dir/registry.cc.o"
+  "CMakeFiles/memsentry_defenses.dir/registry.cc.o.d"
+  "CMakeFiles/memsentry_defenses.dir/safe_alloc.cc.o"
+  "CMakeFiles/memsentry_defenses.dir/safe_alloc.cc.o.d"
+  "CMakeFiles/memsentry_defenses.dir/shadow_stack.cc.o"
+  "CMakeFiles/memsentry_defenses.dir/shadow_stack.cc.o.d"
+  "libmemsentry_defenses.a"
+  "libmemsentry_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for memsentry_defenses.
+# This may be replaced when dependencies are built.

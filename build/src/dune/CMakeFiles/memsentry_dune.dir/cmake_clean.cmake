@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_dune.dir/dune.cc.o"
+  "CMakeFiles/memsentry_dune.dir/dune.cc.o.d"
+  "libmemsentry_dune.a"
+  "libmemsentry_dune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_dune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

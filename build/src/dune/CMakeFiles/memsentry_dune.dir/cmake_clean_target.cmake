@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemsentry_dune.a"
+)

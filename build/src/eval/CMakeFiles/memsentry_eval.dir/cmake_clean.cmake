@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_eval.dir/figures.cc.o"
+  "CMakeFiles/memsentry_eval.dir/figures.cc.o.d"
+  "libmemsentry_eval.a"
+  "libmemsentry_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/memsentry_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/memsentry_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/instr.cc" "src/ir/CMakeFiles/memsentry_ir.dir/instr.cc.o" "gcc" "src/ir/CMakeFiles/memsentry_ir.dir/instr.cc.o.d"
+  "/root/repo/src/ir/pass.cc" "src/ir/CMakeFiles/memsentry_ir.dir/pass.cc.o" "gcc" "src/ir/CMakeFiles/memsentry_ir.dir/pass.cc.o.d"
+  "/root/repo/src/ir/pointsto.cc" "src/ir/CMakeFiles/memsentry_ir.dir/pointsto.cc.o" "gcc" "src/ir/CMakeFiles/memsentry_ir.dir/pointsto.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/memsentry_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/memsentry_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/memsentry_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/memsentry_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memsentry_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/memsentry_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

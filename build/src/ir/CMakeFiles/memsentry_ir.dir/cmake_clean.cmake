@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_ir.dir/builder.cc.o"
+  "CMakeFiles/memsentry_ir.dir/builder.cc.o.d"
+  "CMakeFiles/memsentry_ir.dir/instr.cc.o"
+  "CMakeFiles/memsentry_ir.dir/instr.cc.o.d"
+  "CMakeFiles/memsentry_ir.dir/pass.cc.o"
+  "CMakeFiles/memsentry_ir.dir/pass.cc.o.d"
+  "CMakeFiles/memsentry_ir.dir/pointsto.cc.o"
+  "CMakeFiles/memsentry_ir.dir/pointsto.cc.o.d"
+  "CMakeFiles/memsentry_ir.dir/printer.cc.o"
+  "CMakeFiles/memsentry_ir.dir/printer.cc.o.d"
+  "CMakeFiles/memsentry_ir.dir/verifier.cc.o"
+  "CMakeFiles/memsentry_ir.dir/verifier.cc.o.d"
+  "libmemsentry_ir.a"
+  "libmemsentry_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache.cc" "src/machine/CMakeFiles/memsentry_machine.dir/cache.cc.o" "gcc" "src/machine/CMakeFiles/memsentry_machine.dir/cache.cc.o.d"
+  "/root/repo/src/machine/fault.cc" "src/machine/CMakeFiles/memsentry_machine.dir/fault.cc.o" "gcc" "src/machine/CMakeFiles/memsentry_machine.dir/fault.cc.o.d"
+  "/root/repo/src/machine/mmu.cc" "src/machine/CMakeFiles/memsentry_machine.dir/mmu.cc.o" "gcc" "src/machine/CMakeFiles/memsentry_machine.dir/mmu.cc.o.d"
+  "/root/repo/src/machine/page_table.cc" "src/machine/CMakeFiles/memsentry_machine.dir/page_table.cc.o" "gcc" "src/machine/CMakeFiles/memsentry_machine.dir/page_table.cc.o.d"
+  "/root/repo/src/machine/phys_mem.cc" "src/machine/CMakeFiles/memsentry_machine.dir/phys_mem.cc.o" "gcc" "src/machine/CMakeFiles/memsentry_machine.dir/phys_mem.cc.o.d"
+  "/root/repo/src/machine/tlb.cc" "src/machine/CMakeFiles/memsentry_machine.dir/tlb.cc.o" "gcc" "src/machine/CMakeFiles/memsentry_machine.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memsentry_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_machine.dir/cache.cc.o"
+  "CMakeFiles/memsentry_machine.dir/cache.cc.o.d"
+  "CMakeFiles/memsentry_machine.dir/fault.cc.o"
+  "CMakeFiles/memsentry_machine.dir/fault.cc.o.d"
+  "CMakeFiles/memsentry_machine.dir/mmu.cc.o"
+  "CMakeFiles/memsentry_machine.dir/mmu.cc.o.d"
+  "CMakeFiles/memsentry_machine.dir/page_table.cc.o"
+  "CMakeFiles/memsentry_machine.dir/page_table.cc.o.d"
+  "CMakeFiles/memsentry_machine.dir/phys_mem.cc.o"
+  "CMakeFiles/memsentry_machine.dir/phys_mem.cc.o.d"
+  "CMakeFiles/memsentry_machine.dir/tlb.cc.o"
+  "CMakeFiles/memsentry_machine.dir/tlb.cc.o.d"
+  "libmemsentry_machine.a"
+  "libmemsentry_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

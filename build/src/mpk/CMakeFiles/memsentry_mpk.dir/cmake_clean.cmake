@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_mpk.dir/key_virtualizer.cc.o"
+  "CMakeFiles/memsentry_mpk.dir/key_virtualizer.cc.o.d"
+  "CMakeFiles/memsentry_mpk.dir/mpk.cc.o"
+  "CMakeFiles/memsentry_mpk.dir/mpk.cc.o.d"
+  "libmemsentry_mpk.a"
+  "libmemsentry_mpk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_mpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

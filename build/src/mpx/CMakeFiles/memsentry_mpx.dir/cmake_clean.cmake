@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_mpx.dir/mpx.cc.o"
+  "CMakeFiles/memsentry_mpx.dir/mpx.cc.o.d"
+  "libmemsentry_mpx.a"
+  "libmemsentry_mpx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_mpx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for memsentry_mpx.
+# This may be replaced when dependencies are built.

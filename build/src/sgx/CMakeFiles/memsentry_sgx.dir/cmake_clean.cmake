@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_sgx.dir/enclave.cc.o"
+  "CMakeFiles/memsentry_sgx.dir/enclave.cc.o.d"
+  "libmemsentry_sgx.a"
+  "libmemsentry_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/memsentry_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/memsentry_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/memsentry_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/memsentry_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/sim/CMakeFiles/memsentry_sim.dir/process.cc.o" "gcc" "src/sim/CMakeFiles/memsentry_sim.dir/process.cc.o.d"
+  "/root/repo/src/sim/profiling.cc" "src/sim/CMakeFiles/memsentry_sim.dir/profiling.cc.o" "gcc" "src/sim/CMakeFiles/memsentry_sim.dir/profiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memsentry_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/memsentry_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/memsentry_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpx/CMakeFiles/memsentry_mpx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/memsentry_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmx/CMakeFiles/memsentry_vmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/memsentry_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/dune/CMakeFiles/memsentry_dune.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/memsentry_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_sim.dir/executor.cc.o"
+  "CMakeFiles/memsentry_sim.dir/executor.cc.o.d"
+  "CMakeFiles/memsentry_sim.dir/kernel.cc.o"
+  "CMakeFiles/memsentry_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/memsentry_sim.dir/process.cc.o"
+  "CMakeFiles/memsentry_sim.dir/process.cc.o.d"
+  "CMakeFiles/memsentry_sim.dir/profiling.cc.o"
+  "CMakeFiles/memsentry_sim.dir/profiling.cc.o.d"
+  "libmemsentry_sim.a"
+  "libmemsentry_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_vmx.dir/ept.cc.o"
+  "CMakeFiles/memsentry_vmx.dir/ept.cc.o.d"
+  "libmemsentry_vmx.a"
+  "libmemsentry_vmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_vmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_workloads.dir/spec_profiles.cc.o"
+  "CMakeFiles/memsentry_workloads.dir/spec_profiles.cc.o.d"
+  "CMakeFiles/memsentry_workloads.dir/synth.cc.o"
+  "CMakeFiles/memsentry_workloads.dir/synth.cc.o.d"
+  "libmemsentry_workloads.a"
+  "libmemsentry_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

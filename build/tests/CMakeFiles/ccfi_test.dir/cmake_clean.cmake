@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfi_test.dir/ccfi_test.cc.o"
+  "CMakeFiles/ccfi_test.dir/ccfi_test.cc.o.d"
+  "ccfi_test"
+  "ccfi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/instrument_test.cc" "tests/CMakeFiles/instrument_test.dir/instrument_test.cc.o" "gcc" "tests/CMakeFiles/instrument_test.dir/instrument_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/memsentry_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/memsentry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defenses/CMakeFiles/memsentry_defenses.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/memsentry_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/memsentry_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memsentry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/memsentry_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dune/CMakeFiles/memsentry_dune.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmx/CMakeFiles/memsentry_vmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/memsentry_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/memsentry_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpx/CMakeFiles/memsentry_mpx.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/memsentry_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/memsentry_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/memsentry_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_virtualizer_test.dir/key_virtualizer_test.cc.o"
+  "CMakeFiles/key_virtualizer_test.dir/key_virtualizer_test.cc.o.d"
+  "key_virtualizer_test"
+  "key_virtualizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_virtualizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_domain_test.dir/multi_domain_test.cc.o"
+  "CMakeFiles/multi_domain_test.dir/multi_domain_test.cc.o.d"
+  "multi_domain_test"
+  "multi_domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

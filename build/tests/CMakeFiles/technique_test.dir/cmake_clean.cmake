@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technique_test.dir/technique_test.cc.o"
+  "CMakeFiles/technique_test.dir/technique_test.cc.o.d"
+  "technique_test"
+  "technique_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

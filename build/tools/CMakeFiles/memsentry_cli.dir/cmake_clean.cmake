@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsentry_cli.dir/memsentry_cli.cc.o"
+  "CMakeFiles/memsentry_cli.dir/memsentry_cli.cc.o.d"
+  "memsentry_cli"
+  "memsentry_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsentry_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
