@@ -14,8 +14,7 @@ namespace memsentry {
 namespace {
 
 double Fig3Point(const workloads::SpecProfile& profile, core::TechniqueKind kind,
-                 core::InstrumentOptions instrument) {
-  eval::ExperimentOptions options = bench::DefaultOptions();
+                 core::InstrumentOptions instrument, eval::ExperimentOptions options) {
   options.instrument = instrument;
   return eval::RunAddressBasedExperiment(profile, kind, instrument.mode, options);
 }
@@ -23,8 +22,9 @@ double Fig3Point(const workloads::SpecProfile& profile, core::TechniqueKind kind
 }  // namespace
 }  // namespace memsentry
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("ablations", argc, argv);
   bench::PrintHeader("Ablations — the design choices behind MemSentry's numbers");
 
   const auto& gcc = *workloads::FindProfile("403.gcc");
@@ -37,9 +37,11 @@ int main() {
     single.mode = core::ProtectMode::kReadWrite;
     core::InstrumentOptions both = single;
     both.mpx_double_bounds = true;
-    std::printf("%-16s %14.3f %14.3f\n", profile->name.c_str(),
-                Fig3Point(*profile, core::TechniqueKind::kMpx, single),
-                Fig3Point(*profile, core::TechniqueKind::kMpx, both));
+    const double s = Fig3Point(*profile, core::TechniqueKind::kMpx, single, reporter.Options());
+    const double b = Fig3Point(*profile, core::TechniqueKind::kMpx, both, reporter.Options());
+    reporter.AddFidelity("ablate/mpx_single/" + profile->name, s, bench::kPerBenchmarkTol);
+    reporter.AddFidelity("ablate/mpx_double/" + profile->name, b, bench::kPerBenchmarkTol);
+    std::printf("%-16s %14.3f %14.3f\n", profile->name.c_str(), s, b);
   }
   std::printf("(the paper dismisses MPX-as-bounds-checker for its overhead; the single\n");
   std::printf(" partition check is what makes it competitive — Section 5.4/6.1)\n");
@@ -51,9 +53,11 @@ int main() {
     hoisted.mode = core::ProtectMode::kReadWrite;
     core::InstrumentOptions remat = hoisted;
     remat.sfi_rematerialize_mask = true;
-    std::printf("%-16s %14.3f %14.3f\n", profile->name.c_str(),
-                Fig3Point(*profile, core::TechniqueKind::kSfi, hoisted),
-                Fig3Point(*profile, core::TechniqueKind::kSfi, remat));
+    const double h = Fig3Point(*profile, core::TechniqueKind::kSfi, hoisted, reporter.Options());
+    const double r = Fig3Point(*profile, core::TechniqueKind::kSfi, remat, reporter.Options());
+    reporter.AddFidelity("ablate/sfi_hoisted/" + profile->name, h, bench::kPerBenchmarkTol);
+    reporter.AddFidelity("ablate/sfi_remat/" + profile->name, r, bench::kPerBenchmarkTol);
+    std::printf("%-16s %14.3f %14.3f\n", profile->name.c_str(), h, r);
   }
 
   std::printf("\n[3] MPK closing policy: integrity-only (WD) vs confidentiality (AD+WD)\n");
@@ -61,23 +65,27 @@ int main() {
   std::printf("    WD-only still lets the attacker *read* the region (shadow stacks only\n");
   std::printf("    need integrity; private keys need AD) — Section 4.\n");
   {
-    eval::ExperimentOptions options = bench::DefaultOptions();
+    eval::ExperimentOptions options = reporter.Options();
     options.instrument.mode = core::ProtectMode::kWriteOnly;
     const double wd = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kMpk,
                                                      eval::DomainScenario::kCallRet, options);
     options.instrument.mode = core::ProtectMode::kReadWrite;
     const double ad = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kMpk,
                                                      eval::DomainScenario::kCallRet, options);
+    reporter.AddFidelity("ablate/mpk_wd_only", wd, bench::kPerBenchmarkTol);
+    reporter.AddFidelity("ablate/mpk_ad_wd", ad, bench::kPerBenchmarkTol);
     std::printf("    403.gcc: WD-only %.3f vs AD+WD %.3f (identical switch cost)\n", wd, ad);
   }
 
   std::printf("\n[4] SGX as a domain technique (why the paper rules it out)\n");
   {
-    eval::ExperimentOptions options = bench::DefaultOptions();
+    eval::ExperimentOptions options = reporter.Options();
     const double sgx = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kSgx,
                                                       eval::DomainScenario::kSyscall, options);
     const double mpk = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kMpk,
                                                       eval::DomainScenario::kSyscall, options);
+    reporter.AddFidelity("ablate/sgx_syscall", sgx, bench::kPerBenchmarkTol);
+    reporter.AddFidelity("ablate/mpk_syscall", mpk, bench::kPerBenchmarkTol);
     std::printf("    403.gcc syscall scenario: SGX %.2f vs MPK %.3f\n", sgx, mpk);
     std::printf("    (7664-cycle crossings: ~70x an MPK switch — Section 3.1)\n");
   }
@@ -87,7 +95,7 @@ int main() {
     // Without BNDPRESERVE every legacy branch resets the bound registers and
     // the next check reloads bnd0 from the bound table (Section 5.4).
     auto run = [&](bool preserve) {
-      eval::ExperimentOptions options = bench::DefaultOptions();
+      eval::ExperimentOptions options = reporter.Options();
       sim::Machine m1;
       sim::Process base_proc(&m1);
       (void)workloads::PrepareWorkloadProcess(base_proc, gcc);
@@ -110,8 +118,11 @@ int main() {
       sim::Executor exec(&proc, &inst);
       return exec.Run().cycles / base;
     };
-    std::printf("    403.gcc MPX-rw: BNDPRESERVE on %.3f vs off %.3f\n", run(true),
-                run(false));
+    const double on = run(true);
+    const double off = run(false);
+    reporter.AddFidelity("ablate/bndpreserve_on", on, bench::kPerBenchmarkTol);
+    reporter.AddFidelity("ablate/bndpreserve_off", off, bench::kPerBenchmarkTol);
+    std::printf("    403.gcc MPX-rw: BNDPRESERVE on %.3f vs off %.3f\n", on, off);
     std::printf("    (off: every branch resets bnd0; checks pay bound-table reloads --\n");
     std::printf("     and between reset and reload, checks pass vacuously: the flag is\n");
     std::printf("     a correctness requirement, not just a performance one)\n");
@@ -155,6 +166,11 @@ int main() {
     const uint64_t static_count =
         static_module.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
 
+    reporter.AddFidelity("ablate/pointsto/memory_ops", static_cast<double>(mem_ops), 0.02);
+    reporter.AddFidelity("ablate/pointsto/dynamic_annotated",
+                         static_cast<double>(dynamic_count), 0.02);
+    reporter.AddFidelity("ablate/pointsto/static_annotated",
+                         static_cast<double>(static_count), 0.02);
     std::printf("    memory ops in program:        %llu\n",
                 static_cast<unsigned long long>(mem_ops));
     std::printf("    dynamic profile annotates:    %llu (exact for this input)\n",
@@ -165,5 +181,5 @@ int main() {
     std::printf("    (paper Section 5.5: DSA is overly conservative; the PIN-style run\n");
     std::printf("     is exact but under-approximates across inputs)\n");
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -1,14 +1,22 @@
-// Shared table-printing helpers for the per-figure benchmark binaries. Every
-// binary prints the paper's reference values next to the reproduced ones so
-// the comparison is one `diff`-shaped read.
+// Shared helpers for the per-figure benchmark binaries. Every binary prints
+// the paper's reference values next to the reproduced ones so the comparison
+// is one `diff`-shaped read — and, through bench::Reporter, emits the same
+// numbers as a machine-readable JSON report (`--json=<path>`) that
+// tools/bench_runner merges into BENCH_RESULTS.json and gates against
+// bench/baselines/.
 #ifndef MEMSENTRY_BENCH_BENCH_UTIL_H_
 #define MEMSENTRY_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/base/json.h"
 #include "src/eval/figures.h"
+#include "src/eval/regression_gate.h"
 #include "src/workloads/spec_profiles.h"
 
 namespace memsentry::bench {
@@ -55,6 +63,125 @@ inline eval::ExperimentOptions DefaultOptions() {
   options.target_instructions = 400'000;
   return options;
 }
+
+// Default per-metric relative tolerances baked into every report (and thus
+// into snapshots under bench/baselines/). Geomeans are tight; individual
+// benchmarks wobble more across instruction budgets and compilers; cycle
+// totals are perf-kind and warn-only until a second baseline exists.
+inline constexpr double kGeomeanTol = 0.05;
+inline constexpr double kPerBenchmarkTol = 0.15;
+inline constexpr double kCyclesTol = 0.15;
+inline constexpr double kMicroLatencyTol = 0.10;
+
+// Collects a benchmark binary's results as named metrics and writes the
+// machine-readable report when the binary was invoked with --json=<path>.
+// Metric names are slash-paths, unique across the whole suite because each
+// binary prefixes its own figure/table (e.g. "fig3/geomean/MPX-w").
+class Reporter {
+ public:
+  Reporter(std::string binary, int argc, char** argv)
+      : binary_(std::move(binary)), start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--json=", 7) == 0) {
+        json_path_ = arg + 7;
+      } else if (std::strncmp(arg, "--instructions=", 15) == 0) {
+        instructions_ = std::strtoull(arg + 15, nullptr, 10);
+      }
+    }
+  }
+
+  // DefaultOptions() with any --instructions= override applied. Every
+  // binary routes its workload budget through this so bench_runner --quick
+  // can shrink the whole suite uniformly.
+  eval::ExperimentOptions Options() const {
+    eval::ExperimentOptions options = DefaultOptions();
+    if (instructions_ > 0) {
+      options.target_instructions = instructions_;
+    }
+    return options;
+  }
+
+  uint64_t TargetInstructions() const { return Options().target_instructions; }
+  bool enabled() const { return !json_path_.empty(); }
+
+  // One scalar metric. paper = NAN when the paper gives no reference value;
+  // note is free-form context carried into the report.
+  void Add(const std::string& name, double value, eval::MetricKind kind, double tol,
+           double paper = NAN, const std::string& note = "") {
+    json::Value entry = json::Value::Object();
+    entry.Set("value", value);
+    entry.Set("kind", eval::MetricKindName(kind));
+    entry.Set("tol", tol);
+    if (!std::isnan(paper)) {
+      entry.Set("paper", paper);
+    }
+    if (!note.empty()) {
+      entry.Set("note", note);
+    }
+    metrics_.Set(name, std::move(entry));
+  }
+
+  void AddFidelity(const std::string& name, double value, double tol, double paper = NAN,
+                   const std::string& note = "") {
+    Add(name, value, eval::MetricKind::kFidelity, tol, paper, note);
+  }
+
+  void AddPerf(const std::string& name, double value, double tol = kCyclesTol) {
+    Add(name, value, eval::MetricKind::kPerf, tol);
+  }
+
+  void AddInfo(const std::string& name, double value) {
+    Add(name, value, eval::MetricKind::kInfo, 0.0);
+  }
+
+  // A whole figure: per-config geomeans (fidelity, with the paper's
+  // reference), per-benchmark normalized runtimes (fidelity, looser), and
+  // suite-total protected cycles (perf).
+  void AddFigure(const std::string& prefix, const std::vector<eval::FigureSeries>& series,
+                 const std::vector<double>& paper_geomeans) {
+    const auto profiles = workloads::SpecCpu2006();
+    for (size_t i = 0; i < series.size(); ++i) {
+      const auto& s = series[i];
+      const double paper = i < paper_geomeans.size() ? paper_geomeans[i] : NAN;
+      AddFidelity(prefix + "/geomean/" + s.config, s.geomean, kGeomeanTol, paper);
+      for (size_t b = 0; b < s.normalized.size() && b < profiles.size(); ++b) {
+        AddFidelity(prefix + "/norm/" + s.config + "/" + profiles[b].name, s.normalized[b],
+                    kPerBenchmarkTol);
+      }
+      AddPerf(prefix + "/cycles/" + s.config, s.total_prot_cycles);
+    }
+  }
+
+  // Writes the report if --json= was given. Returns the binary's exit code
+  // (nonzero when the report could not be written, so CI notices).
+  int Finish() {
+    if (json_path_.empty()) {
+      return 0;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    AddInfo(binary_ + "/wall_seconds", wall);
+    json::Value doc = json::Value::Object();
+    doc.Set("schema", 1);
+    doc.Set("binary", binary_);
+    doc.Set("instructions", TargetInstructions());
+    doc.Set("wall_seconds", wall);
+    doc.Set("metrics", std::move(metrics_));
+    if (Status s = json::WriteFile(json_path_, doc); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", binary_.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  std::string binary_;
+  std::string json_path_;
+  uint64_t instructions_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  json::Value metrics_ = json::Value::Object();
+};
 
 }  // namespace memsentry::bench
 

@@ -5,22 +5,31 @@
 // benchmark).
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("crypt_size_sweep", argc, argv);
   bench::PrintHeader("crypt region-size sweep (call/ret scenario, 401.bzip2)");
   const auto points = eval::RunCryptSizeSweep(
       *workloads::FindProfile("401.bzip2"), {16, 32, 64, 128, 256, 512, 1024, 2048},
-      bench::DefaultOptions());
+      reporter.Options());
   std::printf("%12s %14s %18s\n", "region bytes", "normalized", "overhead vs 16 B");
   double base_overhead = 0;
   for (const auto& p : points) {
     if (p.region_bytes == 16) {
       base_overhead = p.normalized - 1.0;
     }
+    const double relative = base_overhead > 0 ? (p.normalized - 1.0) / base_overhead : 1.0;
+    const std::string bytes = std::to_string(p.region_bytes);
+    reporter.AddFidelity("crypt_sweep/norm/" + bytes, p.normalized, bench::kPerBenchmarkTol);
+    reporter.AddPerf("crypt_sweep/cycles/" + bytes, p.prot_cycles);
+    if (p.region_bytes == 1024) {
+      reporter.AddFidelity("crypt_sweep/relative_overhead_1024", relative,
+                           bench::kPerBenchmarkTol, NAN,
+                           "paper: ~15x total overhead at 1024 bytes, linear growth");
+    }
     std::printf("%12llu %14.2f %17.1fx\n",
-                static_cast<unsigned long long>(p.region_bytes), p.normalized,
-                base_overhead > 0 ? (p.normalized - 1.0) / base_overhead : 1.0);
+                static_cast<unsigned long long>(p.region_bytes), p.normalized, relative);
   }
   std::printf("(paper: linear growth; ~15x total at 1024 bytes)\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -3,11 +3,14 @@
 // overhead than SFI in (almost) all cases; geomeans 2.8/4/12/17.1/14.7/19.6%.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("fig3_address", argc, argv);
   bench::PrintHeader(
       "Figure 3 — address-based isolation (MPX vs SFI), all loads/stores instrumented");
-  const auto series = eval::RunFigure3(bench::DefaultOptions());
-  bench::PrintFigure(series, {1.028, 1.040, 1.120, 1.171, 1.147, 1.196});
-  return 0;
+  const std::vector<double> paper = {1.028, 1.040, 1.120, 1.171, 1.147, 1.196};
+  const auto series = eval::RunFigure3(reporter.Options());
+  bench::PrintFigure(series, paper);
+  reporter.AddFigure("fig3", series, paper);
+  return reporter.Finish();
 }

@@ -4,10 +4,13 @@
 // VMFUNC on the call-dense C++ benchmarks (povray, xalancbmk).
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("fig4_callret", argc, argv);
   bench::PrintHeader("Figure 4 — domain-based isolation at every call+ret (shadow stack)");
-  const auto series = eval::RunFigure4(bench::DefaultOptions());
-  bench::PrintFigure(series, {2.30, 4.57, 3.17});
-  return 0;
+  const std::vector<double> paper = {2.30, 4.57, 3.17};
+  const auto series = eval::RunFigure4(reporter.Options());
+  bench::PrintFigure(series, paper);
+  reporter.AddFigure("fig4", series, paper);
+  return reporter.Finish();
 }

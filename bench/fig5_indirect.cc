@@ -3,10 +3,13 @@
 // crypt 60%; peak 10.61x.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("fig5_indirect", argc, argv);
   bench::PrintHeader("Figure 5 — domain-based isolation at every indirect branch (CFI)");
-  const auto series = eval::RunFigure5(bench::DefaultOptions());
-  bench::PrintFigure(series, {1.34, 1.82, 1.60});
-  return 0;
+  const std::vector<double> paper = {1.34, 1.82, 1.60};
+  const auto series = eval::RunFigure5(reporter.Options());
+  bench::PrintFigure(series, paper);
+  reporter.AddFigure("fig5", series, paper);
+  return reporter.Finish();
 }

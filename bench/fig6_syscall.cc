@@ -4,10 +4,13 @@
 // reservation tax on FP benchmarks, not the switches themselves.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("fig6_syscall", argc, argv);
   bench::PrintHeader("Figure 6 — domain-based isolation at every system call");
-  const auto series = eval::RunFigure6(bench::DefaultOptions());
-  bench::PrintFigure(series, {1.011, 1.055, 1.22});
-  return 0;
+  const std::vector<double> paper = {1.011, 1.055, 1.22};
+  const auto series = eval::RunFigure6(reporter.Options());
+  bench::PrintFigure(series, paper);
+  reporter.AddFigure("fig6", series, paper);
+  return reporter.Finish();
 }

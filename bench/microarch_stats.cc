@@ -8,8 +8,9 @@
 #include "src/sim/executor.h"
 #include "src/workloads/synth.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("microarch_stats", argc, argv);
   bench::PrintHeader("Workload microarchitecture — why the figures look the way they do");
   std::printf("%-16s %6s %8s %7s %7s %7s %7s %9s\n", "benchmark", "CPI", "TLB-hit", "L1%",
               "L2%", "L3%", "DRAM%", "instr.share");
@@ -35,16 +36,21 @@ int main() {
     const auto& tlb = process.mmu().tlb().stats();
     const auto& cache = process.mmu().dcache().stats();
     const double accesses = static_cast<double>(cache.accesses);
+    const double instr_share = 100.0 * static_cast<double>(result.instrumentation_instrs) /
+                               static_cast<double>(result.instructions);
+    reporter.AddFidelity("microarch/cpi/" + profile.name, result.Cpi(),
+                         bench::kMicroLatencyTol);
+    reporter.AddFidelity("microarch/instr_share/" + profile.name, instr_share,
+                         bench::kPerBenchmarkTol);
+    reporter.AddPerf("microarch/cycles/" + profile.name, result.cycles);
     std::printf("%-16s %6.2f %7.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %8.1f%%\n",
                 profile.name.c_str(), result.Cpi(), 100.0 * tlb.HitRate(),
                 100.0 * static_cast<double>(cache.l1_hits) / accesses,
                 100.0 * static_cast<double>(cache.l2_hits) / accesses,
                 100.0 * static_cast<double>(cache.l3_hits) / accesses,
-                100.0 * static_cast<double>(cache.dram_accesses) / accesses,
-                100.0 * static_cast<double>(result.instrumentation_instrs) /
-                    static_cast<double>(result.instructions));
+                100.0 * static_cast<double>(cache.dram_accesses) / accesses, instr_share);
   }
   std::printf("\n(MPX-rw build; instr.share = fraction of executed instructions that are\n");
   std::printf(" MemSentry-inserted; memory-bound rows show how DRAM time hides them)\n");
-  return 0;
+  return reporter.Finish();
 }

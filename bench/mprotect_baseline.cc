@@ -4,16 +4,26 @@
 #include "bench/bench_util.h"
 #include "src/base/stats_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("mprotect_baseline", argc, argv);
   bench::PrintHeader("mprotect baseline — page-protection toggling at every call+ret");
   std::printf("%-16s %12s\n", "benchmark", "normalized");
   std::vector<double> values;
+  double total_cycles = 0;
   for (const auto& profile : workloads::SpecCpu2006()) {
-    const double x = eval::RunMprotectBaseline(profile, bench::DefaultOptions());
-    values.push_back(x);
-    std::printf("%-16s %12.1f\n", profile.name.c_str(), x);
+    const auto r = eval::RunDomainBasedExperimentFull(
+        profile, core::TechniqueKind::kMprotect, eval::DomainScenario::kCallRet,
+        reporter.Options());
+    values.push_back(r.normalized);
+    total_cycles += r.prot_cycles;
+    reporter.AddFidelity("mprotect/norm/" + profile.name, r.normalized,
+                         bench::kPerBenchmarkTol);
+    std::printf("%-16s %12.1f\n", profile.name.c_str(), r.normalized);
   }
   std::printf("%-16s %12.1f   (paper: 20-50x)\n", "geomean", GeoMean(values));
-  return 0;
+  reporter.AddFidelity("mprotect/geomean", GeoMean(values), bench::kGeomeanTol, NAN,
+                       "paper: 20-50x on call-dense benchmarks");
+  reporter.AddPerf("mprotect/cycles/total", total_cycles);
+  return reporter.Finish();
 }

@@ -11,9 +11,8 @@
 namespace memsentry {
 namespace {
 
-double RunSafeStack(const workloads::SpecProfile& profile, core::TechniqueKind kind) {
-  using namespace memsentry;
-  const auto options = bench::DefaultOptions();
+double RunSafeStack(const workloads::SpecProfile& profile, core::TechniqueKind kind,
+                    const eval::ExperimentOptions& options) {
   // Baseline: plain program, ordinary stack.
   double base_cycles = 0;
   {
@@ -52,20 +51,25 @@ double RunSafeStack(const workloads::SpecProfile& profile, core::TechniqueKind k
 }  // namespace
 }  // namespace memsentry
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memsentry;
+  bench::Reporter reporter("safestack_casestudy", argc, argv);
   bench::PrintHeader("SafeStack case study — MemSentry-hardened production shadow stack");
   std::printf("%-16s %10s %10s\n", "benchmark", "MPX-w", "SFI-w");
   std::vector<double> mpx, sfi;
   for (const auto& profile : workloads::SpecCpu2006()) {
-    const double m = RunSafeStack(profile, core::TechniqueKind::kMpx);
-    const double s = RunSafeStack(profile, core::TechniqueKind::kSfi);
+    const double m = RunSafeStack(profile, core::TechniqueKind::kMpx, reporter.Options());
+    const double s = RunSafeStack(profile, core::TechniqueKind::kSfi, reporter.Options());
     mpx.push_back(m);
     sfi.push_back(s);
+    reporter.AddFidelity("safestack/norm/MPX-w/" + profile.name, m, bench::kPerBenchmarkTol);
+    reporter.AddFidelity("safestack/norm/SFI-w/" + profile.name, s, bench::kPerBenchmarkTol);
     std::printf("%-16s %10.2f %10.2f\n", profile.name.c_str(), m, s);
   }
   std::printf("%-16s %10.3f %10.3f\n", "geomean", GeoMean(mpx), GeoMean(sfi));
   std::printf("(paper: identical to Figure 3 -w: MPX 1.028, SFI 1.040 — SafeStack itself\n");
   std::printf(" introduces no additional overhead)\n");
-  return 0;
+  reporter.AddFidelity("safestack/geomean/MPX-w", GeoMean(mpx), bench::kGeomeanTol, 1.028);
+  reporter.AddFidelity("safestack/geomean/SFI-w", GeoMean(sfi), bench::kGeomeanTol, 1.040);
+  return reporter.Finish();
 }

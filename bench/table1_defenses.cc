@@ -2,10 +2,13 @@
 // isolation — protections, isolation type, instrumentation points.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/defenses/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace memsentry;
   using namespace memsentry::defenses;
+  bench::Reporter reporter("table1_defenses", argc, argv);
   std::printf("\n================================================================\n");
   std::printf("Table 1 — defense systems based on memory isolation\n");
   std::printf("================================================================\n");
@@ -21,5 +24,9 @@ int main() {
   std::printf("\n%d of %zu surveyed defenses rely on probabilistic isolation\n",
               probabilistic, SurveyedDefenses().size());
   std::printf("(information hiding) for their safe regions — the paper's motivation.\n");
-  return 0;
+  // Structural fidelity: the survey must keep matching the paper row counts.
+  reporter.AddFidelity("table1/surveyed_defenses",
+                       static_cast<double>(SurveyedDefenses().size()), 0.0, 13);
+  reporter.AddFidelity("table1/probabilistic", probabilistic, 0.0, 10);
+  return reporter.Finish();
 }

@@ -2,10 +2,13 @@
 // maximum domains and minimum granularity.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/core/technique.h"
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace memsentry;
   using namespace memsentry::core;
+  bench::Reporter reporter("table3_limits", argc, argv);
   std::printf("\n================================================================\n");
   std::printf("Table 3 — limitations of memory isolation techniques\n");
   std::printf("================================================================\n");
@@ -30,6 +33,10 @@ int main() {
     }
     std::printf("%-12s %-12s %-12s %-6d %s\n", TechniqueKindName(kind), domains, gran,
                 limits.hw_since_year, limits.notes.c_str());
+    const std::string prefix = std::string("table3/") + TechniqueKindName(kind);
+    reporter.AddFidelity(prefix + "/max_domains", limits.max_domains, 0.0);
+    reporter.AddFidelity(prefix + "/granularity",
+                         static_cast<double>(limits.granularity), 0.0);
   }
-  return 0;
+  return reporter.Finish();
 }

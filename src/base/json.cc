@@ -1,0 +1,486 @@
+#include "src/base/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace memsentry::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const Member& m : members_) {
+    if (m.first == key) {
+      return &m.second;
+    }
+  }
+  return nullptr;
+}
+
+Value* Value::Find(std::string_view key) {
+  return const_cast<Value*>(static_cast<const Value*>(this)->Find(key));
+}
+
+Value& Value::operator[](std::string_view key) {
+  kind_ = Kind::kObject;
+  if (Value* existing = Find(key)) {
+    return *existing;
+  }
+  members_.emplace_back(std::string(key), Value());
+  return members_.back().second;
+}
+
+double Value::NumberOr(std::string_view key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value() : fallback;
+}
+
+std::string Value::StringOr(std::string_view key, std::string_view fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value() : std::string(fallback);
+}
+
+bool Value::BoolOr(std::string_view key, bool fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->bool_value() : fallback;
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec != std::errc()) {
+    out += "0";
+    return;
+  }
+  out.append(buf, end);
+}
+
+void AppendNewlineIndent(std::string& out, int indent, int depth) {
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+  }
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Kind::kString:
+      out += '"';
+      out += Escape(string_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        AppendNewlineIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      AppendNewlineIndent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        AppendNewlineIndent(out, indent, depth + 1);
+        out += '"';
+        out += Escape(members_[i].first);
+        out += "\":";
+        if (indent > 0) {
+          out += ' ';
+        }
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      AppendNewlineIndent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser. Depth-limited so hostile inputs can't blow the
+// stack; benchmark reports nest four or five levels deep.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Value> Run() {
+    SkipWhitespace();
+    Value root;
+    MEMSENTRY_RETURN_IF_ERROR(ParseValue(root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return InvalidArgument("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value& out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out, depth);
+    }
+    if (c == '[') {
+      return ParseArray(out, depth);
+    }
+    if (c == '"') {
+      std::string s;
+      MEMSENTRY_RETURN_IF_ERROR(ParseString(s));
+      out = Value(std::move(s));
+      return OkStatus();
+    }
+    if (ConsumeLiteral("true")) {
+      out = Value(true);
+      return OkStatus();
+    }
+    if (ConsumeLiteral("false")) {
+      out = Value(false);
+      return OkStatus();
+    }
+    if (ConsumeLiteral("null")) {
+      out = Value();
+      return OkStatus();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Value& out, int depth) {
+    ++pos_;  // '{'
+    out = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return OkStatus();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      MEMSENTRY_RETURN_IF_ERROR(ParseString(key));
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' in object");
+      }
+      Value member;
+      MEMSENTRY_RETURN_IF_ERROR(ParseValue(member, depth + 1));
+      out.members().emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Value& out, int depth) {
+    ++pos_;  // '['
+    out = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return OkStatus();
+    }
+    while (true) {
+      Value item;
+      MEMSENTRY_RETURN_IF_ERROR(ParseValue(item, depth + 1));
+      out.items().push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    if (!Consume('"')) {
+      return Error("expected string");
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return OkStatus();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          MEMSENTRY_RETURN_IF_ERROR(ParseHex4(code));
+          // Surrogate pair → one code point.
+          if (code >= 0xD800 && code <= 0xDBFF && text_.substr(pos_, 2) == "\\u") {
+            pos_ += 2;
+            uint32_t low = 0;
+            MEMSENTRY_RETURN_IF_ERROR(ParseHex4(low));
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Error("invalid low surrogate");
+            }
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseHex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    return OkStatus();
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Status ParseNumber(Value& out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected value");
+    }
+    double d = 0;
+    const auto [end, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc() || end != text_.data() + pos_) {
+      return Error("malformed number");
+    }
+    out = Value(d);
+    return OkStatus();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+StatusOr<Value> ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("json: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Parse(buffer.str());
+  if (!parsed.ok()) {
+    return InvalidArgument(path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Status WriteFile(const std::string& path, const Value& value, int indent) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return PermissionDenied("json: cannot write " + path);
+  }
+  out << value.Dump(indent) << '\n';
+  if (!out.good()) {
+    return InternalError("json: short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace memsentry::json

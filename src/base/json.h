@@ -1,0 +1,115 @@
+// Minimal JSON value/writer/parser for the benchmark result pipeline
+// (`--json=` reports, BENCH_RESULTS.json, bench/baselines/*). No third-party
+// dependencies, mirroring the stats_util.h philosophy: just enough JSON for
+// machine-readable benchmark interchange. Object members preserve insertion
+// order so emitted files diff cleanly across runs.
+#ifndef MEMSENTRY_SRC_BASE_JSON_H_
+#define MEMSENTRY_SRC_BASE_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace memsentry::json {
+
+// A JSON document node: null, bool, number (double), string, array or object.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, Value>;
+
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}              // NOLINT(runtime/explicit)
+  Value(double d) : kind_(Kind::kNumber), number_(d) {}        // NOLINT(runtime/explicit)
+  Value(int i) : kind_(Kind::kNumber), number_(i) {}           // NOLINT(runtime/explicit)
+  Value(int64_t i)                                             // NOLINT(runtime/explicit)
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  Value(uint64_t i)                                            // NOLINT(runtime/explicit)
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}   // NOLINT(runtime/explicit)
+  Value(std::string s)                                         // NOLINT(runtime/explicit)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : kind_(Kind::kString), string_(s) {}  // NOLINT(runtime/explicit)
+
+  static Value Array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  // Array access.
+  const std::vector<Value>& items() const { return items_; }
+  std::vector<Value>& items() { return items_; }
+  void Append(Value v) {
+    kind_ = Kind::kArray;
+    items_.push_back(std::move(v));
+  }
+  size_t size() const { return kind_ == Kind::kObject ? members_.size() : items_.size(); }
+
+  // Object access. Find returns nullptr when the key is absent (or the node
+  // is not an object); operator[] inserts a null member, turning the node
+  // into an object if it was null.
+  const Value* Find(std::string_view key) const;
+  Value* Find(std::string_view key);
+  Value& operator[](std::string_view key);
+  void Set(std::string key, Value v) { (*this)[key] = std::move(v); }
+  const std::vector<Member>& members() const { return members_; }
+  std::vector<Member>& members() { return members_; }
+
+  // Convenience lookups for "get member or fallback" reads.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+
+  // Serializes the value. indent == 0 emits one compact line; indent > 0
+  // pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+// Escapes a string for embedding inside JSON quotes (", \, control chars).
+std::string Escape(std::string_view s);
+
+// Parses a complete JSON document. Trailing non-whitespace or any syntax
+// error yields kInvalidArgument with an offset-carrying message.
+StatusOr<Value> Parse(std::string_view text);
+
+// File helpers used by the Reporter and bench_runner.
+StatusOr<Value> ParseFile(const std::string& path);
+Status WriteFile(const std::string& path, const Value& value, int indent = 2);
+
+}  // namespace memsentry::json
+
+#endif  // MEMSENTRY_SRC_BASE_JSON_H_

@@ -102,52 +102,64 @@ const char* DomainScenarioName(DomainScenario scenario) {
   return "?";
 }
 
-double RunAddressBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
-                                 core::ProtectMode mode, const ExperimentOptions& options) {
+ExperimentResult RunAddressBasedExperimentFull(const SpecProfile& profile,
+                                               core::TechniqueKind kind, core::ProtectMode mode,
+                                               const ExperimentOptions& options) {
   // Baseline: plain program on a fresh machine.
   Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
   const Run base = Execute(*baseline.process, baseline.module);
   if (!base.ok) {
-    return -1;
+    return {};
   }
   // Protected: same program, instrumented.
   ExperimentOptions configured = options;
   configured.instrument.mode = mode;
   Pipeline protected_run(profile, kind, configured, /*with_isolation=*/true);
   if (!protected_run.Protect().ok()) {
-    return -1;
+    return {};
   }
   const Run isolated = Execute(*protected_run.process, protected_run.module);
   if (!isolated.ok) {
-    return -1;
+    return {};
   }
-  return isolated.cycles / base.cycles;
+  return ExperimentResult{isolated.cycles / base.cycles, base.cycles, isolated.cycles};
 }
 
-double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
-                                DomainScenario scenario, const ExperimentOptions& options) {
+double RunAddressBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
+                                 core::ProtectMode mode, const ExperimentOptions& options) {
+  return RunAddressBasedExperimentFull(profile, kind, mode, options).normalized;
+}
+
+ExperimentResult RunDomainBasedExperimentFull(const SpecProfile& profile,
+                                              core::TechniqueKind kind, DomainScenario scenario,
+                                              const ExperimentOptions& options) {
   // Baseline: program + defense pass, no isolation.
   Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
   if (!ApplyDefense(baseline, scenario).ok()) {
-    return -1;
+    return {};
   }
   const Run base = Execute(*baseline.process, baseline.module);
   if (!base.ok) {
-    return -1;
+    return {};
   }
   // Protected: defense pass + Prepare + MemSentry pass.
   Pipeline protected_run(profile, kind, options, /*with_isolation=*/true);
   if (!ApplyDefense(protected_run, scenario).ok()) {
-    return -1;
+    return {};
   }
   if (!protected_run.Protect().ok()) {
-    return -1;
+    return {};
   }
   const Run isolated = Execute(*protected_run.process, protected_run.module);
   if (!isolated.ok) {
-    return -1;
+    return {};
   }
-  return isolated.cycles / base.cycles;
+  return ExperimentResult{isolated.cycles / base.cycles, base.cycles, isolated.cycles};
+}
+
+double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
+                                DomainScenario scenario, const ExperimentOptions& options) {
+  return RunDomainBasedExperimentFull(profile, kind, scenario, options).normalized;
 }
 
 namespace {
@@ -173,8 +185,11 @@ std::vector<FigureSeries> SweepAddress(const ExperimentOptions& options) {
     FigureSeries s;
     s.config = config.name;
     for (const SpecProfile& profile : SpecCpu2006()) {
-      s.normalized.push_back(
-          RunAddressBasedExperiment(profile, config.kind, config.mode, options));
+      const ExperimentResult r =
+          RunAddressBasedExperimentFull(profile, config.kind, config.mode, options);
+      s.normalized.push_back(r.normalized);
+      s.total_base_cycles += r.base_cycles;
+      s.total_prot_cycles += r.prot_cycles;
     }
     s.geomean = GeoMean(s.normalized);
     series.push_back(std::move(s));
@@ -195,7 +210,10 @@ std::vector<FigureSeries> SweepDomain(DomainScenario scenario,
     FigureSeries s;
     s.config = name;
     for (const SpecProfile& profile : SpecCpu2006()) {
-      s.normalized.push_back(RunDomainBasedExperiment(profile, kind, scenario, options));
+      const ExperimentResult r = RunDomainBasedExperimentFull(profile, kind, scenario, options);
+      s.normalized.push_back(r.normalized);
+      s.total_base_cycles += r.base_cycles;
+      s.total_prot_cycles += r.prot_cycles;
     }
     s.geomean = GeoMean(s.normalized);
     series.push_back(std::move(s));
@@ -249,7 +267,7 @@ std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
     }
     const Run isolated = Execute(*prot.process, prot.module);
     if (base.ok && isolated.ok) {
-      points.push_back(CryptSizePoint{size, isolated.cycles / base.cycles});
+      points.push_back(CryptSizePoint{size, isolated.cycles / base.cycles, isolated.cycles});
     }
   }
   return points;

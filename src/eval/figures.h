@@ -23,8 +23,21 @@ struct ExperimentOptions {
   core::InstrumentOptions instrument;
 };
 
+// One baseline-vs-protected execution pair. normalized is protected/baseline
+// cycles (1.0 == baseline, < 0 on failure); the raw cycle counts feed the
+// perf series of the machine-readable benchmark reports.
+struct ExperimentResult {
+  double normalized = -1;
+  double base_cycles = 0;
+  double prot_cycles = 0;
+  bool ok() const { return normalized > 0; }
+};
+
 // Figure 3: address-based techniques (SFI/MPX), instrumenting all loads
 // (-r), stores (-w) or both (-rw) of the whole program.
+ExperimentResult RunAddressBasedExperimentFull(const SpecProfile& profile,
+                                               core::TechniqueKind kind, core::ProtectMode mode,
+                                               const ExperimentOptions& options = {});
 double RunAddressBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
                                  core::ProtectMode mode, const ExperimentOptions& options = {});
 
@@ -37,14 +50,20 @@ enum class DomainScenario {
 
 const char* DomainScenarioName(DomainScenario scenario);
 
+ExperimentResult RunDomainBasedExperimentFull(const SpecProfile& profile,
+                                              core::TechniqueKind kind, DomainScenario scenario,
+                                              const ExperimentOptions& options = {});
 double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
                                 DomainScenario scenario, const ExperimentOptions& options = {});
 
-// One row of a figure: per-benchmark normalized runtimes per configuration.
+// One row of a figure: per-benchmark normalized runtimes per configuration,
+// plus the suite-total cycle counts behind them (for perf regression series).
 struct FigureSeries {
   std::string config;                 // e.g. "MPX-w" or "MPK"
   std::vector<double> normalized;     // one per benchmark, suite order
   double geomean = 0;
+  double total_base_cycles = 0;       // summed over the suite
+  double total_prot_cycles = 0;
 };
 
 // Convenience sweeps over the whole SPEC suite.
@@ -58,6 +77,7 @@ std::vector<FigureSeries> RunFigure6(const ExperimentOptions& options = {});
 struct CryptSizePoint {
   uint64_t region_bytes;
   double normalized;
+  double prot_cycles = 0;
 };
 std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
                                               const std::vector<uint64_t>& sizes,

@@ -1,0 +1,65 @@
+// The benchmark regression gate: compares a merged BENCH_RESULTS.json
+// document against a committed baseline (bench/baselines/*.json) with
+// per-metric relative tolerances. Fidelity metrics (paper-geomean deltas,
+// per-benchmark normalized runtimes) gate hard; perf metrics (cycle totals,
+// wall clock) warn until enough baselines exist to trust a trajectory; info
+// metrics are recorded but never compared. Shared by tools/bench_runner and
+// tests/bench_report_test.cc.
+#ifndef MEMSENTRY_SRC_EVAL_REGRESSION_GATE_H_
+#define MEMSENTRY_SRC_EVAL_REGRESSION_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+
+namespace memsentry::eval {
+
+enum class MetricKind {
+  kFidelity,  // reproduction-of-the-paper claims; regressions fail the gate
+  kPerf,      // simulator cycle counts etc.; warn, gate once history exists
+  kInfo,      // context only (wall clock, instruction budgets); never gated
+};
+
+const char* MetricKindName(MetricKind kind);
+MetricKind ParseMetricKind(const std::string& name);  // unknown -> kInfo
+
+struct GateOptions {
+  double fidelity_default_tol = 0.05;  // relative; per-metric "tol" overrides
+  double perf_default_tol = 0.15;
+  // Once bench/baselines holds >= 2 snapshots the perf trajectory is real
+  // and perf drifts gate like fidelity ones.
+  bool gate_perf = false;
+};
+
+enum class Severity { kNote, kWarning, kFailure };
+
+struct GateIssue {
+  Severity severity = Severity::kNote;
+  std::string metric;
+  std::string message;
+};
+
+struct GateReport {
+  std::vector<GateIssue> issues;
+  int compared = 0;      // metrics present in both documents
+  int failures = 0;      // gate-failing regressions
+  int warnings = 0;      // out-of-tolerance perf drifts (while not gated)
+  int new_metrics = 0;   // in results but not in baseline
+  int missing = 0;       // in baseline but not in results
+  bool ok() const { return failures == 0; }
+  std::string Summary() const;
+};
+
+// Both documents use the merged-report schema: {"metrics": {name: {"value":
+// N, "kind": "fidelity"|"perf"|"info", "tol": T?, "paper": P?}, ...}}.
+// The baseline's kind and tolerance are authoritative for shared metrics.
+GateReport CompareAgainstBaseline(const json::Value& results, const json::Value& baseline,
+                                  const GateOptions& options = {});
+
+// Relative deviation |measured - reference| / max(|reference|, 1e-12).
+double RelativeDelta(double measured, double reference);
+
+}  // namespace memsentry::eval
+
+#endif  // MEMSENTRY_SRC_EVAL_REGRESSION_GATE_H_

@@ -5,6 +5,7 @@
 #define MEMSENTRY_SRC_SIM_PROCESS_H_
 
 #include <array>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -86,9 +87,12 @@ class Process {
   Status SetupStack(uint64_t pages = 64);
 
   // --- Safe regions ---
+  // Stored in a deque so the SafeRegion*/SafeRegion& handles we give out
+  // (AddSafeRegion, FindSafeRegion, SafeRegionAllocator::Alloc) stay valid
+  // when later regions are added.
   SafeRegion& AddSafeRegion(const std::string& name, VirtAddr base, uint64_t size);
-  std::vector<SafeRegion>& safe_regions() { return safe_regions_; }
-  const std::vector<SafeRegion>& safe_regions() const { return safe_regions_; }
+  std::deque<SafeRegion>& safe_regions() { return safe_regions_; }
+  const std::deque<SafeRegion>& safe_regions() const { return safe_regions_; }
   SafeRegion* FindSafeRegion(VirtAddr base);
   bool InSafeRegion(VirtAddr va) const;
 
@@ -133,7 +137,7 @@ class Process {
   machine::RegisterFile regs_;
   std::unique_ptr<dune::DuneVm> dune_;
   std::unique_ptr<sgx::Enclave> enclave_;
-  std::vector<SafeRegion> safe_regions_;
+  std::deque<SafeRegion> safe_regions_;
   bool ymm_reserved_ = false;
   std::array<std::optional<machine::BoundRegister>, machine::kNumBnds> bnd_reload_{};
   SyscallHandler syscall_;

@@ -1,0 +1,367 @@
+// bench_runner — executes the whole benchmark suite, merges every binary's
+// --json report into one BENCH_RESULTS.json, and gates the result against a
+// committed baseline snapshot (bench/baselines/). Exits nonzero when a bench
+// binary fails or a fidelity metric drifts beyond its tolerance, so CI can
+// consume it directly.
+//
+//   bench_runner                      full suite (400k-instruction workloads)
+//   bench_runner --quick              CI mode: 100k instructions, short substrate runs
+//   bench_runner --only=fig3_address,table4_micro
+//   bench_runner --skip=bench_substrate
+//   bench_runner --out=BENCH_RESULTS.json
+//   bench_runner --baseline=PATH      (default: bench/baselines/seed[-quick].json)
+//   bench_runner --compare=RESULTS    gate an existing merged report, run nothing
+//   bench_runner --write-baseline=P   also snapshot the merged report to P
+//   bench_runner --no-gate            produce BENCH_RESULTS.json, skip comparison
+//   bench_runner --verbose            stream per-binary stdout instead of logging
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/eval/regression_gate.h"
+
+#ifndef MEMSENTRY_SOURCE_DIR
+#define MEMSENTRY_SOURCE_DIR "."
+#endif
+
+namespace memsentry {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kFullInstructions = 400'000;
+constexpr uint64_t kQuickInstructions = 100'000;
+
+struct SuiteEntry {
+  const char* name;
+  // Extra argv appended only in --quick mode (e.g. shorter substrate runs).
+  const char* quick_extra = "";
+};
+
+// Every benchmark binary in bench/. bench_substrate measures host time via
+// google-benchmark, so quick mode shrinks its minimum measuring time instead
+// of its (unused) instruction budget.
+const SuiteEntry kSuite[] = {
+    {"table1_defenses"},
+    {"table2_applicability"},
+    {"table3_limits"},
+    {"table4_micro"},
+    {"fig3_address"},
+    {"fig4_callret"},
+    {"fig5_indirect"},
+    {"fig6_syscall"},
+    {"mprotect_baseline"},
+    {"crypt_size_sweep"},
+    {"safestack_casestudy"},
+    {"attack_matrix"},
+    {"ablations"},
+    {"microarch_stats"},
+    {"bench_substrate", "--benchmark_min_time=0.01s"},
+};
+
+struct Options {
+  bool quick = false;
+  bool verbose = false;
+  bool gate = true;
+  uint64_t instructions = 0;  // 0 = mode default
+  std::string bench_dir;
+  std::string out = "BENCH_RESULTS.json";
+  std::string baseline;
+  std::string baselines_dir;
+  std::string compare_existing;
+  std::string write_baseline;
+  std::vector<std::string> only;
+  std::vector<std::string> skip;
+};
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(start, comma - start);
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool Contains(const std::vector<std::string>& list, const std::string& name) {
+  for (const auto& item : list) {
+    if (item == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_runner [--quick] [--only=a,b] [--skip=a,b] [--out=PATH]\n"
+               "                    [--bench-dir=DIR] [--baseline=PATH] [--no-gate]\n"
+               "                    [--compare=RESULTS] [--write-baseline=PATH]\n"
+               "                    [--instructions=N] [--verbose]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) == 0 && arg.size() > n && arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg == "--no-gate") {
+      opts.gate = false;
+    } else if (const char* v = value("--only")) {
+      opts.only = SplitCsv(v);
+    } else if (const char* v = value("--skip")) {
+      opts.skip = SplitCsv(v);
+    } else if (const char* v = value("--out")) {
+      opts.out = v;
+    } else if (const char* v = value("--bench-dir")) {
+      opts.bench_dir = v;
+    } else if (const char* v = value("--baseline")) {
+      opts.baseline = v;
+    } else if (const char* v = value("--baselines-dir")) {
+      opts.baselines_dir = v;
+    } else if (const char* v = value("--compare")) {
+      opts.compare_existing = v;
+    } else if (const char* v = value("--write-baseline")) {
+      opts.write_baseline = v;
+    } else if (const char* v = value("--instructions")) {
+      opts.instructions = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "bench_runner: unknown argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// The bench binaries live next to this binary's parent: build/tools/../bench.
+std::string DefaultBenchDir(const char* argv0) {
+  std::error_code ec;
+  fs::path self = fs::canonical(fs::path(argv0), ec);
+  if (ec) {
+    self = fs::path(argv0);
+  }
+  return (self.parent_path().parent_path() / "bench").string();
+}
+
+int Severity3(eval::Severity s) {
+  return s == eval::Severity::kFailure ? 2 : s == eval::Severity::kWarning ? 1 : 0;
+}
+
+void PrintGateReport(const eval::GateReport& report, const std::string& baseline_path,
+                     bool perf_gated) {
+  std::printf("\n---- regression gate vs %s ----\n", baseline_path.c_str());
+  std::printf("perf metrics: %s\n",
+              perf_gated ? "gated (>=2 baseline snapshots)" : "warn-only (single baseline)");
+  for (int severity = 2; severity >= 0; --severity) {
+    for (const auto& issue : report.issues) {
+      if (Severity3(issue.severity) != severity) {
+        continue;
+      }
+      const char* tag = severity == 2 ? "FAIL" : severity == 1 ? "warn" : "note";
+      std::printf("  [%s] %s: %s\n", tag, issue.metric.c_str(), issue.message.c_str());
+    }
+  }
+  std::printf("gate: %s (%s)\n", report.ok() ? "PASS" : "FAIL", report.Summary().c_str());
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, opts)) {
+    return Usage();
+  }
+  const uint64_t instructions =
+      opts.instructions != 0 ? opts.instructions
+                             : (opts.quick ? kQuickInstructions : kFullInstructions);
+  if (opts.bench_dir.empty()) {
+    opts.bench_dir = DefaultBenchDir(argv[0]);
+  }
+  if (opts.baselines_dir.empty()) {
+    opts.baselines_dir = std::string(MEMSENTRY_SOURCE_DIR) + "/bench/baselines";
+  }
+  if (opts.baseline.empty()) {
+    opts.baseline =
+        opts.baselines_dir + (opts.quick ? "/seed-quick.json" : "/seed.json");
+  }
+
+  json::Value merged = json::Value::Object();
+  int exit_code = 0;
+
+  if (!opts.compare_existing.empty()) {
+    auto loaded = json::ParseFile(opts.compare_existing);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bench_runner: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    merged = std::move(loaded).value();
+  } else {
+    const fs::path report_dir = fs::path(opts.out).parent_path() / "bench_reports";
+    std::error_code ec;
+    fs::create_directories(report_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "bench_runner: cannot create %s: %s\n", report_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+
+    // Reject --only/--skip names that match nothing: a typo would otherwise
+    // run an empty suite and fail the gate with hundreds of "missing metric"
+    // errors instead of naming the bad selector.
+    for (const std::vector<std::string>* selector : {&opts.only, &opts.skip}) {
+      for (const std::string& name : *selector) {
+        bool known = false;
+        for (const SuiteEntry& entry : kSuite) {
+          known = known || name == entry.name;
+        }
+        if (!known) {
+          std::fprintf(stderr, "bench_runner: unknown benchmark '%s' in --only/--skip\n",
+                       name.c_str());
+          return 2;
+        }
+      }
+    }
+
+    merged.Set("schema", 1);
+    merged.Set("suite", "memsentry-bench");
+    merged.Set("mode", opts.quick ? "quick" : "full");
+    merged.Set("instructions", instructions);
+    json::Value binaries = json::Value::Object();
+    json::Value metrics = json::Value::Object();
+
+    for (const SuiteEntry& entry : kSuite) {
+      const std::string name = entry.name;
+      if (!opts.only.empty() && !Contains(opts.only, name)) {
+        continue;
+      }
+      if (Contains(opts.skip, name)) {
+        continue;
+      }
+      const fs::path binary = fs::path(opts.bench_dir) / name;
+      if (!fs::exists(binary)) {
+        std::fprintf(stderr, "bench_runner: missing binary %s (build the bench targets)\n",
+                     binary.c_str());
+        exit_code = 1;
+        continue;
+      }
+      const fs::path report_path = report_dir / (name + ".json");
+      const fs::path log_path = report_dir / (name + ".log");
+      std::string command = "\"" + binary.string() + "\" --json=\"" + report_path.string() +
+                            "\" --instructions=" + std::to_string(instructions);
+      if (opts.quick && entry.quick_extra[0] != '\0') {
+        command += " ";
+        command += entry.quick_extra;
+      }
+      if (!opts.verbose) {
+        command += " > \"" + log_path.string() + "\" 2>&1";
+      }
+      std::printf("[bench_runner] %s ...\n", name.c_str());
+      std::fflush(stdout);
+      const int rc = std::system(command.c_str());
+      json::Value info = json::Value::Object();
+      info.Set("exit", rc);
+      if (rc != 0) {
+        std::fprintf(stderr, "bench_runner: %s exited with %d (log: %s)\n", name.c_str(), rc,
+                     log_path.c_str());
+        exit_code = 1;
+        binaries.Set(name, std::move(info));
+        continue;
+      }
+      auto report = json::ParseFile(report_path.string());
+      if (!report.ok()) {
+        std::fprintf(stderr, "bench_runner: %s\n", report.status().ToString().c_str());
+        exit_code = 1;
+        binaries.Set(name, std::move(info));
+        continue;
+      }
+      info.Set("wall_seconds", report->NumberOr("wall_seconds", 0.0));
+      binaries.Set(name, std::move(info));
+      if (const json::Value* m = report->Find("metrics"); m != nullptr && m->is_object()) {
+        for (const auto& [metric_name, metric] : m->members()) {
+          if (metrics.Find(metric_name) != nullptr) {
+            std::fprintf(stderr, "bench_runner: duplicate metric %s from %s\n",
+                         metric_name.c_str(), name.c_str());
+            exit_code = 1;
+            continue;
+          }
+          metrics.Set(metric_name, metric);
+        }
+      }
+    }
+    merged.Set("binaries", std::move(binaries));
+    merged.Set("metrics", std::move(metrics));
+
+    if (Status s = json::WriteFile(opts.out, merged); !s.ok()) {
+      std::fprintf(stderr, "bench_runner: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("[bench_runner] wrote %s (%zu metrics)\n", opts.out.c_str(),
+                merged.Find("metrics")->size());
+  }
+
+  if (!opts.write_baseline.empty()) {
+    if (Status s = json::WriteFile(opts.write_baseline, merged); !s.ok()) {
+      std::fprintf(stderr, "bench_runner: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("[bench_runner] snapshot written to %s\n", opts.write_baseline.c_str());
+  }
+
+  if (!opts.gate) {
+    return exit_code;
+  }
+
+  auto baseline = json::ParseFile(opts.baseline);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_runner: no baseline: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  // Perf metrics warn while only the seed snapshot exists; once a second
+  // snapshot for this mode lands in bench/baselines they gate like fidelity.
+  int snapshots = 0;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(opts.baselines_dir, ec)) {
+    const std::string file = dirent.path().filename().string();
+    if (file.size() < 5 || file.substr(file.size() - 5) != ".json") {
+      continue;
+    }
+    const bool is_quick = file.find("-quick") != std::string::npos;
+    if (is_quick == opts.quick) {
+      ++snapshots;
+    }
+  }
+  eval::GateOptions gate_options;
+  gate_options.gate_perf = snapshots >= 2;
+
+  const eval::GateReport report = eval::CompareAgainstBaseline(merged, *baseline, gate_options);
+  PrintGateReport(report, opts.baseline, gate_options.gate_perf);
+  return report.ok() ? exit_code : 1;
+}
+
+}  // namespace memsentry
+
+int main(int argc, char** argv) { return memsentry::Run(argc, argv); }
