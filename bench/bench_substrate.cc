@@ -110,7 +110,8 @@ int main(int argc, char** argv) {
   std::vector<char*> filtered;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0 ||
-        std::strncmp(argv[i], "--instructions=", 15) == 0) {
+        std::strncmp(argv[i], "--instructions=", 15) == 0 ||
+        std::strncmp(argv[i], "--jobs=", 7) == 0) {
       continue;
     }
     filtered.push_back(argv[i]);

@@ -87,22 +87,27 @@ class Reporter {
         json_path_ = arg + 7;
       } else if (std::strncmp(arg, "--instructions=", 15) == 0) {
         instructions_ = std::strtoull(arg + 15, nullptr, 10);
+      } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+        jobs_ = static_cast<int>(std::strtol(arg + 7, nullptr, 10));
       }
     }
   }
 
-  // DefaultOptions() with any --instructions= override applied. Every
-  // binary routes its workload budget through this so bench_runner --quick
-  // can shrink the whole suite uniformly.
+  // DefaultOptions() with any --instructions= / --jobs= override applied.
+  // Every binary routes its workload budget through this so bench_runner
+  // --quick can shrink the whole suite uniformly and --jobs can fan the
+  // sweeps out (results are bit-identical for every jobs value).
   eval::ExperimentOptions Options() const {
     eval::ExperimentOptions options = DefaultOptions();
     if (instructions_ > 0) {
       options.target_instructions = instructions_;
     }
+    options.jobs = jobs_;
     return options;
   }
 
   uint64_t TargetInstructions() const { return Options().target_instructions; }
+  int Jobs() const { return jobs_; }
   bool enabled() const { return !json_path_.empty(); }
 
   // One scalar metric. paper = NAN when the paper gives no reference value;
@@ -179,6 +184,7 @@ class Reporter {
   std::string binary_;
   std::string json_path_;
   uint64_t instructions_ = 0;
+  int jobs_ = 0;  // 0 = hardware_concurrency (see eval::ExperimentOptions)
   std::chrono::steady_clock::time_point start_;
   json::Value metrics_ = json::Value::Object();
 };

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/base/stats_util.h"
+#include "src/base/thread_pool.h"
 #include "src/core/memsentry.h"
 #include "src/defenses/event_annotator.h"
 #include "src/defenses/shadow_stack.h"
@@ -164,6 +165,34 @@ double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind 
 
 namespace {
 
+// The sweeps fan every (config, profile) cell out as an independent task:
+// each cell constructs its own Machine/Process/Module pair from the
+// deterministic seed (inside the Run*ExperimentFull pipelines), so tasks
+// share no mutable state and the cell results are bit-identical for any
+// jobs value. Assembly back into FigureSeries happens serially in suite
+// order, so sums and geomeans see operands in the same order as a serial
+// run — floating point stays byte-stable.
+template <typename Cell>
+std::vector<FigureSeries> AssembleSeries(const std::vector<const char*>& config_names,
+                                         int jobs, size_t profiles, Cell cell) {
+  const std::vector<ExperimentResult> cells =
+      ParallelMap(jobs, config_names.size() * profiles, cell);
+  std::vector<FigureSeries> series;
+  for (size_t c = 0; c < config_names.size(); ++c) {
+    FigureSeries s;
+    s.config = config_names[c];
+    for (size_t p = 0; p < profiles; ++p) {
+      const ExperimentResult& r = cells[c * profiles + p];
+      s.normalized.push_back(r.normalized);
+      s.total_base_cycles += r.base_cycles;
+      s.total_prot_cycles += r.prot_cycles;
+    }
+    s.geomean = GeoMean(s.normalized);
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
 std::vector<FigureSeries> SweepAddress(const ExperimentOptions& options) {
   using core::ProtectMode;
   using core::TechniqueKind;
@@ -180,21 +209,16 @@ std::vector<FigureSeries> SweepAddress(const ExperimentOptions& options) {
       {"MPX-rw", TechniqueKind::kMpx, ProtectMode::kReadWrite},
       {"SFI-rw", TechniqueKind::kSfi, ProtectMode::kReadWrite},
   };
-  std::vector<FigureSeries> series;
+  const auto profiles = SpecCpu2006();
+  std::vector<const char*> names;
   for (const Config& config : configs) {
-    FigureSeries s;
-    s.config = config.name;
-    for (const SpecProfile& profile : SpecCpu2006()) {
-      const ExperimentResult r =
-          RunAddressBasedExperimentFull(profile, config.kind, config.mode, options);
-      s.normalized.push_back(r.normalized);
-      s.total_base_cycles += r.base_cycles;
-      s.total_prot_cycles += r.prot_cycles;
-    }
-    s.geomean = GeoMean(s.normalized);
-    series.push_back(std::move(s));
+    names.push_back(config.name);
   }
-  return series;
+  return AssembleSeries(names, options.jobs, profiles.size(), [&](size_t i) {
+    const Config& config = configs[i / profiles.size()];
+    const SpecProfile& profile = profiles[i % profiles.size()];
+    return RunAddressBasedExperimentFull(profile, config.kind, config.mode, options);
+  });
 }
 
 std::vector<FigureSeries> SweepDomain(DomainScenario scenario,
@@ -205,20 +229,16 @@ std::vector<FigureSeries> SweepDomain(DomainScenario scenario,
       {"VMFUNC", TechniqueKind::kVmfunc},
       {"crypt", TechniqueKind::kCrypt},
   };
-  std::vector<FigureSeries> series;
+  const auto profiles = SpecCpu2006();
+  std::vector<const char*> names;
   for (const auto& [name, kind] : configs) {
-    FigureSeries s;
-    s.config = name;
-    for (const SpecProfile& profile : SpecCpu2006()) {
-      const ExperimentResult r = RunDomainBasedExperimentFull(profile, kind, scenario, options);
-      s.normalized.push_back(r.normalized);
-      s.total_base_cycles += r.base_cycles;
-      s.total_prot_cycles += r.prot_cycles;
-    }
-    s.geomean = GeoMean(s.normalized);
-    series.push_back(std::move(s));
+    names.push_back(name);
   }
-  return series;
+  return AssembleSeries(names, options.jobs, profiles.size(), [&](size_t i) {
+    const auto& [name, kind] = configs[i / profiles.size()];
+    const SpecProfile& profile = profiles[i % profiles.size()];
+    return RunDomainBasedExperimentFull(profile, kind, scenario, options);
+  });
 }
 
 }  // namespace
@@ -239,35 +259,46 @@ std::vector<FigureSeries> RunFigure6(const ExperimentOptions& options) {
 std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
                                               const std::vector<uint64_t>& sizes,
                                               const ExperimentOptions& options) {
+  // Each size is an independent task (own machines, deterministic seed);
+  // failed sizes surface as region_bytes == 0 and are filtered out in input
+  // order, preserving the serial loop's skip semantics.
+  const std::vector<CryptSizePoint> raw =
+      ParallelMap(options.jobs, sizes.size(), [&](size_t i) -> CryptSizePoint {
+        const uint64_t size = sizes[i];
+        // Baseline: defense only; the region size is irrelevant without crypt.
+        Pipeline base_pipeline(profile, core::TechniqueKind::kCrypt, options, false);
+        base_pipeline.process->safe_regions()[0].size = size;
+        if (!ApplyDefense(base_pipeline, DomainScenario::kCallRet).ok()) {
+          return {};
+        }
+        const Run base = Execute(*base_pipeline.process, base_pipeline.module);
+        // Protected with the resized region.
+        Pipeline prot(profile, core::TechniqueKind::kCrypt, options, true);
+        auto& region = prot.process->safe_regions()[0];
+        // Grow the region (remap additional pages if needed).
+        const uint64_t old_pages = PageAlignUp(region.size) >> kPageShift;
+        const uint64_t new_pages = PageAlignUp(size) >> kPageShift;
+        if (new_pages > old_pages) {
+          (void)prot.process->MapRange(region.base + old_pages * kPageSize,
+                                       new_pages - old_pages, machine::PageFlags::Data());
+        }
+        region.size = size;
+        if (!ApplyDefense(prot, DomainScenario::kCallRet).ok()) {
+          return {};
+        }
+        if (!prot.Protect().ok()) {
+          return {};
+        }
+        const Run isolated = Execute(*prot.process, prot.module);
+        if (!base.ok || !isolated.ok) {
+          return {};
+        }
+        return CryptSizePoint{size, isolated.cycles / base.cycles, isolated.cycles};
+      });
   std::vector<CryptSizePoint> points;
-  for (uint64_t size : sizes) {
-    // Baseline: defense only; the region size is irrelevant without crypt.
-    Pipeline base_pipeline(profile, core::TechniqueKind::kCrypt, options, false);
-    base_pipeline.process->safe_regions()[0].size = size;
-    if (!ApplyDefense(base_pipeline, DomainScenario::kCallRet).ok()) {
-      continue;
-    }
-    const Run base = Execute(*base_pipeline.process, base_pipeline.module);
-    // Protected with the resized region.
-    Pipeline prot(profile, core::TechniqueKind::kCrypt, options, true);
-    auto& region = prot.process->safe_regions()[0];
-    // Grow the region (remap additional pages if needed).
-    const uint64_t old_pages = PageAlignUp(region.size) >> kPageShift;
-    const uint64_t new_pages = PageAlignUp(size) >> kPageShift;
-    if (new_pages > old_pages) {
-      (void)prot.process->MapRange(region.base + old_pages * kPageSize,
-                                   new_pages - old_pages, machine::PageFlags::Data());
-    }
-    region.size = size;
-    if (!ApplyDefense(prot, DomainScenario::kCallRet).ok()) {
-      continue;
-    }
-    if (!prot.Protect().ok()) {
-      continue;
-    }
-    const Run isolated = Execute(*prot.process, prot.module);
-    if (base.ok && isolated.ok) {
-      points.push_back(CryptSizePoint{size, isolated.cycles / base.cycles, isolated.cycles});
+  for (const CryptSizePoint& p : raw) {
+    if (p.region_bytes != 0) {
+      points.push_back(p);
     }
   }
   return points;

@@ -53,6 +53,11 @@ RunResult Executor::Run(const RunConfig& config) {
     return result;
   };
 
+  // Profiling flag hoisted out of the per-access path: data_access runs for
+  // every load/store, and reading a loop-invariant local lets the compiler
+  // keep it in a register instead of reloading config each access.
+  const bool record_safe_accesses = config.record_safe_accesses;
+
   // Validates + prices + performs one data access; returns false on fault.
   auto data_access = [&](VirtAddr va, machine::AccessType access, uint64_t* value,
                          machine::Fault* fault) -> bool {
@@ -75,7 +80,7 @@ RunResult Executor::Run(const RunConfig& config) {
         return false;
       }
     }
-    if (config.record_safe_accesses && process_->InSafeRegion(va)) {
+    if (record_safe_accesses && process_->InSafeRegion(va)) {
       result.safe_access_refs.insert(PackRef(pos.func, pos.block, pos.index));
     }
     return true;

@@ -7,8 +7,10 @@
 #ifndef MEMSENTRY_SRC_SIM_EXECUTOR_H_
 #define MEMSENTRY_SRC_SIM_EXECUTOR_H_
 
+#include <algorithm>
 #include <optional>
 #include <unordered_set>
+#include <vector>
 
 #include "src/base/types.h"
 #include "src/ir/module.h"
@@ -49,7 +51,16 @@ struct RunResult {
   uint64_t instrumentation_instrs = 0;
   Cycles instrumentation_cycles = 0;
 
-  std::unordered_set<uint64_t> safe_access_refs;  // populated when profiling
+  // Populated when profiling. An unordered set keeps the hot-path insert
+  // O(1); consumers that need a stable order (annotation passes, reports)
+  // take the sorted view below instead of iterating the raw set.
+  std::unordered_set<uint64_t> safe_access_refs;
+
+  std::vector<uint64_t> SortedSafeAccessRefs() const {
+    std::vector<uint64_t> refs(safe_access_refs.begin(), safe_access_refs.end());
+    std::sort(refs.begin(), refs.end());
+    return refs;
+  }
 
   double Cpi() const {
     return instructions == 0 ? 0.0 : cycles / static_cast<double>(instructions);

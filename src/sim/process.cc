@@ -105,26 +105,38 @@ SafeRegion& Process::AddSafeRegion(const std::string& name, VirtAddr base, uint6
   region.base = base;
   region.size = size;
   safe_regions_.push_back(std::move(region));
-  return safe_regions_.back();
+  SafeRegion* added = &safe_regions_.back();
+  region_index_.insert(
+      std::upper_bound(region_index_.begin(), region_index_.end(), added,
+                       [](const SafeRegion* a, const SafeRegion* b) { return a->base < b->base; }),
+      added);
+  return *added;
 }
 
-SafeRegion* Process::FindSafeRegion(VirtAddr base) {
-  for (SafeRegion& r : safe_regions_) {
-    if (r.Contains(base)) {
-      return &r;
-    }
+SafeRegion* Process::LookupSafeRegion(VirtAddr va) const {
+  // Accesses cluster (per-region instrumentation, AES sweeps over one
+  // region), so the last hit answers most containing lookups without a
+  // search.
+  if (last_region_hit_ != nullptr && last_region_hit_->Contains(va)) {
+    return last_region_hit_;
+  }
+  // The candidate is the region with the greatest base <= va; regions are
+  // disjoint, so no other region can contain va.
+  auto it = std::upper_bound(
+      region_index_.begin(), region_index_.end(), va,
+      [](VirtAddr addr, const SafeRegion* r) { return addr < r->base; });
+  if (it == region_index_.begin()) {
+    return nullptr;
+  }
+  SafeRegion* candidate = *std::prev(it);
+  if (candidate->Contains(va)) {
+    last_region_hit_ = candidate;
+    return candidate;
   }
   return nullptr;
 }
 
-bool Process::InSafeRegion(VirtAddr va) const {
-  for (const SafeRegion& r : safe_regions_) {
-    if (r.Contains(va)) {
-      return true;
-    }
-  }
-  return false;
-}
+SafeRegion* Process::FindSafeRegion(VirtAddr base) { return LookupSafeRegion(base); }
 
 StatusOr<PhysAddr> Process::TranslateRaw(VirtAddr va) const {
   auto walk = page_table_.Walk(va);

@@ -90,11 +90,19 @@ class Process {
   // Stored in a deque so the SafeRegion*/SafeRegion& handles we give out
   // (AddSafeRegion, FindSafeRegion, SafeRegionAllocator::Alloc) stay valid
   // when later regions are added.
+  //
+  // Lookup is on the interpreter's hottest path (every recorded load/store
+  // consults InSafeRegion), so it goes through a base-sorted index with a
+  // one-entry last-hit cache instead of a linear scan. Regions must be
+  // disjoint (SafeRegionAllocator carves non-overlapping ranges); bases are
+  // fixed at AddSafeRegion time, while sizes may grow afterwards (the crypt
+  // size sweep does) — the index only orders by base and reads sizes live,
+  // so size mutation stays safe.
   SafeRegion& AddSafeRegion(const std::string& name, VirtAddr base, uint64_t size);
   std::deque<SafeRegion>& safe_regions() { return safe_regions_; }
   const std::deque<SafeRegion>& safe_regions() const { return safe_regions_; }
   SafeRegion* FindSafeRegion(VirtAddr base);
-  bool InSafeRegion(VirtAddr va) const;
+  bool InSafeRegion(VirtAddr va) const { return LookupSafeRegion(va) != nullptr; }
 
   // --- Raw (setup/debug) access, bypassing every protection ---
   StatusOr<PhysAddr> TranslateRaw(VirtAddr va) const;
@@ -131,6 +139,10 @@ class Process {
   uint64_t DispatchSyscall(uint64_t nr, uint64_t a0, uint64_t a1);
 
  private:
+  // Binary search over the base-sorted index (last-hit cache first); exact
+  // under the disjoint-regions invariant documented at AddSafeRegion.
+  SafeRegion* LookupSafeRegion(VirtAddr va) const;
+
   Machine* machine_;
   machine::PageTable page_table_;
   machine::Mmu mmu_;
@@ -138,6 +150,9 @@ class Process {
   std::unique_ptr<dune::DuneVm> dune_;
   std::unique_ptr<sgx::Enclave> enclave_;
   std::deque<SafeRegion> safe_regions_;
+  // Pointers into safe_regions_ (deque ⇒ stable), ordered by base.
+  std::vector<SafeRegion*> region_index_;
+  mutable SafeRegion* last_region_hit_ = nullptr;
   bool ymm_reserved_ = false;
   std::array<std::optional<machine::BoundRegister>, machine::kNumBnds> bnd_reload_{};
   SyscallHandler syscall_;

@@ -15,7 +15,9 @@ StatusOr<DynamicPointsToResult> DynamicPointsTo(Process& process, ir::Module& mo
   }
   DynamicPointsToResult out;
   out.profile_instructions = result.instructions;
-  for (uint64_t ref : result.safe_access_refs) {
+  // Sorted view: annotation is order-independent (flag |=), but a stable
+  // iteration order keeps any future diagnostics deterministic.
+  for (uint64_t ref : result.SortedSafeAccessRefs()) {
     const int func = static_cast<int>(ref >> 40);
     const int block = static_cast<int>((ref >> 20) & 0xfffff);
     const int index = static_cast<int>(ref & 0xfffff);

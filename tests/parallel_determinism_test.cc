@@ -1,0 +1,72 @@
+// The parallel experiment engine's hard requirement: fanning the figure
+// sweeps out over worker threads must produce byte-identical results to a
+// serial run. Every (profile, config) cell builds its own machine from the
+// deterministic seed, and series assembly happens serially in suite order,
+// so even the floating-point sums and geomeans must match bit for bit —
+// EXPECT_EQ on doubles, no tolerance.
+#include <gtest/gtest.h>
+
+#include "src/eval/figures.h"
+#include "src/workloads/spec_profiles.h"
+
+namespace memsentry::eval {
+namespace {
+
+ExperimentOptions Tiny(int jobs) {
+  ExperimentOptions options;
+  options.target_instructions = 20'000;
+  options.jobs = jobs;
+  return options;
+}
+
+void ExpectBitIdentical(const std::vector<FigureSeries>& serial,
+                        const std::vector<FigureSeries>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t s = 0; s < serial.size(); ++s) {
+    SCOPED_TRACE(serial[s].config);
+    EXPECT_EQ(serial[s].config, parallel[s].config);
+    EXPECT_EQ(serial[s].geomean, parallel[s].geomean);
+    EXPECT_EQ(serial[s].total_base_cycles, parallel[s].total_base_cycles);
+    EXPECT_EQ(serial[s].total_prot_cycles, parallel[s].total_prot_cycles);
+    ASSERT_EQ(serial[s].normalized.size(), parallel[s].normalized.size());
+    for (size_t b = 0; b < serial[s].normalized.size(); ++b) {
+      EXPECT_EQ(serial[s].normalized[b], parallel[s].normalized[b]) << "benchmark " << b;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, Figure3ParallelEqualsSerialBitForBit) {
+  ExpectBitIdentical(RunFigure3(Tiny(1)), RunFigure3(Tiny(4)));
+}
+
+TEST(ParallelDeterminismTest, Figure4ParallelEqualsSerialBitForBit) {
+  ExpectBitIdentical(RunFigure4(Tiny(1)), RunFigure4(Tiny(4)));
+}
+
+TEST(ParallelDeterminismTest, ParallelRunsAreRepeatable) {
+  // Two parallel runs with different worker counts also agree with each
+  // other — determinism is a property of the cells, not of lucky pairing
+  // with the serial schedule.
+  ExpectBitIdentical(RunFigure3(Tiny(2)), RunFigure3(Tiny(8)));
+}
+
+TEST(ParallelDeterminismTest, CryptSweepParallelEqualsSerial) {
+  const auto& profile = *workloads::FindProfile("401.bzip2");
+  const auto serial = RunCryptSizeSweep(profile, {16, 64, 256}, Tiny(1));
+  const auto parallel = RunCryptSizeSweep(profile, {16, 64, 256}, Tiny(4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].region_bytes, parallel[i].region_bytes);
+    EXPECT_EQ(serial[i].normalized, parallel[i].normalized);
+    EXPECT_EQ(serial[i].prot_cycles, parallel[i].prot_cycles);
+  }
+}
+
+TEST(ParallelDeterminismTest, JobsZeroMeansAutoAndStaysDeterministic) {
+  // jobs=0 resolves to hardware_concurrency; whatever that is on the host,
+  // the results must equal the serial reference.
+  ExpectBitIdentical(RunFigure4(Tiny(1)), RunFigure4(Tiny(0)));
+}
+
+}  // namespace
+}  // namespace memsentry::eval

@@ -1,0 +1,120 @@
+// Regression tests for the sorted-interval safe-region lookup
+// (Process::InSafeRegion / FindSafeRegion): the interpreter consults it on
+// every recorded load/store, and attack-harness configs register dozens of
+// regions — the old linear scan made that quadratic. 64 regions, boundary
+// probes, out-of-order registration, live size growth, last-hit cache reuse.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/sim/process.h"
+
+namespace memsentry::sim {
+namespace {
+
+// Reference oracle: the linear scan the index replaced.
+const SafeRegion* LinearFind(const Process& process, VirtAddr va) {
+  for (const SafeRegion& r : process.safe_regions()) {
+    if (r.Contains(va)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+TEST(SafeRegionLookupTest, SixtyFourRegionsMatchLinearScan) {
+  Machine machine;
+  Process process(&machine);
+  // 64 disjoint regions with a 0x1000-byte gap between neighbours; sizes
+  // vary so boundaries are not page-uniform.
+  std::vector<VirtAddr> bases;
+  VirtAddr base = kSafeRegionBase;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t size = 0x100 + static_cast<uint64_t>(i) * 0x10;
+    process.AddSafeRegion("r" + std::to_string(i), base, size);
+    bases.push_back(base);
+    base += size + 0x1000;
+  }
+  ASSERT_EQ(process.safe_regions().size(), 64u);
+  // Probe every region's first/last/one-past-last byte plus the gap before
+  // it, and check the indexed lookup against the linear oracle.
+  for (int i = 0; i < 64; ++i) {
+    const SafeRegion& r = process.safe_regions()[static_cast<size_t>(i)];
+    for (const VirtAddr va : {r.base, r.base + r.size / 2, r.base + r.size - 1, r.base + r.size,
+                              r.base - 1, r.base - 0x800}) {
+      EXPECT_EQ(process.InSafeRegion(va), LinearFind(process, va) != nullptr)
+          << "region " << i << " va " << std::hex << va;
+      EXPECT_EQ(process.FindSafeRegion(va), LinearFind(process, va))
+          << "region " << i << " va " << std::hex << va;
+    }
+  }
+  // Far misses on both sides.
+  EXPECT_FALSE(process.InSafeRegion(0));
+  EXPECT_FALSE(process.InSafeRegion(kSafeRegionBase - 1));
+  EXPECT_FALSE(process.InSafeRegion(base + 0x100000));
+  EXPECT_EQ(process.FindSafeRegion(base + 0x100000), nullptr);
+}
+
+TEST(SafeRegionLookupTest, OutOfOrderRegistration) {
+  Machine machine;
+  Process process(&machine);
+  // Bases inserted in shuffled order: the index must sort them.
+  const VirtAddr bases[] = {0x480000005000ULL, 0x480000001000ULL, 0x480000009000ULL,
+                            0x480000003000ULL, 0x480000007000ULL};
+  for (const VirtAddr b : bases) {
+    process.AddSafeRegion("r", b, 0x800);
+  }
+  for (const VirtAddr b : bases) {
+    EXPECT_TRUE(process.InSafeRegion(b));
+    EXPECT_TRUE(process.InSafeRegion(b + 0x7ff));
+    EXPECT_FALSE(process.InSafeRegion(b + 0x800));
+    ASSERT_NE(process.FindSafeRegion(b), nullptr);
+    EXPECT_EQ(process.FindSafeRegion(b)->base, b);
+  }
+  EXPECT_FALSE(process.InSafeRegion(0x480000000000ULL));
+}
+
+TEST(SafeRegionLookupTest, SizeGrowthAfterRegistrationIsVisible) {
+  // The crypt size sweep mutates region.size after AddSafeRegion; the index
+  // orders by base only and must read sizes live.
+  Machine machine;
+  Process process(&machine);
+  SafeRegion& region = process.AddSafeRegion("grows", kSafeRegionBase, 16);
+  EXPECT_TRUE(process.InSafeRegion(kSafeRegionBase + 15));
+  EXPECT_FALSE(process.InSafeRegion(kSafeRegionBase + 512));
+  region.size = 1024;
+  EXPECT_TRUE(process.InSafeRegion(kSafeRegionBase + 512));
+  EXPECT_TRUE(process.InSafeRegion(kSafeRegionBase + 1023));
+  EXPECT_FALSE(process.InSafeRegion(kSafeRegionBase + 1024));
+}
+
+TEST(SafeRegionLookupTest, LastHitCacheSurvivesInterleavedProbes) {
+  Machine machine;
+  Process process(&machine);
+  process.AddSafeRegion("a", 0x480000000000ULL, 0x1000);
+  process.AddSafeRegion("b", 0x480000002000ULL, 0x1000);
+  // Alternate hits between two regions with misses interleaved — exercises
+  // cache hit, cache miss -> re-search, and miss-after-hit paths.
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(process.InSafeRegion(0x480000000000ULL + static_cast<uint64_t>(round)));
+    EXPECT_TRUE(process.InSafeRegion(0x480000002000ULL + static_cast<uint64_t>(round)));
+    EXPECT_FALSE(process.InSafeRegion(0x480000001000ULL + static_cast<uint64_t>(round)));
+  }
+  EXPECT_EQ(process.FindSafeRegion(0x480000002004ULL)->name, "b");
+  EXPECT_EQ(process.FindSafeRegion(0x480000000004ULL)->name, "a");
+}
+
+TEST(SafeRegionLookupTest, HandlesAdjacentRegionsWithoutGap) {
+  Machine machine;
+  Process process(&machine);
+  process.AddSafeRegion("lo", 0x480000000000ULL, 0x1000);
+  process.AddSafeRegion("hi", 0x480000001000ULL, 0x1000);
+  EXPECT_EQ(process.FindSafeRegion(0x480000000fffULL)->name, "lo");
+  EXPECT_EQ(process.FindSafeRegion(0x480000001000ULL)->name, "hi");
+  EXPECT_EQ(process.FindSafeRegion(0x480000001fffULL)->name, "hi");
+  EXPECT_EQ(process.FindSafeRegion(0x480000002000ULL), nullptr);
+}
+
+}  // namespace
+}  // namespace memsentry::sim

@@ -1,0 +1,108 @@
+// Tests for the experiment engine's work pool (src/base/thread_pool.h):
+// Submit futures, ordered ParallelMap, the jobs=1 inline degenerate case,
+// and exception propagation.
+#include "src/base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+namespace memsentry {
+namespace {
+
+TEST(ThreadPoolTest, HardwareJobsIsPositive) {
+  EXPECT_GE(HardwareJobs(), 1);
+  EXPECT_EQ(ResolveJobs(0), HardwareJobs());
+  EXPECT_EQ(ResolveJobs(-3), HardwareJobs());
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_EQ(ResolveJobs(7), 7);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.threads(), 2);
+  auto a = pool.Submit([] { return 21 * 2; });
+  auto b = pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "done");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] {
+        ++done;
+        return 0;
+      });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder) {
+  // Make early indices slow so a racy implementation would misplace them.
+  const auto square_slowly = [](size_t i) {
+    if (i < 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return static_cast<int>(i * i);
+  };
+  const std::vector<int> out = ParallelMap(4, 32, square_slowly);
+  ASSERT_EQ(out.size(), 32u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i)) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapJobsOneRunsInlineInOrder) {
+  // jobs=1 must execute on the calling thread, strictly in index order —
+  // the degenerate case the determinism guarantee is defined against.
+  const auto caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  const std::vector<int> out = ParallelMap(1, 8, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+    return static_cast<int>(i);
+  });
+  ASSERT_EQ(out.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i], i);
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapMatchesSerialResult) {
+  const auto fn = [](size_t i) { return static_cast<uint64_t>(i) * 2654435761u; };
+  const auto serial = ParallelMap(1, 100, fn);
+  const auto parallel = ParallelMap(8, 100, fn);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPoolTest, ParallelMapRethrowsTaskException) {
+  std::atomic<int> completed{0};
+  const auto fn = [&](size_t i) -> int {
+    if (i == 5) {
+      throw std::runtime_error("cell 5 failed");
+    }
+    ++completed;
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(ParallelMap(4, 16, fn), std::runtime_error);
+  // All non-throwing tasks still ran (the pool drains before rethrowing).
+  EXPECT_EQ(completed.load(), 15);
+}
+
+}  // namespace
+}  // namespace memsentry

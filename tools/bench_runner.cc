@@ -14,14 +14,32 @@
 //   bench_runner --write-baseline=P   also snapshot the merged report to P
 //   bench_runner --no-gate            produce BENCH_RESULTS.json, skip comparison
 //   bench_runner --verbose            stream per-binary stdout instead of logging
+//                                     (forces --jobs=1 to keep output readable)
+//   bench_runner --jobs=N             total parallelism budget: up to N bench
+//                                     binaries run concurrently, and a lone
+//                                     binary fans its sweeps out over N workers.
+//                                     Default: hardware_concurrency. Results
+//                                     are bit-identical for every N.
+//   bench_runner --check-determinism=OTHER.json
+//                                     require every fidelity/perf metric to be
+//                                     byte-identical to OTHER (info metrics
+//                                     such as wall-clock are exempt)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
 #include "src/base/json.h"
+#include "src/base/thread_pool.h"
 #include "src/eval/regression_gate.h"
 
 #ifndef MEMSENTRY_SOURCE_DIR
@@ -68,15 +86,65 @@ struct Options {
   bool verbose = false;
   bool gate = true;
   uint64_t instructions = 0;  // 0 = mode default
+  int jobs = 0;               // 0 = hardware_concurrency; 1 = fully serial
   std::string bench_dir;
   std::string out = "BENCH_RESULTS.json";
   std::string baseline;
   std::string baselines_dir;
   std::string compare_existing;
   std::string write_baseline;
+  std::string check_determinism;
   std::vector<std::string> only;
   std::vector<std::string> skip;
 };
+
+// std::system returns a raw waitpid status on POSIX: comparing it to 0 works
+// for clean exits but conflates "exited with code N" and "killed by signal
+// N", and both with spawn failure. Decode it properly so logs say which.
+struct CommandStatus {
+  bool spawn_failed = false;
+  bool signaled = false;
+  int exit_code = 0;  // valid when !spawn_failed && !signaled
+  int signal = 0;     // valid when signaled
+
+  bool ok() const { return !spawn_failed && !signaled && exit_code == 0; }
+
+  std::string Describe() const {
+    char buf[64];
+    if (spawn_failed) {
+      return "failed to spawn";
+    }
+    if (signaled) {
+      std::snprintf(buf, sizeof(buf), "killed by signal %d", signal);
+      return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "exited with %d", exit_code);
+    return buf;
+  }
+};
+
+CommandStatus RunCommand(const std::string& command) {
+  CommandStatus status;
+  const int raw = std::system(command.c_str());
+  if (raw == -1) {
+    status.spawn_failed = true;
+    return status;
+  }
+#ifndef _WIN32
+  if (WIFSIGNALED(raw)) {
+    status.signaled = true;
+    status.signal = WTERMSIG(raw);
+  } else if (WIFEXITED(raw)) {
+    status.exit_code = WEXITSTATUS(raw);
+  } else {
+    // Stopped/continued should not reach here; treat as a spawn-level error.
+    status.spawn_failed = true;
+  }
+#else
+  status.exit_code = raw;
+#endif
+  return status;
+}
 
 std::vector<std::string> SplitCsv(const std::string& csv) {
   std::vector<std::string> out;
@@ -109,7 +177,8 @@ int Usage() {
                "usage: bench_runner [--quick] [--only=a,b] [--skip=a,b] [--out=PATH]\n"
                "                    [--bench-dir=DIR] [--baseline=PATH] [--no-gate]\n"
                "                    [--compare=RESULTS] [--write-baseline=PATH]\n"
-               "                    [--instructions=N] [--verbose]\n");
+               "                    [--instructions=N] [--jobs=N] [--verbose]\n"
+               "                    [--check-determinism=OTHER.json]\n");
   return 2;
 }
 
@@ -147,6 +216,10 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.write_baseline = v;
     } else if (const char* v = value("--instructions")) {
       opts.instructions = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--jobs")) {
+      opts.jobs = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--check-determinism")) {
+      opts.check_determinism = v;
     } else {
       std::fprintf(stderr, "bench_runner: unknown argument %s\n", arg.c_str());
       return false;
@@ -163,6 +236,65 @@ std::string DefaultBenchDir(const char* argv0) {
     self = fs::path(argv0);
   }
   return (self.parent_path().parent_path() / "bench").string();
+}
+
+json::Value InfoMetric(double value) {
+  json::Value entry = json::Value::Object();
+  entry.Set("value", value);
+  entry.Set("kind", "info");
+  entry.Set("tol", 0.0);
+  return entry;
+}
+
+const char* CompilerString() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+// Compares every fidelity/perf metric of `results` and `other` for exact
+// (bitwise double) equality in both directions. Info metrics — wall clocks,
+// host-side benchmark times, jobs — legitimately differ between runs and are
+// exempt. Returns the number of mismatches, printing each.
+int CountDeterminismMismatches(const json::Value& results, const json::Value& other) {
+  const json::Value* a = results.Find("metrics");
+  const json::Value* b = other.Find("metrics");
+  if (a == nullptr || !a->is_object() || b == nullptr || !b->is_object()) {
+    std::fprintf(stderr, "bench_runner: determinism check needs \"metrics\" in both files\n");
+    return 1;
+  }
+  int mismatches = 0;
+  for (const auto& [name, entry] : a->members()) {
+    if (eval::ParseMetricKind(entry.StringOr("kind", "info")) == eval::MetricKind::kInfo) {
+      continue;
+    }
+    const json::Value* peer = b->Find(name);
+    if (peer == nullptr) {
+      std::fprintf(stderr, "  [determinism] %s: missing from other run\n", name.c_str());
+      ++mismatches;
+      continue;
+    }
+    const double va = entry.NumberOr("value", 0.0);
+    const double vb = peer->NumberOr("value", 0.0);
+    if (va != vb) {
+      std::fprintf(stderr, "  [determinism] %s: %.17g != %.17g\n", name.c_str(), va, vb);
+      ++mismatches;
+    }
+  }
+  for (const auto& [name, entry] : b->members()) {
+    if (eval::ParseMetricKind(entry.StringOr("kind", "info")) == eval::MetricKind::kInfo) {
+      continue;
+    }
+    if (a->Find(name) == nullptr) {
+      std::fprintf(stderr, "  [determinism] %s: missing from this run\n", name.c_str());
+      ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 int Severity3(eval::Severity s) {
@@ -251,6 +383,9 @@ int Run(int argc, char** argv) {
     json::Value binaries = json::Value::Object();
     json::Value metrics = json::Value::Object();
 
+    // Select the binaries to run; missing ones are reported up front so a
+    // half-built tree fails fast instead of mid-suite.
+    std::vector<const SuiteEntry*> to_run;
     for (const SuiteEntry& entry : kSuite) {
       const std::string name = entry.name;
       if (!opts.only.empty() && !Contains(opts.only, name)) {
@@ -259,32 +394,80 @@ int Run(int argc, char** argv) {
       if (Contains(opts.skip, name)) {
         continue;
       }
-      const fs::path binary = fs::path(opts.bench_dir) / name;
-      if (!fs::exists(binary)) {
+      if (!fs::exists(fs::path(opts.bench_dir) / name)) {
         std::fprintf(stderr, "bench_runner: missing binary %s (build the bench targets)\n",
-                     binary.c_str());
+                     (fs::path(opts.bench_dir) / name).c_str());
         exit_code = 1;
         continue;
       }
+      to_run.push_back(&entry);
+    }
+
+    // The parallelism budget splits between scheduling binaries concurrently
+    // (bounded job slots) and each binary's own sweep fan-out: with more
+    // binaries than budget every binary runs its sweeps serially; a lone
+    // binary (--only=fig3_address) gets the whole budget for its cells.
+    // --verbose streams child stdout, so it forces a fully serial run.
+    const int total_jobs = opts.verbose ? 1 : ResolveJobs(opts.jobs);
+    const int slots = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(total_jobs), std::max<size_t>(to_run.size(), 1)));
+    const int inner_jobs = std::max(1, total_jobs / slots);
+
+    struct BinaryRun {
+      CommandStatus status;
+      double runner_seconds = 0;  // host wall-clock around the child process
+    };
+    std::mutex print_mutex;
+    const auto suite_start = std::chrono::steady_clock::now();
+    const std::vector<BinaryRun> runs =
+        ParallelMap(slots, to_run.size(), [&](size_t i) -> BinaryRun {
+          const SuiteEntry& entry = *to_run[i];
+          const std::string name = entry.name;
+          const fs::path binary = fs::path(opts.bench_dir) / name;
+          const fs::path report_path = report_dir / (name + ".json");
+          const fs::path log_path = report_dir / (name + ".log");
+          std::string command = "\"" + binary.string() + "\" --json=\"" +
+                                report_path.string() +
+                                "\" --instructions=" + std::to_string(instructions) +
+                                " --jobs=" + std::to_string(inner_jobs);
+          if (opts.quick && entry.quick_extra[0] != '\0') {
+            command += " ";
+            command += entry.quick_extra;
+          }
+          if (!opts.verbose) {
+            command += " > \"" + log_path.string() + "\" 2>&1";
+          }
+          {
+            std::lock_guard<std::mutex> lock(print_mutex);
+            std::printf("[bench_runner] %s ...\n", name.c_str());
+            std::fflush(stdout);
+          }
+          BinaryRun run;
+          const auto start = std::chrono::steady_clock::now();
+          run.status = RunCommand(command);
+          run.runner_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+          return run;
+        });
+    const double suite_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - suite_start).count();
+
+    // Merge serially in suite order, so the merged document (and any error
+    // output) is identical no matter how the parallel schedule interleaved.
+    for (size_t i = 0; i < to_run.size(); ++i) {
+      const std::string name = to_run[i]->name;
+      const BinaryRun& run = runs[i];
       const fs::path report_path = report_dir / (name + ".json");
       const fs::path log_path = report_dir / (name + ".log");
-      std::string command = "\"" + binary.string() + "\" --json=\"" + report_path.string() +
-                            "\" --instructions=" + std::to_string(instructions);
-      if (opts.quick && entry.quick_extra[0] != '\0') {
-        command += " ";
-        command += entry.quick_extra;
-      }
-      if (!opts.verbose) {
-        command += " > \"" + log_path.string() + "\" 2>&1";
-      }
-      std::printf("[bench_runner] %s ...\n", name.c_str());
-      std::fflush(stdout);
-      const int rc = std::system(command.c_str());
       json::Value info = json::Value::Object();
-      info.Set("exit", rc);
-      if (rc != 0) {
-        std::fprintf(stderr, "bench_runner: %s exited with %d (log: %s)\n", name.c_str(), rc,
-                     log_path.c_str());
+      info.Set("exit", run.status.spawn_failed ? -1 : run.status.exit_code);
+      if (run.status.signaled) {
+        info.Set("signal", run.status.signal);
+      }
+      info.Set("runner_seconds", run.runner_seconds);
+      if (!run.status.ok()) {
+        std::fprintf(stderr, "bench_runner: %s %s (log: %s)\n", name.c_str(),
+                     run.status.Describe().c_str(), log_path.c_str());
         exit_code = 1;
         binaries.Set(name, std::move(info));
         continue;
@@ -298,6 +481,7 @@ int Run(int argc, char** argv) {
       }
       info.Set("wall_seconds", report->NumberOr("wall_seconds", 0.0));
       binaries.Set(name, std::move(info));
+      metrics.Set("runner/seconds/" + name, InfoMetric(run.runner_seconds));
       if (const json::Value* m = report->Find("metrics"); m != nullptr && m->is_object()) {
         for (const auto& [metric_name, metric] : m->members()) {
           if (metrics.Find(metric_name) != nullptr) {
@@ -310,8 +494,22 @@ int Run(int argc, char** argv) {
         }
       }
     }
+    // The wall-clock trajectory of the suite itself: info metrics, recorded
+    // in every snapshot but never gated (they are host-dependent).
+    metrics.Set("runner/wall_seconds", InfoMetric(suite_seconds));
+    metrics.Set("runner/jobs", InfoMetric(total_jobs));
+
+    // Host metadata, so future baseline snapshots are attributable.
+    json::Value host = json::Value::Object();
+    host.Set("jobs", total_jobs);
+    host.Set("inner_jobs", inner_jobs);
+    host.Set("hardware_concurrency", HardwareJobs());
+    host.Set("compiler", CompilerString());
+    merged.Set("host", std::move(host));
     merged.Set("binaries", std::move(binaries));
     merged.Set("metrics", std::move(metrics));
+    std::printf("[bench_runner] suite wall-clock %.2fs (jobs=%d, per-binary jobs=%d)\n",
+                suite_seconds, total_jobs, inner_jobs);
 
     if (Status s = json::WriteFile(opts.out, merged); !s.ok()) {
       std::fprintf(stderr, "bench_runner: %s\n", s.ToString().c_str());
@@ -327,6 +525,25 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("[bench_runner] snapshot written to %s\n", opts.write_baseline.c_str());
+  }
+
+  if (!opts.check_determinism.empty()) {
+    auto other = json::ParseFile(opts.check_determinism);
+    if (!other.ok()) {
+      std::fprintf(stderr, "bench_runner: %s\n", other.status().ToString().c_str());
+      return 1;
+    }
+    const int mismatches = CountDeterminismMismatches(merged, *other);
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "bench_runner: determinism check FAILED: %d fidelity/perf metrics differ "
+                   "from %s\n",
+                   mismatches, opts.check_determinism.c_str());
+      return 1;
+    }
+    std::printf("[bench_runner] determinism check ok: all fidelity/perf metrics identical "
+                "to %s\n",
+                opts.check_determinism.c_str());
   }
 
   if (!opts.gate) {

@@ -1,6 +1,6 @@
 // memsentry — command-line front end for the framework.
 //
-//   memsentry figure 3|4|5|6 [--instructions N]   reproduce a paper figure
+//   memsentry figure 3|4|5|6 [--instructions N] [--jobs N]   reproduce a figure
 //   memsentry attack [--region-bytes N]           run the attack matrix
 //   memsentry advise --events F --bytes N [--year Y] [--mpk] [--no-hypervisor]
 //   memsentry dump --benchmark 403.gcc --technique mpx [--defense shadowstack]
@@ -24,7 +24,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: memsentry_cli <figure N | attack | advise | dump> [options]\n"
-               "  figure 3|4|5|6 [--instructions N]\n"
+               "  figure 3|4|5|6 [--instructions N] [--jobs N]\n"
                "  attack [--region-bytes N]\n"
                "  advise [--events F] [--bytes N] [--year Y] [--mpk] [--no-hypervisor]\n"
                "  dump [--benchmark NAME] [--technique sfi|mpx|mpk|vmfunc|crypt|sgx|mprotect]\n"
@@ -78,6 +78,7 @@ int RunFigure(int argc, char** argv) {
   eval::ExperimentOptions options;
   options.target_instructions =
       std::strtoull(Arg(argc, argv, "--instructions", "400000"), nullptr, 10);
+  options.jobs = std::atoi(Arg(argc, argv, "--jobs", "0"));
   switch (std::atoi(argv[0])) {
     case 3:
       PrintSeries(eval::RunFigure3(options));
