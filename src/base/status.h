@@ -4,11 +4,25 @@
 #define MEMSENTRY_SRC_BASE_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
 
 namespace memsentry {
+
+// Contract violations (e.g. reading the value of an errored StatusOr) abort
+// unconditionally — NOT assert() — so misuse dies the same way in Release
+// builds as in Debug builds and death tests can pin the contract.
+#define MEMSENTRY_CONTRACT_CHECK(cond, what)                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "memsentry contract violation: %s (%s:%d)\n",   \
+                   what, __FILE__, __LINE__);                              \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
 
 enum class StatusCode {
   kOk = 0,
@@ -74,22 +88,23 @@ class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   StatusOr(Status status) : status_(std::move(status)) {                // NOLINT(runtime/explicit)
-    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+    MEMSENTRY_CONTRACT_CHECK(!status_.ok(),
+                             "StatusOr constructed from OK status without a value");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    MEMSENTRY_CONTRACT_CHECK(ok(), "StatusOr::value() called on error status");
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    MEMSENTRY_CONTRACT_CHECK(ok(), "StatusOr::value() called on error status");
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    MEMSENTRY_CONTRACT_CHECK(ok(), "StatusOr::value() called on error status");
     return std::move(*value_);
   }
 

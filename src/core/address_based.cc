@@ -128,4 +128,26 @@ machine::FaultOr<bool> MpxTechnique::AttackerWrite(sim::Process& process, VirtAd
   return Technique::AttackerWrite(process, va, value);
 }
 
+std::vector<ProtectionAuditIssue> MpxTechnique::AuditProtection(sim::Process& process) {
+  auto issues = Technique::AuditProtection(process);
+  const machine::BoundRegister partition = mpx::MakeBounds(0, kPartitionSplit);
+  // bnd0 must confine accesses to the nonsensitive partition. A widened
+  // register (or a corrupted bound-table entry it reloads from after a
+  // legacy branch) silently re-admits the safe region.
+  machine::BoundRegister& bnd0 = process.regs().bnd[0];
+  if (bnd0.lower != partition.lower || bnd0.upper != partition.upper) {
+    bnd0 = partition;
+    issues.push_back(ProtectionAuditIssue{
+        .what = "bnd0 widened beyond the 64 TiB partition", .repaired = true});
+  }
+  const auto& reload = process.bnd_reload(0);
+  if (!reload.has_value() || reload->lower != partition.lower ||
+      reload->upper != partition.upper) {
+    process.SetBndReload(0, partition);
+    issues.push_back(ProtectionAuditIssue{
+        .what = "bound-table entry for bnd0 corrupted", .repaired = true});
+  }
+  return issues;
+}
+
 }  // namespace memsentry::core::internal

@@ -84,6 +84,30 @@ Recommendation Advise(const ScenarioSpec& spec) {
   // baselines, not recommendations.
 }
 
+std::vector<TechniqueKind> DefaultFallbackChain(TechniqueKind kind) {
+  switch (kind) {
+    case TechniqueKind::kMpk:
+      // 16 keys exhaust fast; SFI has no key budget and the allocator already
+      // placed every region above the 64 TiB split.
+      return {TechniqueKind::kSfi};
+    case TechniqueKind::kVmfunc:
+      // EPTP slots (512) or a missing Dune runtime degrade to MPK, then SFI.
+      return {TechniqueKind::kMpk, TechniqueKind::kSfi};
+    case TechniqueKind::kSgx:
+      return {TechniqueKind::kMpk, TechniqueKind::kSfi};
+    case TechniqueKind::kMpx:
+      // 4 bound registers; the partition-check fallback is software masking.
+      return {TechniqueKind::kSfi};
+    case TechniqueKind::kCrypt:
+      return {TechniqueKind::kSfi};
+    case TechniqueKind::kSfi:
+    case TechniqueKind::kMprotect:
+    case TechniqueKind::kInfoHide:
+      return {};
+  }
+  return {};
+}
+
 std::vector<ApplicabilityRow> ApplicabilityTable() {
   // Paper Table 2.
   return {

@@ -42,6 +42,13 @@ struct Recommendation {
 
 Recommendation Advise(const ScenarioSpec& spec);
 
+// Degradation order for MemSentryConfig::fallbacks: the techniques to retry
+// (in order) when `kind`'s Prepare fails on an exhausted or unavailable
+// resource. Chains end in techniques with no hardware resource to exhaust
+// (SFI needs only the placement invariant, which the allocator guarantees).
+// Opt-in: MemSentry applies no chain unless the config asks for one.
+std::vector<TechniqueKind> DefaultFallbackChain(TechniqueKind kind);
+
 // One row of the paper's Table 2.
 struct ApplicabilityRow {
   Category category;

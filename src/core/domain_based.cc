@@ -31,6 +31,26 @@ uint32_t ClosedPkruFor(const sim::Process& process, ProtectMode mode) {
   return pkru.value;
 }
 
+// FNV-1a over a region's expanded key schedule + nonce; stored in
+// SafeRegion::enc_key_digest at Prepare so audits can detect round-key
+// clobbering without keeping a plaintext copy of the key around.
+uint64_t KeyScheduleDigest(const aes::KeySchedule& keys, uint64_t nonce) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& round_key : keys) {
+    for (uint8_t byte : round_key) {
+      mix(byte);
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<uint8_t>(nonce >> (8 * i)));
+  }
+  return h;
+}
+
 }  // namespace
 
 // ---- MPK ----
@@ -67,6 +87,44 @@ std::vector<ir::Instr> MpkTechnique::MakeDomainClose(const sim::Process& process
                                                      const InstrumentOptions& opts) const {
   return {Flagged(ir::Instr{.op = ir::Opcode::kWrpkru,
                             .imm = ClosedPkruFor(process, opts.mode)})};
+}
+
+std::vector<ProtectionAuditIssue> MpkTechnique::AuditProtection(sim::Process& process) {
+  auto issues = Technique::AuditProtection(process);
+  // Pages whose PTE pkey no longer matches the region's key are reachable
+  // under any PKRU that leaves the flipped-to key open (unused keys are open
+  // even in the closed state) — re-tag and shoot down the TLB entry.
+  for (auto& region : process.safe_regions()) {
+    if (region.pkey == 0) {
+      continue;
+    }
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    for (uint64_t p = 0; p < pages; ++p) {
+      const VirtAddr va = region.base + p * kPageSize;
+      auto walk = process.page_table().Walk(va);
+      if (!walk.ok()) {
+        continue;  // non-present pages fault architecturally; nothing to repair
+      }
+      if (machine::PageTable::PtePkey(walk.value().pte) != region.pkey) {
+        const bool retagged = process.page_table().SetKey(va, region.pkey).ok();
+        if (retagged) {
+          process.mmu().InvalidatePage(va);
+        }
+        issues.push_back(ProtectionAuditIssue{
+            .what = "PTE pkey mismatch on " + region.name + " page " + std::to_string(p),
+            .repaired = retagged});
+      }
+    }
+  }
+  // PKRU must still carry the closed-state bits Prepare installed; a desync
+  // between wrpkru and the region access (the ERIM gate problem) clears them.
+  const uint32_t closed = ClosedPkruFor(process, ProtectMode::kReadWrite);
+  if ((process.regs().pkru.value & closed) != closed) {
+    process.regs().pkru.value |= closed;
+    issues.push_back(ProtectionAuditIssue{
+        .what = "PKRU desync: closed-state deny bits cleared", .repaired = true});
+  }
+  return issues;
 }
 
 // ---- VMFUNC ----
@@ -113,6 +171,40 @@ std::vector<ir::Instr> VmfuncTechnique::MakeDomainClose(const sim::Process&,
   return {Flagged(ir::Instr{.op = ir::Opcode::kVmFunc, .imm = 0})};
 }
 
+std::vector<ProtectionAuditIssue> VmfuncTechnique::AuditProtection(sim::Process& process) {
+  auto issues = Technique::AuditProtection(process);
+  if (!process.dune_enabled()) {
+    return issues;
+  }
+  // Secret frames must not be mapped in the default EPT 0: a mapping that
+  // leaked back (EPT corruption) makes the region readable without vmfunc.
+  for (auto& region : process.safe_regions()) {
+    if (region.ept_index <= 0) {
+      continue;
+    }
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    for (uint64_t p = 0; p < pages; ++p) {
+      const VirtAddr va = region.base + p * kPageSize;
+      auto walk = process.page_table().Walk(va);
+      if (!walk.ok()) {
+        continue;
+      }
+      const GuestPhysAddr gpa = walk.value().phys & ~kPageMask;
+      if (process.dune()->vmx().ept(0).IsMapped(gpa)) {
+        const bool restricted =
+            process.dune()->MarkPrivate(gpa, 1, region.ept_index).ok();
+        if (restricted) {
+          process.mmu().InvalidatePage(va);
+        }
+        issues.push_back(ProtectionAuditIssue{
+            .what = "secret frame of " + region.name + " leaked into EPT 0",
+            .repaired = restricted});
+      }
+    }
+  }
+  return issues;
+}
+
 // ---- crypt (AES-NI) ----
 
 TechniqueLimits CryptTechnique::limits() const {
@@ -134,6 +226,7 @@ Status CryptTechnique::Prepare(sim::Process& process) {
     }
     region.enc_keys = aes::ExpandKey(key);
     region.nonce = rng.Next();
+    region.enc_key_digest = KeyScheduleDigest(region.enc_keys, region.nonce);
     region.crypt = true;
     // Encrypt at rest now; the data becomes ciphertext until a domain open.
     std::vector<uint8_t> bytes(region.size);
@@ -167,6 +260,40 @@ std::vector<ir::Instr> CryptTechnique::MakeDomainClose(const sim::Process& proce
                                                        const InstrumentOptions& opts) const {
   // CTR keystream XOR is an involution: closing re-encrypts with the same op.
   return MakeDomainOpen(process, opts);
+}
+
+std::vector<ProtectionAuditIssue> CryptTechnique::AuditProtection(sim::Process& process) {
+  auto issues = Technique::AuditProtection(process);
+  for (auto& region : process.safe_regions()) {
+    if (!region.crypt) {
+      continue;
+    }
+    if (KeyScheduleDigest(region.enc_keys, region.nonce) != region.enc_key_digest) {
+      // Clobbered round keys cannot be reconstructed; the ciphertext stays
+      // unreadable (contained) but a domain open would produce garbage, so
+      // the region is quarantined rather than repaired.
+      issues.push_back(ProtectionAuditIssue{
+          .what = "AES round-key schedule clobbered for " + region.name +
+                  "; region quarantined (ciphertext unrecoverable)",
+          .repaired = false});
+      continue;
+    }
+    if (!region.encrypted_now) {
+      // Left decrypted at rest (missed close): re-encrypt with the intact key.
+      std::vector<uint8_t> bytes(region.size);
+      const bool peeked = process.PeekBytes(region.base, bytes.data(), region.size).ok();
+      bool repaired = false;
+      if (peeked) {
+        aes::CryptRegion(bytes, region.enc_keys, region.nonce);
+        repaired = process.PokeBytes(region.base, bytes.data(), region.size).ok();
+        region.encrypted_now = repaired;
+      }
+      issues.push_back(ProtectionAuditIssue{
+          .what = "region " + region.name + " found decrypted at rest",
+          .repaired = repaired});
+    }
+  }
+  return issues;
 }
 
 // ---- SGX ----
@@ -244,6 +371,37 @@ std::vector<ir::Instr> MprotectTechnique::MakeDomainOpen(const sim::Process&,
 std::vector<ir::Instr> MprotectTechnique::MakeDomainClose(const sim::Process&,
                                                           const InstrumentOptions&) const {
   return {Flagged(ir::Instr{.op = ir::Opcode::kMprotect, .imm = 0})};
+}
+
+std::vector<ProtectionAuditIssue> MprotectTechnique::AuditProtection(sim::Process& process) {
+  auto issues = Technique::AuditProtection(process);
+  // Closed regions must stay supervisor-only; a PTE user bit that came back
+  // makes the page reachable without the open syscall.
+  for (auto& region : process.safe_regions()) {
+    if (!region.mprotected) {
+      continue;
+    }
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    for (uint64_t p = 0; p < pages; ++p) {
+      const VirtAddr va = region.base + p * kPageSize;
+      auto walk = process.page_table().Walk(va);
+      if (!walk.ok() || !machine::PageTable::PteUser(walk.value().pte)) {
+        continue;
+      }
+      machine::PageFlags closed = machine::PageFlags::Data();
+      closed.user = false;
+      closed.pkey = machine::PageTable::PtePkey(walk.value().pte);
+      const bool reclosed = process.page_table().Protect(va, closed).ok();
+      if (reclosed) {
+        process.mmu().InvalidatePage(va);
+      }
+      issues.push_back(ProtectionAuditIssue{
+          .what = "closed region " + region.name + " page " + std::to_string(p) +
+                  " user-accessible",
+          .repaired = reclosed});
+    }
+  }
+  return issues;
 }
 
 // ---- information hiding baseline ----

@@ -11,7 +11,9 @@
 #define MEMSENTRY_SRC_CORE_MEMSENTRY_H_
 
 #include <memory>
+#include <vector>
 
+#include "src/base/log.h"
 #include "src/core/gate_audit.h"
 #include "src/core/instrument.h"
 #include "src/core/safe_region.h"
@@ -24,6 +26,19 @@ struct MemSentryConfig {
   TechniqueKind technique = TechniqueKind::kMpk;
   InstrumentOptions options;
   uint64_t placement_seed = 0x10de5eedULL;  // for information hiding's ASLR
+  // Graceful degradation (opt-in; empty = strict failure, the default and
+  // the paper's behavior): when Prepare fails on an exhausted or missing
+  // resource (kResourceExhausted / kFailedPrecondition), these techniques
+  // are tried in order and the first that prepares becomes active. See
+  // advisor.h's DefaultFallbackChain for the recommended orders.
+  std::vector<TechniqueKind> fallbacks;
+};
+
+// One recorded degradation step: which technique gave way to which, and why.
+struct DowngradeEvent {
+  TechniqueKind from;
+  TechniqueKind to;
+  std::string reason;
 };
 
 class MemSentry {
@@ -37,6 +52,11 @@ class MemSentry {
   SafeRegionAllocator& allocator() { return allocator_; }
   Technique& technique() { return *technique_; }
   const MemSentryConfig& config() const { return config_; }
+
+  // The technique actually protecting the process: config().technique unless
+  // PrepareRuntime degraded down the fallback chain.
+  TechniqueKind active_technique() const { return technique_->kind(); }
+  const std::vector<DowngradeEvent>& downgrades() const { return downgrades_; }
 
   // Prepares the runtime state for every allocated safe region and runs the
   // MemSentry pass over the module. Call after the defense pass. Preparation
@@ -57,13 +77,39 @@ class MemSentry {
   }
 
   // Runtime-only preparation (for workloads without a module to rewrite).
+  // When the configured technique cannot prepare because a hardware resource
+  // is exhausted or missing, each configured fallback is tried in order; a
+  // successful fallback swaps the active technique and records a
+  // DowngradeEvent (never silently — the downgrade is logged and countable).
   Status PrepareRuntime() {
     if (prepared_) {
       return OkStatus();
     }
-    MEMSENTRY_RETURN_IF_ERROR(technique_->Prepare(*process_));
-    prepared_ = true;
-    return OkStatus();
+    Status status = technique_->Prepare(*process_);
+    if (status.ok()) {
+      prepared_ = true;
+      return OkStatus();
+    }
+    for (TechniqueKind fallback : config_.fallbacks) {
+      if (status.code() != StatusCode::kResourceExhausted &&
+          status.code() != StatusCode::kFailedPrecondition) {
+        break;  // a real error, not a capacity/availability limit
+      }
+      auto candidate = CreateTechnique(fallback);
+      const TechniqueKind from = technique_->kind();
+      const Status fallback_status = candidate->Prepare(*process_);
+      if (fallback_status.ok()) {
+        downgrades_.push_back(DowngradeEvent{from, fallback, status.message()});
+        MEMSENTRY_LOG(kWarning) << "technique downgrade: " << TechniqueKindName(from)
+                                << " -> " << TechniqueKindName(fallback) << " ("
+                                << status.message() << ")";
+        technique_ = std::move(candidate);
+        prepared_ = true;
+        return OkStatus();
+      }
+      status = fallback_status;
+    }
+    return status;
   }
 
  private:
@@ -71,6 +117,7 @@ class MemSentry {
   MemSentryConfig config_;
   std::unique_ptr<Technique> technique_;
   SafeRegionAllocator allocator_;
+  std::vector<DowngradeEvent> downgrades_;
   bool prepared_ = false;
 };
 

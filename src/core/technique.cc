@@ -61,6 +61,31 @@ machine::FaultOr<bool> Technique::AttackerWrite(sim::Process& process, VirtAddr 
   return process.mmu().Write64(va, value, process.regs().pkru, &cycles);
 }
 
+std::vector<ProtectionAuditIssue> Technique::AuditProtection(sim::Process& process) {
+  std::vector<ProtectionAuditIssue> issues;
+  machine::Mmu& mmu = process.mmu();
+  const uint16_t asid = mmu.EffectiveAsid();
+  for (const auto& region : process.safe_regions()) {
+    const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+    for (uint64_t p = 0; p < pages; ++p) {
+      const VirtAddr va = region.base + p * kPageSize;
+      const auto cached = mmu.tlb().Peek(va, asid);
+      if (!cached.has_value()) {
+        continue;
+      }
+      auto walk = process.page_table().Walk(va);
+      const uint64_t compare_mask = ~machine::kPteFrameMask;
+      if (!walk.ok() || ((*cached ^ walk.value().pte) & compare_mask) != 0) {
+        mmu.InvalidatePage(va);
+        issues.push_back(ProtectionAuditIssue{
+            .what = "stale TLB entry for " + region.name + " page " + std::to_string(p),
+            .repaired = true});
+      }
+    }
+  }
+  return issues;
+}
+
 std::unique_ptr<Technique> CreateTechnique(TechniqueKind kind) {
   switch (kind) {
     case TechniqueKind::kSfi:

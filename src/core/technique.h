@@ -49,6 +49,15 @@ struct TechniqueLimits {
   std::string notes;
 };
 
+// One finding of a containment audit (AuditProtection): what protection
+// state was found corrupted and whether the audit repaired it in place.
+// Unrepaired findings mean the region is contained but quarantined (e.g.
+// clobbered AES round keys: the ciphertext is unrecoverable but unreadable).
+struct ProtectionAuditIssue {
+  std::string what;
+  bool repaired = false;
+};
+
 struct InstrumentOptions {
   ProtectMode mode = ProtectMode::kReadWrite;
   // MPX ablation: check both bounds (the GCC-style usage the paper shows is
@@ -90,6 +99,18 @@ class Technique {
   virtual machine::FaultOr<uint64_t> AttackerRead(sim::Process& process, VirtAddr va);
   virtual machine::FaultOr<bool> AttackerWrite(sim::Process& process, VirtAddr va,
                                                uint64_t value);
+
+  // Containment audit: sweeps the process for corrupted protection state and
+  // repairs what can be repaired, returning one issue per finding. Intended
+  // to run at closed-domain checkpoints (the technique's Prepare-time state
+  // is the reference; an audit while a domain is legitimately open would
+  // re-close it). The base implementation is a TLB-coherence sweep over all
+  // safe-region pages: any cached translation whose permission or pkey bits
+  // disagree with the live page tables is invalidated — the desync vector
+  // that otherwise lets pre-revocation TLB entries bypass MPK, VMFUNC and
+  // mprotect (frame bits are exempt from the comparison because nested
+  // translation caches host frames).
+  virtual std::vector<ProtectionAuditIssue> AuditProtection(sim::Process& process);
 };
 
 std::unique_ptr<Technique> CreateTechnique(TechniqueKind kind);

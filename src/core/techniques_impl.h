@@ -33,6 +33,7 @@ class MpxTechnique : public Technique {
   machine::FaultOr<uint64_t> AttackerRead(sim::Process& process, VirtAddr va) override;
   machine::FaultOr<bool> AttackerWrite(sim::Process& process, VirtAddr va,
                                        uint64_t value) override;
+  std::vector<ProtectionAuditIssue> AuditProtection(sim::Process& process) override;
 };
 
 // ---- Domain-based (paper Section 3.1) ----
@@ -47,6 +48,7 @@ class MpkTechnique : public Technique {
                                         const InstrumentOptions& opts) const override;
   std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
                                          const InstrumentOptions& opts) const override;
+  std::vector<ProtectionAuditIssue> AuditProtection(sim::Process& process) override;
 };
 
 class VmfuncTechnique : public Technique {
@@ -59,6 +61,7 @@ class VmfuncTechnique : public Technique {
                                         const InstrumentOptions& opts) const override;
   std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
                                          const InstrumentOptions& opts) const override;
+  std::vector<ProtectionAuditIssue> AuditProtection(sim::Process& process) override;
 };
 
 class CryptTechnique : public Technique {
@@ -72,6 +75,7 @@ class CryptTechnique : public Technique {
                                         const InstrumentOptions& opts) const override;
   std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
                                          const InstrumentOptions& opts) const override;
+  std::vector<ProtectionAuditIssue> AuditProtection(sim::Process& process) override;
 
  private:
   uint64_t key_seed_;
@@ -101,6 +105,7 @@ class MprotectTechnique : public Technique {
                                         const InstrumentOptions& opts) const override;
   std::vector<ir::Instr> MakeDomainClose(const sim::Process& process,
                                          const InstrumentOptions& opts) const override;
+  std::vector<ProtectionAuditIssue> AuditProtection(sim::Process& process) override;
 };
 
 class InfoHideTechnique : public Technique {

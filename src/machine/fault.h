@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "src/base/status.h"
 #include "src/base/types.h"
 
 namespace memsentry::machine {
@@ -59,9 +60,18 @@ class [[nodiscard]] FaultOr {
   FaultOr(Fault fault) : fault_(fault) {}         // NOLINT(runtime/explicit)
 
   bool ok() const { return !fault_.has_value(); }
-  const Fault& fault() const { return *fault_; }
-  const T& value() const { return *value_; }
-  T& value() { return *value_; }
+  const Fault& fault() const {
+    MEMSENTRY_CONTRACT_CHECK(!ok(), "FaultOr::fault() called on non-faulting result");
+    return *fault_;
+  }
+  const T& value() const {
+    MEMSENTRY_CONTRACT_CHECK(ok(), "FaultOr::value() called on faulting result");
+    return *value_;
+  }
+  T& value() {
+    MEMSENTRY_CONTRACT_CHECK(ok(), "FaultOr::value() called on faulting result");
+    return *value_;
+  }
 
  private:
   std::optional<T> value_;

@@ -84,6 +84,13 @@ class Mmu {
   void InvalidatePage(VirtAddr va) { tlb_.InvalidatePage(va); }
   void FlushTlb() { tlb_.FlushAll(); }
 
+  // The tag translations are inserted under right now (vpid ⊕ active-EPT
+  // tag). Public so fault injection and coherence audits can address the
+  // exact TLB entries the current translation mode would hit.
+  uint16_t EffectiveAsid() const {
+    return static_cast<uint16_t>(vpid_ ^ (second_ != nullptr ? second_->AsidTag() << 8 : 0));
+  }
+
   Tlb& tlb() { return tlb_; }
   CacheHierarchy& dcache() { return dcache_; }
   PhysicalMemory& pmem() { return *pmem_; }
@@ -95,10 +102,6 @@ class Mmu {
   }
 
  private:
-  uint16_t EffectiveAsid() const {
-    return static_cast<uint16_t>(vpid_ ^ (second_ != nullptr ? second_->AsidTag() << 8 : 0));
-  }
-
   PhysicalMemory* pmem_;
   const CostModel* cost_;
   PageTable* page_table_ = nullptr;

@@ -104,6 +104,35 @@ Status PageTable::SetKey(VirtAddr virt, uint8_t pkey) {
   return OkStatus();
 }
 
+PhysAddr PageTable::FindPteSlot(VirtAddr virt) const {
+  PhysAddr table = root_;
+  for (int level = 3; level >= 1; --level) {
+    const uint64_t entry = pmem_->Read64(table + IndexAt(virt, level) * 8);
+    if ((entry & kPtePresent) == 0) {
+      return 0;
+    }
+    table = entry & kPteFrameMask;
+  }
+  return table + IndexAt(virt, 0) * 8;
+}
+
+StatusOr<uint64_t> PageTable::ReadPte(VirtAddr virt) const {
+  const PhysAddr slot = FindPteSlot(virt);
+  if (slot == 0) {
+    return NotFound("no leaf PTE slot for virtual page");
+  }
+  return pmem_->Read64(slot);
+}
+
+Status PageTable::WritePteRaw(VirtAddr virt, uint64_t pte) {
+  const PhysAddr slot = FindPteSlot(virt);
+  if (slot == 0) {
+    return NotFound("no leaf PTE slot for virtual page");
+  }
+  pmem_->Write64(slot, pte);
+  return OkStatus();
+}
+
 bool PageTable::IsMapped(VirtAddr virt) const {
   auto result = Walk(virt);
   return result.ok();

@@ -70,6 +70,13 @@ class PageTable {
   // Returns nullopt-equivalent via ok()==false when a level is not present.
   StatusOr<WalkResult> Walk(VirtAddr virt) const;
 
+  // Raw leaf-PTE access for fault injection and containment audits. Reads
+  // and overwrites the leaf entry verbatim — including non-present entries —
+  // with no validation of the resulting bits. Fails only when no leaf slot
+  // exists (an intermediate level is absent).
+  StatusOr<uint64_t> ReadPte(VirtAddr virt) const;
+  Status WritePteRaw(VirtAddr virt, uint64_t pte);
+
   static bool PteWritable(uint64_t pte) { return (pte & kPteWritable) != 0; }
   static bool PteUser(uint64_t pte) { return (pte & kPteUser) != 0; }
   static bool PteNx(uint64_t pte) { return (pte & kPteNx) != 0; }
@@ -81,6 +88,8 @@ class PageTable {
   // Returns the physical address of the leaf PTE slot for virt, creating
   // intermediate tables when create==true; 0 when absent and create==false.
   PhysAddr PteSlot(VirtAddr virt, bool create);
+  // Non-creating slot lookup usable from const methods.
+  PhysAddr FindPteSlot(VirtAddr virt) const;
 
   static uint64_t IndexAt(VirtAddr virt, int level) {
     // level 3 = PML4, 2 = PDPT, 1 = PD, 0 = PT.

@@ -16,6 +16,17 @@ std::optional<uint64_t> Tlb::Lookup(VirtAddr virt, uint16_t vpid) {
   return std::nullopt;
 }
 
+std::optional<uint64_t> Tlb::Peek(VirtAddr virt, uint16_t vpid) const {
+  const uint64_t vpn = PageNumber(virt);
+  const auto& set = sets_[SetIndex(vpn)];
+  for (const Entry& e : set) {
+    if (e.valid && e.vpid == vpid && e.vpn == vpn) {
+      return e.pte;
+    }
+  }
+  return std::nullopt;
+}
+
 void Tlb::Insert(VirtAddr virt, uint16_t vpid, uint64_t pte) {
   const uint64_t vpn = PageNumber(virt);
   auto& set = sets_[SetIndex(vpn)];

@@ -39,6 +39,8 @@ class Tlb {
 
   // Looks up a virtual page; bumps LRU and stats on hit.
   std::optional<uint64_t> Lookup(VirtAddr virt, uint16_t vpid);
+  // Non-perturbing lookup for coherence audits: no LRU bump, no stats.
+  std::optional<uint64_t> Peek(VirtAddr virt, uint16_t vpid) const;
   void Insert(VirtAddr virt, uint16_t vpid, uint64_t pte);
   // Invalidates one page across all VPIDs (invlpg).
   void InvalidatePage(VirtAddr virt);

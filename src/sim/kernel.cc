@@ -8,6 +8,20 @@ inline constexpr VirtAddr kMmapBase = 0x240000000000ULL;  // 36 TiB
 
 }  // namespace
 
+const char* ErrnoName(Errno err) {
+  switch (err) {
+    case Errno::kEPERM: return "EPERM";
+    case Errno::kENOMEM: return "ENOMEM";
+    case Errno::kEACCES: return "EACCES";
+    case Errno::kEBUSY: return "EBUSY";
+    case Errno::kEEXIST: return "EEXIST";
+    case Errno::kEINVAL: return "EINVAL";
+    case Errno::kENOSPC: return "ENOSPC";
+    case Errno::kENOSYS: return "ENOSYS";
+  }
+  return "E?";
+}
+
 Kernel::Kernel(Process* process)
     : process_(process), mmap_cursor_(kMmapBase), brk_(kHeapBase) {}
 
@@ -16,7 +30,30 @@ void Kernel::Install() {
       [this](uint64_t nr, uint64_t a0, uint64_t a1) { return Dispatch(nr, a0, a1); });
 }
 
+void Kernel::InjectSyscallFailure(Sysno nr, Errno err, int count) {
+  if (count <= 0) {
+    return;
+  }
+  armed_.push_back(ArmedFailure{static_cast<uint64_t>(nr), err, count});
+}
+
+bool Kernel::ConsumeInjected(uint64_t nr, Errno* err) {
+  for (ArmedFailure& armed : armed_) {
+    if (armed.nr == nr && armed.remaining > 0) {
+      --armed.remaining;
+      ++injected_failures_;
+      *err = armed.err;
+      return true;
+    }
+  }
+  return false;
+}
+
 uint64_t Kernel::Dispatch(uint64_t nr, uint64_t a0, uint64_t a1) {
+  Errno injected;
+  if (ConsumeInjected(nr, &injected)) {
+    return SysErr(injected);
+  }
   switch (static_cast<Sysno>(nr)) {
     case Sysno::kNop:
       return 0;
@@ -35,35 +72,43 @@ uint64_t Kernel::Dispatch(uint64_t nr, uint64_t a0, uint64_t a1) {
       return DoPkeyMprotect(a0, a1);
     case Sysno::kPkeyAlloc: {
       auto key = keys_.Alloc();
-      return key.ok() ? key.value() : kSysError;
+      // Linux reports pkey exhaustion as ENOSPC (pkey_alloc(2)).
+      return key.ok() ? key.value() : SysErr(Errno::kENOSPC);
     }
     case Sysno::kPkeyFree:
-      return keys_.Free(static_cast<uint8_t>(a0)).ok() ? 0 : kSysError;
+      return DoPkeyFree(static_cast<uint8_t>(a0));
   }
-  return kSysError;  // ENOSYS
+  return SysErr(Errno::kENOSYS);
 }
 
 uint64_t Kernel::DoMmap(VirtAddr hint, uint64_t length) {
   ++mmap_calls_;
   if (length == 0) {
-    return kSysError;
+    return SysErr(Errno::kEINVAL);
+  }
+  // Overflow / address-space guard before PageAlignUp can wrap: nothing
+  // larger than the whole mmap area can ever succeed.
+  if (length > kStackTop - kMmapBase) {
+    return SysErr(Errno::kENOMEM);
   }
   const uint64_t pages = PageAlignUp(length) >> kPageShift;
   VirtAddr base;
   if (hint != 0) {
     if (PageOffset(hint) != 0) {
-      return kSysError;
+      return SysErr(Errno::kEINVAL);
     }
     base = hint;
   } else {
     auto run = process_->FindFreeRun(mmap_cursor_, kStackTop, pages);
     if (!run.has_value()) {
-      return kSysError;
+      return SysErr(Errno::kENOMEM);
     }
     base = *run;
   }
-  if (!process_->MapRange(base, pages, machine::PageFlags::Data()).ok()) {
-    return kSysError;
+  const Status mapped = process_->MapRange(base, pages, machine::PageFlags::Data());
+  if (!mapped.ok()) {
+    return SysErr(mapped.code() == StatusCode::kAlreadyExists ? Errno::kEEXIST
+                                                              : Errno::kENOMEM);
   }
   return base;
 }
@@ -71,7 +116,7 @@ uint64_t Kernel::DoMmap(VirtAddr hint, uint64_t length) {
 uint64_t Kernel::DoMprotect(VirtAddr addr, uint64_t prot) {
   ++mprotect_calls_;
   if (PageOffset(addr) != 0) {
-    return kSysError;
+    return SysErr(Errno::kEINVAL);
   }
   machine::PageFlags flags = machine::PageFlags::Data();
   flags.user = prot != kProtNone;
@@ -79,19 +124,39 @@ uint64_t Kernel::DoMprotect(VirtAddr addr, uint64_t prot) {
   // Keep the page's protection key (mprotect must not strip MPK tags).
   auto walk = process_->page_table().Walk(addr);
   if (!walk.ok()) {
-    return kSysError;
+    return SysErr(Errno::kENOMEM);  // unmapped range, as Linux reports it
   }
   flags.pkey = machine::PageTable::PtePkey(walk.value().pte);
   if (!process_->page_table().Protect(addr, flags).ok()) {
-    return kSysError;
+    return SysErr(Errno::kENOMEM);
   }
   process_->mmu().InvalidatePage(addr);  // the kernel's TLB shootdown
   return 0;
 }
 
 uint64_t Kernel::DoMunmap(VirtAddr addr, uint64_t length) {
+  if (length == 0 || PageOffset(addr) != 0) {
+    return SysErr(Errno::kEINVAL);
+  }
   const uint64_t pages = PageAlignUp(length) >> kPageShift;
-  return process_->Unmap(addr, pages).ok() ? 0 : kSysError;
+  // Validate first so a bad range (including a double-unmap, which Linux
+  // tolerates but the simulator treats as a program bug) mutates nothing,
+  // and account tagged pages back before their PTEs disappear.
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (!process_->page_table().IsMapped(addr + p * kPageSize)) {
+      return SysErr(Errno::kEINVAL);
+    }
+  }
+  for (uint64_t p = 0; p < pages; ++p) {
+    auto walk = process_->page_table().Walk(addr + p * kPageSize);
+    if (walk.ok()) {
+      const uint8_t key = machine::PageTable::PtePkey(walk.value().pte);
+      if (tag_counts_[key] > 0) {
+        --tag_counts_[key];
+      }
+    }
+  }
+  return process_->Unmap(addr, pages).ok() ? 0 : SysErr(Errno::kEINVAL);
 }
 
 uint64_t Kernel::DoBrk(VirtAddr new_brk) {
@@ -117,16 +182,51 @@ uint64_t Kernel::DoBrk(VirtAddr new_brk) {
 uint64_t Kernel::DoPkeyMprotect(VirtAddr addr, uint64_t packed) {
   const uint8_t key = static_cast<uint8_t>(packed & 0xff);
   const uint64_t pages = packed >> 8;
+  if (PageOffset(addr) != 0 || key >= mpk::kNumKeys) {
+    return SysErr(Errno::kEINVAL);
+  }
   if (!keys_.InUse(key)) {
-    return kSysError;  // EINVAL: unallocated key
+    return SysErr(Errno::kEINVAL);  // unallocated key
+  }
+  // Validate the whole range before tagging anything so a failure can't
+  // leave a half-tagged region.
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (!process_->page_table().IsMapped(addr + p * kPageSize)) {
+      return SysErr(Errno::kENOMEM);
+    }
+  }
+  // Move the per-key tag accounting from each page's old key to `key`.
+  for (uint64_t p = 0; p < pages; ++p) {
+    auto walk = process_->page_table().Walk(addr + p * kPageSize);
+    if (walk.ok()) {
+      const uint8_t old_key = machine::PageTable::PtePkey(walk.value().pte);
+      if (old_key != key && tag_counts_[old_key] > 0) {
+        --tag_counts_[old_key];
+      }
+      if (old_key != key) {
+        ++tag_counts_[key];
+      }
+    }
   }
   if (!mpk::TagRange(process_->page_table(), addr, pages, key).ok()) {
-    return kSysError;
+    return SysErr(Errno::kENOMEM);
   }
   for (uint64_t p = 0; p < pages; ++p) {
     process_->mmu().InvalidatePage(addr + p * kPageSize);
   }
   return 0;
+}
+
+uint64_t Kernel::DoPkeyFree(uint8_t key) {
+  if (!keys_.InUse(key) || key == 0) {
+    return SysErr(Errno::kEINVAL);
+  }
+  if (tag_counts_[key] > 0) {
+    // Freeing a key while pages still carry its tag would let a later
+    // pkey_alloc silently inherit access to those pages.
+    return SysErr(Errno::kEBUSY);
+  }
+  return keys_.Free(key).ok() ? 0 : SysErr(Errno::kEINVAL);
 }
 
 }  // namespace memsentry::sim

@@ -7,7 +7,9 @@
 #ifndef MEMSENTRY_SRC_SIM_KERNEL_H_
 #define MEMSENTRY_SRC_SIM_KERNEL_H_
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "src/mpk/mpk.h"
 #include "src/sim/process.h"
@@ -23,13 +25,35 @@ enum class Sysno : uint64_t {
   kMunmap = 11,       // a0 = addr, a1 = length
   kBrk = 12,          // a0 = new break (0 = query); returns break
   kPkeyMprotect = 329,  // a0 = addr, a1 = packed(len_pages << 8 | pkey)
-  kPkeyAlloc = 330,   // returns key or -1
+  kPkeyAlloc = 330,   // returns key or -errno
   kPkeyFree = 331,    // a0 = key
 };
 
 inline constexpr uint64_t kProtNone = 0;
 inline constexpr uint64_t kProtRw = 3;
-inline constexpr uint64_t kSysError = ~uint64_t{0};
+
+// Raw-syscall error convention: failures return -errno as an unsigned 64-bit
+// value, exactly like the Linux syscall ABI before libc's errno translation.
+// Anything in the top 4096 values of the space is an error.
+enum class Errno : uint64_t {
+  kEPERM = 1,
+  kENOMEM = 12,
+  kEACCES = 13,
+  kEBUSY = 16,
+  kEEXIST = 17,
+  kEINVAL = 22,
+  kENOSPC = 28,
+  kENOSYS = 38,
+};
+
+const char* ErrnoName(Errno err);
+
+inline constexpr uint64_t SysErr(Errno err) {
+  return static_cast<uint64_t>(-static_cast<int64_t>(static_cast<uint64_t>(err)));
+}
+inline constexpr bool IsSysError(uint64_t rv) { return rv > ~uint64_t{4095}; }
+// Only meaningful when IsSysError(rv).
+inline constexpr Errno SysErrnoOf(uint64_t rv) { return static_cast<Errno>(~rv + 1); }
 
 class Kernel {
  public:
@@ -40,12 +64,24 @@ class Kernel {
 
   uint64_t Dispatch(uint64_t nr, uint64_t a0, uint64_t a1);
 
+  // Fault injection: arms the next `count` calls of syscall `nr` to fail
+  // with -err before executing (the campaign engine's ENOMEM/ENOSPC/EACCES
+  // sites). Deterministic: fires on dispatch order, never on wall clock.
+  void InjectSyscallFailure(Sysno nr, Errno err, int count = 1);
+  uint64_t injected_failures() const { return injected_failures_; }
+
   // Bookkeeping the tests inspect.
   uint64_t mmap_calls() const { return mmap_calls_; }
   uint64_t mprotect_calls() const { return mprotect_calls_; }
   uint64_t write_sink() const { return write_sink_; }
   VirtAddr current_brk() const { return brk_; }
   mpk::KeyAllocator& key_allocator() { return keys_; }
+  // Pages currently tagged with `key` via pkey_mprotect (pkey_free of a key
+  // with a nonzero count is refused with EBUSY — stricter than Linux, which
+  // silently leaves stale tags behind; the simulator treats that as a bug).
+  uint64_t tagged_pages(uint8_t key) const {
+    return key < mpk::kNumKeys ? tag_counts_[key] : 0;
+  }
 
  private:
   uint64_t DoMmap(VirtAddr hint, uint64_t length);
@@ -53,6 +89,17 @@ class Kernel {
   uint64_t DoMunmap(VirtAddr addr, uint64_t length);
   uint64_t DoBrk(VirtAddr new_brk);
   uint64_t DoPkeyMprotect(VirtAddr addr, uint64_t packed);
+  uint64_t DoPkeyFree(uint8_t key);
+
+  // Returns true (and the armed errno) when an injected failure consumes
+  // this dispatch of `nr`.
+  bool ConsumeInjected(uint64_t nr, Errno* err);
+
+  struct ArmedFailure {
+    uint64_t nr = 0;
+    Errno err = Errno::kEINVAL;
+    int remaining = 0;
+  };
 
   Process* process_;
   mpk::KeyAllocator keys_;
@@ -61,6 +108,9 @@ class Kernel {
   uint64_t mmap_calls_ = 0;
   uint64_t mprotect_calls_ = 0;
   uint64_t write_sink_ = 0;
+  uint64_t injected_failures_ = 0;
+  std::array<uint64_t, mpk::kNumKeys> tag_counts_{};
+  std::vector<ArmedFailure> armed_;
 };
 
 }  // namespace memsentry::sim

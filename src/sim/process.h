@@ -45,6 +45,7 @@ struct SafeRegion {
   bool encrypted_now = false;
   uint64_t nonce = 0;
   aes::KeySchedule enc_keys{};  // conceptually parked in ymm8..15 upper halves
+  uint64_t enc_key_digest = 0;  // FNV of enc_keys+nonce at Prepare; audits compare
   bool mprotected = false;      // mprotect baseline: currently inaccessible
 
   bool Contains(VirtAddr a) const { return a >= base && a < base + size; }

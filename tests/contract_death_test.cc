@@ -1,0 +1,62 @@
+// Death tests pinning the StatusOr/FaultOr misuse contract: extracting a
+// value from an error (or a fault from a success) aborts with a diagnostic
+// in every build type — MEMSENTRY_CONTRACT_CHECK is a hard fprintf+abort,
+// not an assert() that NDEBUG would erase. Silent garbage from a mis-unwrapped
+// result is exactly the failure mode the fault-injection campaigns exist to
+// rule out, so the abort behavior itself is under test.
+#include <gtest/gtest.h>
+
+#include "src/base/status.h"
+#include "src/machine/fault.h"
+
+namespace memsentry {
+namespace {
+
+machine::Fault TestFault() {
+  return machine::Fault{machine::FaultType::kBoundRange, 0x1000, machine::AccessType::kRead};
+}
+
+TEST(ContractDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> error(InvalidArgument("no value here"));
+  EXPECT_DEATH({ (void)error.value(); }, "contract violation");
+}
+
+TEST(ContractDeathTest, MovedStatusOrValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        StatusOr<int> error(NotFound("gone"));
+        (void)std::move(error).value();
+      },
+      "contract violation");
+}
+
+TEST(ContractDeathTest, StatusOrFromOkStatusAborts) {
+  // An OK status carries no value: constructing a StatusOr from it would
+  // manufacture an "error" that is not one.
+  EXPECT_DEATH({ StatusOr<int> bogus((OkStatus())); }, "contract violation");
+}
+
+TEST(ContractDeathTest, FaultOrValueOnFaultAborts) {
+  machine::FaultOr<uint64_t> faulted(TestFault());
+  EXPECT_DEATH({ (void)faulted.value(); }, "contract violation");
+}
+
+TEST(ContractDeathTest, FaultOrFaultOnValueAborts) {
+  machine::FaultOr<uint64_t> fine(uint64_t{42});
+  EXPECT_DEATH({ (void)fine.fault(); }, "contract violation");
+}
+
+TEST(ContractDeathTest, CorrectUseDoesNotDie) {
+  StatusOr<int> good(7);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  machine::FaultOr<uint64_t> fine(uint64_t{42});
+  EXPECT_TRUE(fine.ok());
+  EXPECT_EQ(fine.value(), 42u);
+  machine::FaultOr<uint64_t> faulted(TestFault());
+  EXPECT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.fault().type, machine::FaultType::kBoundRange);
+}
+
+}  // namespace
+}  // namespace memsentry

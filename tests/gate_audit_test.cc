@@ -4,6 +4,7 @@
 #include "src/core/memsentry.h"
 #include "src/defenses/shadow_stack.h"
 #include "src/ir/builder.h"
+#include "src/sim/fault_injector.h"
 #include "src/workloads/synth.h"
 
 namespace memsentry::core {
@@ -114,6 +115,49 @@ TEST(GateAuditTest, FlagsDoubleOpen) {
   const auto audit = AuditDomainGates(m);
   ASSERT_FALSE(audit.ok());
   EXPECT_NE(audit.findings[0].problem.find("already open"), std::string::npos);
+}
+
+TEST(GateAuditTest, CorruptedPkruAtGateBoundaryIsContained) {
+  // ERIM's residual-risk scenario: the static gate audit proves every wrpkru
+  // in the module is instrumentation-flagged and paired, yet the attacker
+  // corrupts PKRU *between* a close gate and the next access (a smuggled
+  // gadget elsewhere, a sigreturn, a kernel bug). Static auditing cannot see
+  // that; the runtime containment audit must close the window at the next
+  // closed-domain checkpoint.
+  sim::Machine machine;
+  sim::Process process(&machine);
+  ASSERT_TRUE(process.SetupStack().ok());
+  MemSentryConfig config;
+  config.technique = TechniqueKind::kMpk;
+  MemSentry ms(&process, config);
+  auto region = ms.allocator().Alloc("secret", 4096);
+  ASSERT_TRUE(region.ok());
+  constexpr uint64_t kSecret = 0x5ec4e7c0de5ec4e7ULL;
+  ASSERT_TRUE(process.Poke64(region.value()->base, kSecret).ok());
+
+  // The instrumented module itself is gate-clean.
+  ir::Module module = BareModule();
+  ASSERT_TRUE(ms.Protect(module).ok());
+  EXPECT_TRUE(AuditDomainGates(module).ok());
+
+  // PKRU flips at the gate boundary: the attacker's window is open and the
+  // static audit, by construction, still passes.
+  sim::FaultInjector injector(&process, 0x5eed);
+  ASSERT_TRUE(injector.Inject(sim::FaultSite::kPkruDesync).ok());
+  EXPECT_TRUE(AuditDomainGates(module).ok());
+  auto leaked = ms.technique().AttackerRead(process, region.value()->base);
+  ASSERT_TRUE(leaked.ok());
+  EXPECT_EQ(leaked.value(), kSecret);
+
+  // The containment audit names the desync, repairs it, and the window is
+  // closed again.
+  const auto issues = ms.technique().AuditProtection(process);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_TRUE(issues[0].repaired);
+  EXPECT_NE(issues[0].what.find("PKRU desync"), std::string::npos);
+  auto after = ms.technique().AttackerRead(process, region.value()->base);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.fault().type, machine::FaultType::kPkeyAccessDisabled);
 }
 
 TEST(GateAuditTest, FlagsUnbalancedCryptToggle) {

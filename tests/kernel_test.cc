@@ -30,12 +30,14 @@ TEST_F(KernelTest, NopAndWrite) {
   EXPECT_EQ(kernel_.Dispatch(0, 0, 0), 0u);
   EXPECT_EQ(kernel_.Dispatch(1, 42, 0), 8u);
   EXPECT_EQ(kernel_.write_sink(), 42u);
-  EXPECT_EQ(kernel_.Dispatch(9999, 0, 0), kSysError);  // ENOSYS
+  const uint64_t enosys = kernel_.Dispatch(9999, 0, 0);
+  ASSERT_TRUE(IsSysError(enosys));
+  EXPECT_EQ(SysErrnoOf(enosys), Errno::kENOSYS);
 }
 
 TEST_F(KernelTest, MmapChoosesPlacementAndMapsPages) {
   const uint64_t base = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, 3 * kPageSize);
-  ASSERT_NE(base, kSysError);
+  ASSERT_FALSE(IsSysError(base));
   EXPECT_EQ(PageOffset(base), 0u);
   for (int p = 0; p < 3; ++p) {
     EXPECT_TRUE(process_.IsMapped(base + p * kPageSize));
@@ -50,21 +52,24 @@ TEST_F(KernelTest, MmapWithHint) {
   EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), hint, kPageSize), hint);
   EXPECT_TRUE(process_.IsMapped(hint));
   // Unaligned hint or zero length fail.
-  EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), hint + 5, kPageSize),
-            kSysError);
-  EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, 0), kSysError);
+  const uint64_t unaligned = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), hint + 5, kPageSize);
+  ASSERT_TRUE(IsSysError(unaligned));
+  EXPECT_EQ(SysErrnoOf(unaligned), Errno::kEINVAL);
+  const uint64_t zero_len = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, 0);
+  ASSERT_TRUE(IsSysError(zero_len));
+  EXPECT_EQ(SysErrnoOf(zero_len), Errno::kEINVAL);
 }
 
 TEST_F(KernelTest, MunmapRemoves) {
   const uint64_t base = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, kPageSize);
-  ASSERT_NE(base, kSysError);
+  ASSERT_FALSE(IsSysError(base));
   EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base, kPageSize), 0u);
   EXPECT_FALSE(process_.IsMapped(base));
 }
 
 TEST_F(KernelTest, MprotectTogglesAccessWithTlbShootdown) {
   const uint64_t base = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, kPageSize);
-  ASSERT_NE(base, kSysError);
+  ASSERT_FALSE(IsSysError(base));
   Cycles cycles = 0;
   // Warm the TLB, then revoke: the shootdown must make the revocation stick.
   ASSERT_TRUE(process_.mmu().Write64(base, 7, process_.regs().pkru, &cycles).ok());
@@ -91,7 +96,7 @@ TEST_F(KernelTest, BrkGrowsHeap) {
 TEST_F(KernelTest, PkeySyscallLifecycle) {
   const uint64_t base = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, kPageSize);
   const uint64_t key = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyAlloc), 0, 0);
-  ASSERT_NE(key, kSysError);
+  ASSERT_FALSE(IsSysError(key));
   EXPECT_GE(key, 1u);
   // pkey_mprotect tags the page...
   ASSERT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyMprotect), base,
@@ -106,11 +111,135 @@ TEST_F(KernelTest, PkeySyscallLifecycle) {
   Cycles cycles = 0;
   EXPECT_FALSE(process_.mmu().Read64(base, pkru, &cycles).ok());
   // Tagging with an unallocated key fails; freeing works once.
-  EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyMprotect), base,
-                             (uint64_t{1} << 8) | 9),
-            kSysError);
+  const uint64_t bad_key = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyMprotect), base,
+                                            (uint64_t{1} << 8) | 9);
+  ASSERT_TRUE(IsSysError(bad_key));
+  EXPECT_EQ(SysErrnoOf(bad_key), Errno::kEINVAL);
+  // The page still carries the key, so freeing is refused with EBUSY until
+  // the tag is moved back to the default domain.
+  const uint64_t busy = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyFree), key, 0);
+  ASSERT_TRUE(IsSysError(busy));
+  EXPECT_EQ(SysErrnoOf(busy), Errno::kEBUSY);
+  ASSERT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyMprotect), base,
+                             (uint64_t{1} << 8) | 0),
+            0u);
   EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyFree), key, 0), 0u);
-  EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyFree), key, 0), kSysError);
+  const uint64_t refree = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyFree), key, 0);
+  ASSERT_TRUE(IsSysError(refree));
+  EXPECT_EQ(SysErrnoOf(refree), Errno::kEINVAL);
+}
+
+TEST_F(KernelTest, MmapHugeLengthIsEnomemNotOverflow) {
+  // A length large enough to wrap PageAlignUp must be refused cleanly.
+  const uint64_t huge = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, ~uint64_t{0} - 100);
+  ASSERT_TRUE(IsSysError(huge));
+  EXPECT_EQ(SysErrnoOf(huge), Errno::kENOMEM);
+  const uint64_t whole_space =
+      kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, uint64_t{1} << 60);
+  ASSERT_TRUE(IsSysError(whole_space));
+  EXPECT_EQ(SysErrnoOf(whole_space), Errno::kENOMEM);
+}
+
+TEST_F(KernelTest, MmapOverExistingMappingIsEexist) {
+  const VirtAddr hint = 0x250000000000ULL;
+  ASSERT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), hint, kPageSize), hint);
+  const uint64_t again = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), hint, kPageSize);
+  ASSERT_TRUE(IsSysError(again));
+  EXPECT_EQ(SysErrnoOf(again), Errno::kEEXIST);
+}
+
+TEST_F(KernelTest, MunmapRejectsDoubleUnmapAndBadArgs) {
+  const uint64_t base = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, 2 * kPageSize);
+  ASSERT_FALSE(IsSysError(base));
+  // Zero length and unaligned address are EINVAL.
+  const uint64_t zero = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base, 0);
+  ASSERT_TRUE(IsSysError(zero));
+  EXPECT_EQ(SysErrnoOf(zero), Errno::kEINVAL);
+  const uint64_t unaligned = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base + 8, kPageSize);
+  ASSERT_TRUE(IsSysError(unaligned));
+  EXPECT_EQ(SysErrnoOf(unaligned), Errno::kEINVAL);
+  // A partially-unmapped range fails whole (validate-first): nothing is
+  // unmapped when any page in the range is absent.
+  ASSERT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base + kPageSize, kPageSize),
+            0u);
+  const uint64_t partial = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base, 2 * kPageSize);
+  ASSERT_TRUE(IsSysError(partial));
+  EXPECT_EQ(SysErrnoOf(partial), Errno::kEINVAL);
+  EXPECT_TRUE(process_.IsMapped(base));
+  // Double-unmap of the remaining page: first succeeds, second is EINVAL.
+  ASSERT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base, kPageSize), 0u);
+  const uint64_t dbl = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base, kPageSize);
+  ASSERT_TRUE(IsSysError(dbl));
+  EXPECT_EQ(SysErrnoOf(dbl), Errno::kEINVAL);
+}
+
+TEST_F(KernelTest, MprotectOfUnmappedRangeIsEnomem) {
+  const uint64_t rv =
+      kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMprotect), 0x260000000000ULL, kProtNone);
+  ASSERT_TRUE(IsSysError(rv));
+  EXPECT_EQ(SysErrnoOf(rv), Errno::kENOMEM);
+}
+
+TEST_F(KernelTest, PkeyAllocExhaustionIsEnospc) {
+  // Key 0 is reserved; 15 allocations drain the space, the 16th is ENOSPC.
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_FALSE(IsSysError(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyAlloc), 0, 0)));
+  }
+  const uint64_t exhausted = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyAlloc), 0, 0);
+  ASSERT_TRUE(IsSysError(exhausted));
+  EXPECT_EQ(SysErrnoOf(exhausted), Errno::kENOSPC);
+}
+
+TEST_F(KernelTest, PkeyMprotectValidatesWholeRangeFirst) {
+  const uint64_t base = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, kPageSize);
+  ASSERT_FALSE(IsSysError(base));
+  const uint64_t key = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyAlloc), 0, 0);
+  ASSERT_FALSE(IsSysError(key));
+  // Second page of the range is unmapped: the whole call fails with ENOMEM
+  // and the first page keeps its old (default) key — no half-tagged range.
+  const uint64_t rv = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyMprotect), base,
+                                       (uint64_t{2} << 8) | key);
+  ASSERT_TRUE(IsSysError(rv));
+  EXPECT_EQ(SysErrnoOf(rv), Errno::kENOMEM);
+  auto walk = process_.page_table().Walk(base);
+  ASSERT_TRUE(walk.ok());
+  EXPECT_EQ(machine::PageTable::PtePkey(walk.value().pte), 0u);
+  EXPECT_EQ(kernel_.tagged_pages(static_cast<uint8_t>(key)), 0u);
+}
+
+TEST_F(KernelTest, TaggedPageAccountingFollowsMunmap) {
+  const uint64_t base = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, 2 * kPageSize);
+  ASSERT_FALSE(IsSysError(base));
+  const uint64_t key = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyAlloc), 0, 0);
+  ASSERT_FALSE(IsSysError(key));
+  ASSERT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyMprotect), base,
+                             (uint64_t{2} << 8) | key),
+            0u);
+  EXPECT_EQ(kernel_.tagged_pages(static_cast<uint8_t>(key)), 2u);
+  // Unmapping tagged pages releases the accounting, unblocking pkey_free.
+  ASSERT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMunmap), base, 2 * kPageSize), 0u);
+  EXPECT_EQ(kernel_.tagged_pages(static_cast<uint8_t>(key)), 0u);
+  EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kPkeyFree), key, 0), 0u);
+}
+
+TEST_F(KernelTest, InjectedSyscallFailuresFireDeterministically) {
+  // Arm one ENOMEM on mmap: the next call fails, the one after succeeds.
+  kernel_.InjectSyscallFailure(Sysno::kMmap, Errno::kENOMEM);
+  const uint64_t failed = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, kPageSize);
+  ASSERT_TRUE(IsSysError(failed));
+  EXPECT_EQ(SysErrnoOf(failed), Errno::kENOMEM);
+  EXPECT_EQ(kernel_.injected_failures(), 1u);
+  const uint64_t ok = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMmap), 0, kPageSize);
+  EXPECT_FALSE(IsSysError(ok));
+  // Multi-count arming fails that many dispatches, and only that syscall.
+  kernel_.InjectSyscallFailure(Sysno::kMprotect, Errno::kEACCES, 2);
+  for (int i = 0; i < 2; ++i) {
+    const uint64_t rv = kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMprotect), ok, kProtNone);
+    ASSERT_TRUE(IsSysError(rv));
+    EXPECT_EQ(SysErrnoOf(rv), Errno::kEACCES);
+  }
+  EXPECT_EQ(kernel_.Dispatch(static_cast<uint64_t>(Sysno::kMprotect), ok, kProtNone), 0u);
+  EXPECT_EQ(kernel_.injected_failures(), 3u);
 }
 
 TEST_F(KernelTest, ProgramDrivenMmapAndUse) {

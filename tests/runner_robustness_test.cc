@@ -1,0 +1,132 @@
+// End-to-end robustness tests for tools/bench_runner: a hanging benchmark
+// binary is timed out (SIGTERM, then SIGKILL) and classified distinctly from
+// a crash, a SIGSEGV binary is retried once, a binary that dies after
+// writing its report has the report salvaged, and a healthy binary's metrics
+// survive into the merged document regardless of the carnage around it. The
+// suite binaries are stand-in shell scripts, so the scenarios are exact and
+// fast.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/base/json.h"
+
+#if defined(MEMSENTRY_BENCH_RUNNER) && !defined(_WIN32)
+
+#include <csignal>
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+namespace memsentry {
+namespace {
+
+void WriteScript(const std::string& path, const std::string& body) {
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "#!/bin/sh\n" << body;
+  }
+  ASSERT_EQ(::chmod(path.c_str(), 0755), 0);
+}
+
+// A stand-in benchmark that writes a one-metric report to its --json= path.
+std::string ReportingScript(const std::string& metric) {
+  return "out=\"\"\n"
+         "for a in \"$@\"; do case \"$a\" in --json=*) out=\"${a#--json=}\";; esac; done\n"
+         "printf '{\"schema\":1,\"wall_seconds\":0.01,\"metrics\":{\"" +
+         metric + "\":{\"value\":1,\"kind\":\"fidelity\",\"tol\":0}}}' > \"$out\"\n";
+}
+
+struct RunnerRun {
+  int exit_code = 0;
+  json::Value merged;
+};
+
+RunnerRun RunSuite(const std::string& dir, const std::string& only,
+                   const std::string& extra_flags) {
+  RunnerRun run;
+  const std::string out = dir + "/BENCH_RESULTS.json";
+  const std::string command = std::string("\"") + MEMSENTRY_BENCH_RUNNER +
+                              "\" --bench-dir=\"" + dir + "\" --only=" + only +
+                              " --out=\"" + out + "\" --no-gate " + extra_flags +
+                              " > \"" + dir + "/runner.log\" 2>&1";
+  const int raw = std::system(command.c_str());
+  run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  auto merged = json::ParseFile(out);
+  EXPECT_TRUE(merged.ok()) << "runner must write a merged report even on failures";
+  if (merged.ok()) {
+    run.merged = std::move(merged).value();
+  }
+  return run;
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::system(("rm -rf \"" + dir + "\" && mkdir -p \"" + dir + "\"").c_str());
+  return dir;
+}
+
+TEST(BenchRunnerRobustness, SurvivesHangCrashAndSalvage) {
+  const std::string dir = FreshDir("runner_robustness");
+  // Names must be real suite entries: the runner rejects unknown --only.
+  WriteScript(dir + "/table1_defenses", "exec sleep 600\n");       // hangs
+  WriteScript(dir + "/table2_applicability", "kill -SEGV $$\n");   // crashes
+  WriteScript(dir + "/table3_limits", ReportingScript("fake/survivor"));
+  WriteScript(dir + "/table4_micro",
+              ReportingScript("fake/salvaged") + "kill -SEGV $$\n");  // dies after report
+
+  const RunnerRun run = RunSuite(
+      dir, "table1_defenses,table2_applicability,table3_limits,table4_micro", "--timeout=2");
+  EXPECT_NE(run.exit_code, 0);  // the suite had failures and says so
+
+  const json::Value* binaries = run.merged.Find("binaries");
+  ASSERT_NE(binaries, nullptr);
+
+  const json::Value* hung = binaries->Find("table1_defenses");
+  ASSERT_NE(hung, nullptr);
+  EXPECT_TRUE(hung->BoolOr("timed_out", false));
+  EXPECT_EQ(hung->NumberOr("retries", -1), 0);  // timeouts are never retried
+
+  const json::Value* crashed = binaries->Find("table2_applicability");
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_FALSE(crashed->BoolOr("timed_out", true));
+  EXPECT_EQ(crashed->NumberOr("signal", 0), SIGSEGV);
+  EXPECT_EQ(crashed->NumberOr("retries", 0), 1);  // one retry, then give up
+
+  const json::Value* healthy = binaries->Find("table3_limits");
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_EQ(healthy->NumberOr("exit", -1), 0);
+  EXPECT_FALSE(healthy->BoolOr("timed_out", true));
+
+  const json::Value* salvaged = binaries->Find("table4_micro");
+  ASSERT_NE(salvaged, nullptr);
+  EXPECT_TRUE(salvaged->BoolOr("salvaged", false));
+
+  // The healthy binary's metrics and the salvaged report both made it into
+  // the merged document.
+  const json::Value* metrics = run.merged.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->Find("fake/survivor"), nullptr);
+  EXPECT_NE(metrics->Find("fake/salvaged"), nullptr);
+}
+
+TEST(BenchRunnerRobustness, CleanSuiteReportsCleanHeader) {
+  const std::string dir = FreshDir("runner_clean");
+  WriteScript(dir + "/table1_defenses", ReportingScript("fake/clean"));
+  const RunnerRun run = RunSuite(dir, "table1_defenses", "--timeout=30");
+  EXPECT_EQ(run.exit_code, 0);
+  const json::Value* info = run.merged.Find("binaries")->Find("table1_defenses");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->NumberOr("exit", -1), 0);
+  EXPECT_FALSE(info->BoolOr("timed_out", true));
+  EXPECT_EQ(info->NumberOr("retries", -1), 0);
+  EXPECT_EQ(run.merged.Find("metrics")->Find("fake/clean")->NumberOr("value", 0), 1);
+}
+
+}  // namespace
+}  // namespace memsentry
+
+#endif  // MEMSENTRY_BENCH_RUNNER && !_WIN32

@@ -20,6 +20,17 @@
 //                                     binary fans its sweeps out over N workers.
 //                                     Default: hardware_concurrency. Results
 //                                     are bit-identical for every N.
+//   bench_runner --timeout=SECONDS    per-binary wall-clock budget (default
+//                                     600; 0 disables). A binary over budget
+//                                     gets SIGTERM, then SIGKILL after a
+//                                     grace period, and is classified
+//                                     "timed out" — distinct from a crash.
+//                                     Binaries killed by any other signal are
+//                                     retried once after a short backoff; a
+//                                     parseable report left behind by a dead
+//                                     binary is salvaged into the merged
+//                                     document so the gate sees every metric
+//                                     the run actually produced.
 //   bench_runner --check-determinism=OTHER.json
 //                                     require every fidelity/perf metric to be
 //                                     byte-identical to OTHER (info metrics
@@ -32,10 +43,14 @@
 #include <filesystem>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #ifndef _WIN32
+#include <csignal>
+#include <fcntl.h>
 #include <sys/wait.h>
+#include <unistd.h>
 #endif
 
 #include "src/base/json.h"
@@ -76,6 +91,7 @@ const SuiteEntry kSuite[] = {
     {"crypt_size_sweep"},
     {"safestack_casestudy"},
     {"attack_matrix"},
+    {"fault_matrix"},
     {"ablations"},
     {"microarch_stats"},
     {"bench_substrate", "--benchmark_min_time=0.01s"},
@@ -85,8 +101,9 @@ struct Options {
   bool quick = false;
   bool verbose = false;
   bool gate = true;
-  uint64_t instructions = 0;  // 0 = mode default
-  int jobs = 0;               // 0 = hardware_concurrency; 1 = fully serial
+  uint64_t instructions = 0;     // 0 = mode default
+  double timeout_seconds = 600;  // per-binary wall-clock budget; 0 = none
+  int jobs = 0;                  // 0 = hardware_concurrency; 1 = fully serial
   std::string bench_dir;
   std::string out = "BENCH_RESULTS.json";
   std::string baseline;
@@ -98,21 +115,25 @@ struct Options {
   std::vector<std::string> skip;
 };
 
-// std::system returns a raw waitpid status on POSIX: comparing it to 0 works
-// for clean exits but conflates "exited with code N" and "killed by signal
-// N", and both with spawn failure. Decode it properly so logs say which.
+// Child-process outcome, decoded so logs and the merged report say exactly
+// which way a binary died: clean exit code, signal, wall-clock timeout (our
+// SIGTERM/SIGKILL — distinct from a crash), or spawn failure.
 struct CommandStatus {
   bool spawn_failed = false;
   bool signaled = false;
+  bool timed_out = false;
   int exit_code = 0;  // valid when !spawn_failed && !signaled
   int signal = 0;     // valid when signaled
 
-  bool ok() const { return !spawn_failed && !signaled && exit_code == 0; }
+  bool ok() const { return !spawn_failed && !signaled && !timed_out && exit_code == 0; }
 
   std::string Describe() const {
     char buf[64];
     if (spawn_failed) {
       return "failed to spawn";
+    }
+    if (timed_out) {
+      return "timed out (killed)";
     }
     if (signaled) {
       std::snprintf(buf, sizeof(buf), "killed by signal %d", signal);
@@ -123,28 +144,107 @@ struct CommandStatus {
   }
 };
 
-CommandStatus RunCommand(const std::string& command) {
+#ifndef _WIN32
+
+// fork/exec with stdout+stderr redirected to `log_path` (empty = inherit,
+// the --verbose path) and a wall-clock budget: a child over budget gets
+// SIGTERM, then SIGKILL once the grace period lapses, so even a child that
+// ignores SIGTERM cannot hang the suite. `timeout_seconds` <= 0 disables
+// the budget.
+CommandStatus RunProcess(const std::vector<std::string>& args, const std::string& log_path,
+                         double timeout_seconds) {
+  CommandStatus status;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    status.spawn_failed = true;
+    return status;
+  }
+  if (pid == 0) {
+    if (!log_path.empty()) {
+      const int fd = open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        dup2(fd, STDOUT_FILENO);
+        dup2(fd, STDERR_FILENO);
+        close(fd);
+      }
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+
+  constexpr auto kPollInterval = std::chrono::milliseconds(20);
+  constexpr auto kKillGrace = std::chrono::seconds(5);
+  const auto start = std::chrono::steady_clock::now();
+  const bool bounded = timeout_seconds > 0;
+  const auto term_deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(bounded ? timeout_seconds : 0));
+  bool sent_term = false;
+  bool sent_kill = false;
+  auto kill_deadline = term_deadline;
+
+  for (;;) {
+    int wstatus = 0;
+    const pid_t reaped = waitpid(pid, &wstatus, WNOHANG);
+    if (reaped == pid) {
+      if (WIFSIGNALED(wstatus)) {
+        status.signaled = true;
+        status.signal = WTERMSIG(wstatus);
+      } else if (WIFEXITED(wstatus)) {
+        status.exit_code = WEXITSTATUS(wstatus);
+      } else {
+        status.spawn_failed = true;
+      }
+      // Death caused by our own escalation reports as a timeout, not as an
+      // organic signal death (the two are gated and retried differently).
+      status.timed_out = sent_term;
+      return status;
+    }
+    if (reaped < 0) {
+      status.spawn_failed = true;
+      return status;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (bounded && !sent_term && now >= term_deadline) {
+      kill(pid, SIGTERM);
+      sent_term = true;
+      kill_deadline = now + kKillGrace;
+    } else if (sent_term && !sent_kill && now >= kill_deadline) {
+      kill(pid, SIGKILL);
+      sent_kill = true;
+    }
+    std::this_thread::sleep_for(kPollInterval);
+  }
+}
+
+#else  // _WIN32: no fork; run unbounded through the shell.
+
+CommandStatus RunProcess(const std::vector<std::string>& args, const std::string& log_path,
+                         double) {
+  std::string command;
+  for (const std::string& arg : args) {
+    command += "\"" + arg + "\" ";
+  }
+  if (!log_path.empty()) {
+    command += "> \"" + log_path + "\" 2>&1";
+  }
   CommandStatus status;
   const int raw = std::system(command.c_str());
   if (raw == -1) {
     status.spawn_failed = true;
-    return status;
-  }
-#ifndef _WIN32
-  if (WIFSIGNALED(raw)) {
-    status.signaled = true;
-    status.signal = WTERMSIG(raw);
-  } else if (WIFEXITED(raw)) {
-    status.exit_code = WEXITSTATUS(raw);
   } else {
-    // Stopped/continued should not reach here; treat as a spawn-level error.
-    status.spawn_failed = true;
+    status.exit_code = raw;
   }
-#else
-  status.exit_code = raw;
-#endif
   return status;
 }
+
+#endif
 
 std::vector<std::string> SplitCsv(const std::string& csv) {
   std::vector<std::string> out;
@@ -177,8 +277,8 @@ int Usage() {
                "usage: bench_runner [--quick] [--only=a,b] [--skip=a,b] [--out=PATH]\n"
                "                    [--bench-dir=DIR] [--baseline=PATH] [--no-gate]\n"
                "                    [--compare=RESULTS] [--write-baseline=PATH]\n"
-               "                    [--instructions=N] [--jobs=N] [--verbose]\n"
-               "                    [--check-determinism=OTHER.json]\n");
+               "                    [--instructions=N] [--jobs=N] [--timeout=SECONDS]\n"
+               "                    [--verbose] [--check-determinism=OTHER.json]\n");
   return 2;
 }
 
@@ -218,6 +318,8 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.instructions = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--jobs")) {
       opts.jobs = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--timeout")) {
+      opts.timeout_seconds = std::strtod(v, nullptr);
     } else if (const char* v = value("--check-determinism")) {
       opts.check_determinism = v;
     } else {
@@ -415,6 +517,7 @@ int Run(int argc, char** argv) {
 
     struct BinaryRun {
       CommandStatus status;
+      int retries = 0;            // signal deaths retried (at most once)
       double runner_seconds = 0;  // host wall-clock around the child process
     };
     std::mutex print_mutex;
@@ -426,16 +529,12 @@ int Run(int argc, char** argv) {
           const fs::path binary = fs::path(opts.bench_dir) / name;
           const fs::path report_path = report_dir / (name + ".json");
           const fs::path log_path = report_dir / (name + ".log");
-          std::string command = "\"" + binary.string() + "\" --json=\"" +
-                                report_path.string() +
-                                "\" --instructions=" + std::to_string(instructions) +
-                                " --jobs=" + std::to_string(inner_jobs);
+          std::vector<std::string> args = {
+              binary.string(), "--json=" + report_path.string(),
+              "--instructions=" + std::to_string(instructions),
+              "--jobs=" + std::to_string(inner_jobs)};
           if (opts.quick && entry.quick_extra[0] != '\0') {
-            command += " ";
-            command += entry.quick_extra;
-          }
-          if (!opts.verbose) {
-            command += " > \"" + log_path.string() + "\" 2>&1";
+            args.push_back(entry.quick_extra);
           }
           {
             std::lock_guard<std::mutex> lock(print_mutex);
@@ -444,7 +543,30 @@ int Run(int argc, char** argv) {
           }
           BinaryRun run;
           const auto start = std::chrono::steady_clock::now();
-          run.status = RunCommand(command);
+          for (;;) {
+            // A stale report from a previous attempt (or run) must never be
+            // salvaged as this attempt's output.
+            std::error_code remove_ec;
+            fs::remove(report_path, remove_ec);
+            run.status = RunProcess(args, opts.verbose ? "" : log_path.string(),
+                                    opts.timeout_seconds);
+            // Signal deaths (SIGSEGV, OOM-kill, ...) get one retry after a
+            // short backoff: transient host pressure is common in CI, and a
+            // deterministic crash still fails identically on the retry.
+            // Timeouts are not retried — a second attempt would double the
+            // wall-clock damage of a hung binary.
+            if (!run.status.signaled || run.status.timed_out || run.retries >= 1) {
+              break;
+            }
+            ++run.retries;
+            {
+              std::lock_guard<std::mutex> lock(print_mutex);
+              std::printf("[bench_runner] %s %s; retrying once\n", name.c_str(),
+                          run.status.Describe().c_str());
+              std::fflush(stdout);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(500));
+          }
           run.runner_seconds =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
           return run;
@@ -464,16 +586,28 @@ int Run(int argc, char** argv) {
       if (run.status.signaled) {
         info.Set("signal", run.status.signal);
       }
+      info.Set("timed_out", run.status.timed_out);
+      info.Set("retries", run.retries);
       info.Set("runner_seconds", run.runner_seconds);
+      auto report = json::ParseFile(report_path.string());
       if (!run.status.ok()) {
         std::fprintf(stderr, "bench_runner: %s %s (log: %s)\n", name.c_str(),
                      run.status.Describe().c_str(), log_path.c_str());
         exit_code = 1;
-        binaries.Set(name, std::move(info));
-        continue;
-      }
-      auto report = json::ParseFile(report_path.string());
-      if (!report.ok()) {
+        // Salvage: a binary that died after writing its report (a crash in
+        // teardown, a timeout during a later phase) still contributes every
+        // metric it produced — the gate then reports precisely what is
+        // missing instead of failing the whole binary's coverage blind.
+        if (!report.ok()) {
+          info.Set("salvaged", false);
+          binaries.Set(name, std::move(info));
+          continue;
+        }
+        std::fprintf(stderr, "bench_runner: %s left a parseable report; salvaging %zu metrics\n",
+                     name.c_str(),
+                     report->Find("metrics") != nullptr ? report->Find("metrics")->size() : 0);
+        info.Set("salvaged", true);
+      } else if (!report.ok()) {
         std::fprintf(stderr, "bench_runner: %s\n", report.status().ToString().c_str());
         exit_code = 1;
         binaries.Set(name, std::move(info));
