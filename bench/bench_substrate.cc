@@ -64,11 +64,19 @@ void BM_ExecutorThroughput(benchmark::State& state) {
   workloads::SynthOptions synth;
   synth.target_instructions = 100'000;
   const ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
+  // Decode once and share: the executor validates the decode against the
+  // live (module, cost model) state each Run, so this measures steady-state
+  // interpreter throughput rather than per-iteration decode cost.
+  std::shared_ptr<const sim::DecodedModule> decoded;
   for (auto _ : state) {
     sim::Machine machine;
     sim::Process process(&machine);
     (void)workloads::PrepareWorkloadProcess(process, profile);
     sim::Executor executor(&process, &module);
+    if (decoded == nullptr) {
+      decoded = sim::DecodedModule::Build(module, process);
+    }
+    executor.SetDecoded(decoded);
     auto result = executor.Run();
     benchmark::DoNotOptimize(result);
     state.SetItemsProcessed(state.items_processed() +

@@ -140,6 +140,12 @@ class Reporter {
     Add(name, value, eval::MetricKind::kInfo, 0.0);
   }
 
+  // Accumulates simulated (retired) instructions executed by this binary.
+  // Finish() turns the total into a `<binary>/sim_instr_per_second` info
+  // metric — the suite's wall-clock throughput gauge, deliberately kInfo so
+  // host speed never gates.
+  void AddSimulatedInstructions(double instructions) { sim_instructions_ += instructions; }
+
   // A whole figure: per-config geomeans (fidelity, with the paper's
   // reference), per-benchmark normalized runtimes (fidelity, looser), and
   // suite-total protected cycles (perf).
@@ -155,6 +161,7 @@ class Reporter {
                     kPerBenchmarkTol);
       }
       AddPerf(prefix + "/cycles/" + s.config, s.total_prot_cycles);
+      AddSimulatedInstructions(s.total_instructions);
     }
   }
 
@@ -167,6 +174,9 @@ class Reporter {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
     AddInfo(binary_ + "/wall_seconds", wall);
+    if (sim_instructions_ > 0 && wall > 0) {
+      AddInfo(binary_ + "/sim_instr_per_second", sim_instructions_ / wall);
+    }
     json::Value doc = json::Value::Object();
     doc.Set("schema", 1);
     doc.Set("binary", binary_);
@@ -184,6 +194,7 @@ class Reporter {
   std::string binary_;
   std::string json_path_;
   uint64_t instructions_ = 0;
+  double sim_instructions_ = 0;
   int jobs_ = 0;  // 0 = hardware_concurrency (see eval::ExperimentOptions)
   std::chrono::steady_clock::time_point start_;
   json::Value metrics_ = json::Value::Object();

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     const std::string bytes = std::to_string(p.region_bytes);
     reporter.AddFidelity("crypt_sweep/norm/" + bytes, p.normalized, bench::kPerBenchmarkTol);
     reporter.AddPerf("crypt_sweep/cycles/" + bytes, p.prot_cycles);
+    reporter.AddSimulatedInstructions(p.instructions);
     if (p.region_bytes == 1024) {
       reporter.AddFidelity("crypt_sweep/relative_overhead_1024", relative,
                            bench::kPerBenchmarkTol, NAN,

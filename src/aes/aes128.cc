@@ -21,10 +21,26 @@ uint8_t Gmul(uint8_t a, uint8_t b) {
 }
 
 // The S-box is computed (inverse in GF(2^8) + affine transform) rather than
-// transcribed; tests pin the known values S(0x00)=0x63, S(0x53)=0xed.
+// transcribed; tests pin the known values S(0x00)=0x63, S(0x53)=0xed. The
+// round tables compose the S-box with the MixColumns constants so a round is
+// pure table lookups and xors — the byte-wise Gmul formulation this replaces
+// spent an 8-iteration bit loop per GF multiply on the region-crypt hot path.
 struct SboxTables {
   uint8_t sbox[256];
   uint8_t inv_sbox[256];
+  // Encrypt round: {2,3}·S(x) (the 1·S(x) contributions read sbox directly).
+  uint8_t enc2[256];
+  uint8_t enc3[256];
+  // Decrypt round: {14,11,13,9}·S⁻¹(x).
+  uint8_t dec14[256];
+  uint8_t dec11[256];
+  uint8_t dec13[256];
+  uint8_t dec9[256];
+  // Raw InvMixColumns constants for aesimc (no S-box composition).
+  uint8_t mul14[256];
+  uint8_t mul11[256];
+  uint8_t mul13[256];
+  uint8_t mul9[256];
 
   SboxTables() {
     // Build inverses via brute force once; table construction is not hot.
@@ -52,6 +68,19 @@ struct SboxTables {
       sbox[x] = s;
       inv_sbox[s] = static_cast<uint8_t>(x);
     }
+    for (int x = 0; x < 256; ++x) {
+      const uint8_t b = static_cast<uint8_t>(x);
+      enc2[x] = Gmul(sbox[x], 2);
+      enc3[x] = Gmul(sbox[x], 3);
+      dec14[x] = Gmul(inv_sbox[x], 14);
+      dec11[x] = Gmul(inv_sbox[x], 11);
+      dec13[x] = Gmul(inv_sbox[x], 13);
+      dec9[x] = Gmul(inv_sbox[x], 9);
+      mul14[x] = Gmul(b, 14);
+      mul11[x] = Gmul(b, 11);
+      mul13[x] = Gmul(b, 13);
+      mul9[x] = Gmul(b, 9);
+    }
   }
 };
 
@@ -60,33 +89,16 @@ const SboxTables& Tables() {
   return tables;
 }
 
-Block SubBytes(const Block& in) {
-  Block out;
-  for (int i = 0; i < kBlockSize; ++i) {
-    out[i] = Tables().sbox[in[i]];
-  }
-  return out;
-}
-
 Block InvSubBytes(const Block& in) {
+  const SboxTables& t = Tables();
   Block out;
   for (int i = 0; i < kBlockSize; ++i) {
-    out[i] = Tables().inv_sbox[in[i]];
+    out[i] = t.inv_sbox[in[i]];
   }
   return out;
 }
 
 // State layout is FIPS-197 column-major: byte index = row + 4*column.
-Block ShiftRows(const Block& in) {
-  Block out;
-  for (int r = 0; r < 4; ++r) {
-    for (int c = 0; c < 4; ++c) {
-      out[r + 4 * c] = in[r + 4 * ((c + r) & 3)];
-    }
-  }
-  return out;
-}
-
 Block InvShiftRows(const Block& in) {
   Block out;
   for (int r = 0; r < 4; ++r) {
@@ -97,30 +109,19 @@ Block InvShiftRows(const Block& in) {
   return out;
 }
 
-Block MixColumns(const Block& in) {
-  Block out;
-  for (int c = 0; c < 4; ++c) {
-    const uint8_t* col = &in[4 * c];
-    out[4 * c + 0] = static_cast<uint8_t>(Gmul(col[0], 2) ^ Gmul(col[1], 3) ^ col[2] ^ col[3]);
-    out[4 * c + 1] = static_cast<uint8_t>(col[0] ^ Gmul(col[1], 2) ^ Gmul(col[2], 3) ^ col[3]);
-    out[4 * c + 2] = static_cast<uint8_t>(col[0] ^ col[1] ^ Gmul(col[2], 2) ^ Gmul(col[3], 3));
-    out[4 * c + 3] = static_cast<uint8_t>(Gmul(col[0], 3) ^ col[1] ^ col[2] ^ Gmul(col[3], 2));
-  }
-  return out;
-}
-
 Block InvMixColumns(const Block& in) {
+  const SboxTables& t = Tables();
   Block out;
   for (int c = 0; c < 4; ++c) {
     const uint8_t* col = &in[4 * c];
-    out[4 * c + 0] = static_cast<uint8_t>(Gmul(col[0], 14) ^ Gmul(col[1], 11) ^ Gmul(col[2], 13) ^
-                                          Gmul(col[3], 9));
-    out[4 * c + 1] = static_cast<uint8_t>(Gmul(col[0], 9) ^ Gmul(col[1], 14) ^ Gmul(col[2], 11) ^
-                                          Gmul(col[3], 13));
-    out[4 * c + 2] = static_cast<uint8_t>(Gmul(col[0], 13) ^ Gmul(col[1], 9) ^ Gmul(col[2], 14) ^
-                                          Gmul(col[3], 11));
-    out[4 * c + 3] = static_cast<uint8_t>(Gmul(col[0], 11) ^ Gmul(col[1], 13) ^ Gmul(col[2], 9) ^
-                                          Gmul(col[3], 14));
+    out[4 * c + 0] =
+        static_cast<uint8_t>(t.mul14[col[0]] ^ t.mul11[col[1]] ^ t.mul13[col[2]] ^ t.mul9[col[3]]);
+    out[4 * c + 1] =
+        static_cast<uint8_t>(t.mul9[col[0]] ^ t.mul14[col[1]] ^ t.mul11[col[2]] ^ t.mul13[col[3]]);
+    out[4 * c + 2] =
+        static_cast<uint8_t>(t.mul13[col[0]] ^ t.mul9[col[1]] ^ t.mul14[col[2]] ^ t.mul11[col[3]]);
+    out[4 * c + 3] =
+        static_cast<uint8_t>(t.mul11[col[0]] ^ t.mul13[col[1]] ^ t.mul9[col[2]] ^ t.mul14[col[3]]);
   }
   return out;
 }
@@ -165,17 +166,60 @@ KeySchedule InverseKeySchedule(const KeySchedule& enc) {
   return dec;
 }
 
+// SubBytes → ShiftRows → MixColumns → AddRoundKey, fully composed: column c
+// of the shifted state is (in[0+4c], in[1+4(c+1)], in[2+4(c+2)], in[3+4(c+3)])
+// and the enc2/enc3 tables fold the S-box into the MixColumns constants.
 Block EncryptRound(const Block& state, const RoundKey& key) {
-  return Xor(MixColumns(ShiftRows(SubBytes(state))), key);
+  const SboxTables& t = Tables();
+  Block out;
+  for (int c = 0; c < 4; ++c) {
+    const uint8_t a0 = state[0 + 4 * c];
+    const uint8_t a1 = state[1 + 4 * ((c + 1) & 3)];
+    const uint8_t a2 = state[2 + 4 * ((c + 2) & 3)];
+    const uint8_t a3 = state[3 + 4 * ((c + 3) & 3)];
+    out[4 * c + 0] =
+        static_cast<uint8_t>(t.enc2[a0] ^ t.enc3[a1] ^ t.sbox[a2] ^ t.sbox[a3] ^ key[4 * c + 0]);
+    out[4 * c + 1] =
+        static_cast<uint8_t>(t.sbox[a0] ^ t.enc2[a1] ^ t.enc3[a2] ^ t.sbox[a3] ^ key[4 * c + 1]);
+    out[4 * c + 2] =
+        static_cast<uint8_t>(t.sbox[a0] ^ t.sbox[a1] ^ t.enc2[a2] ^ t.enc3[a3] ^ key[4 * c + 2]);
+    out[4 * c + 3] =
+        static_cast<uint8_t>(t.enc3[a0] ^ t.sbox[a1] ^ t.sbox[a2] ^ t.enc2[a3] ^ key[4 * c + 3]);
+  }
+  return out;
 }
 
 Block EncryptLastRound(const Block& state, const RoundKey& key) {
-  return Xor(ShiftRows(SubBytes(state)), key);
+  const SboxTables& t = Tables();
+  Block out;
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) {
+      out[r + 4 * c] = static_cast<uint8_t>(t.sbox[state[r + 4 * ((c + r) & 3)]] ^ key[r + 4 * c]);
+    }
+  }
+  return out;
 }
 
+// Equivalent inverse cipher (aesdec): expects an InvMixColumns'd round key.
+// InvShiftRows → InvSubBytes → InvMixColumns, composed via the dec* tables.
 Block DecryptRound(const Block& state, const RoundKey& key) {
-  // Equivalent inverse cipher (aesdec): expects an InvMixColumns'd round key.
-  return Xor(InvMixColumns(InvSubBytes(InvShiftRows(state))), key);
+  const SboxTables& t = Tables();
+  Block out;
+  for (int c = 0; c < 4; ++c) {
+    const uint8_t a0 = state[0 + 4 * c];
+    const uint8_t a1 = state[1 + 4 * ((c + 3) & 3)];
+    const uint8_t a2 = state[2 + 4 * ((c + 2) & 3)];
+    const uint8_t a3 = state[3 + 4 * ((c + 1) & 3)];
+    out[4 * c + 0] =
+        static_cast<uint8_t>(t.dec14[a0] ^ t.dec11[a1] ^ t.dec13[a2] ^ t.dec9[a3] ^ key[4 * c + 0]);
+    out[4 * c + 1] =
+        static_cast<uint8_t>(t.dec9[a0] ^ t.dec14[a1] ^ t.dec11[a2] ^ t.dec13[a3] ^ key[4 * c + 1]);
+    out[4 * c + 2] =
+        static_cast<uint8_t>(t.dec13[a0] ^ t.dec9[a1] ^ t.dec14[a2] ^ t.dec11[a3] ^ key[4 * c + 2]);
+    out[4 * c + 3] =
+        static_cast<uint8_t>(t.dec11[a0] ^ t.dec13[a1] ^ t.dec9[a2] ^ t.dec14[a3] ^ key[4 * c + 3]);
+  }
+  return out;
 }
 
 Block DecryptLastRound(const Block& state, const RoundKey& key) {

@@ -1,0 +1,63 @@
+#include "src/base/fastpath.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace memsentry::base {
+namespace {
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_mode{-1};
+
+}  // namespace
+
+bool ParseFastPathMode(const char* text, FastPathMode* mode) {
+  if (text == nullptr) {
+    return false;
+  }
+  if (std::strcmp(text, "on") == 0 || std::strcmp(text, "1") == 0) {
+    *mode = FastPathMode::kOn;
+    return true;
+  }
+  if (std::strcmp(text, "off") == 0 || std::strcmp(text, "0") == 0) {
+    *mode = FastPathMode::kOff;
+    return true;
+  }
+  if (std::strcmp(text, "check") == 0) {
+    *mode = FastPathMode::kCheck;
+    return true;
+  }
+  return false;
+}
+
+FastPathMode GetFastPathMode() {
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    FastPathMode parsed = FastPathMode::kOn;
+    ParseFastPathMode(std::getenv("MEMSENTRY_FASTPATH"), &parsed);
+    // Concurrent first reads race benignly: both parse the same environment
+    // and store the same value.
+    g_mode.store(static_cast<int>(parsed), std::memory_order_relaxed);
+    return parsed;
+  }
+  return static_cast<FastPathMode>(mode);
+}
+
+void SetFastPathMode(FastPathMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+const char* FastPathModeName(FastPathMode mode) {
+  switch (mode) {
+    case FastPathMode::kOff:
+      return "off";
+    case FastPathMode::kOn:
+      return "on";
+    case FastPathMode::kCheck:
+      return "check";
+  }
+  return "?";
+}
+
+}  // namespace memsentry::base

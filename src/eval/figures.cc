@@ -123,7 +123,9 @@ ExperimentResult RunAddressBasedExperimentFull(const SpecProfile& profile,
   if (!isolated.ok) {
     return {};
   }
-  return ExperimentResult{isolated.cycles / base.cycles, base.cycles, isolated.cycles};
+  return ExperimentResult{isolated.cycles / base.cycles, base.cycles, isolated.cycles,
+                          static_cast<double>(base.instructions),
+                          static_cast<double>(isolated.instructions)};
 }
 
 double RunAddressBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
@@ -155,7 +157,9 @@ ExperimentResult RunDomainBasedExperimentFull(const SpecProfile& profile,
   if (!isolated.ok) {
     return {};
   }
-  return ExperimentResult{isolated.cycles / base.cycles, base.cycles, isolated.cycles};
+  return ExperimentResult{isolated.cycles / base.cycles, base.cycles, isolated.cycles,
+                          static_cast<double>(base.instructions),
+                          static_cast<double>(isolated.instructions)};
 }
 
 double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind kind,
@@ -186,6 +190,7 @@ std::vector<FigureSeries> AssembleSeries(const std::vector<const char*>& config_
       s.normalized.push_back(r.normalized);
       s.total_base_cycles += r.base_cycles;
       s.total_prot_cycles += r.prot_cycles;
+      s.total_instructions += r.base_instructions + r.prot_instructions;
     }
     s.geomean = GeoMean(s.normalized);
     series.push_back(std::move(s));
@@ -293,7 +298,8 @@ std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
         if (!base.ok || !isolated.ok) {
           return {};
         }
-        return CryptSizePoint{size, isolated.cycles / base.cycles, isolated.cycles};
+        return CryptSizePoint{size, isolated.cycles / base.cycles, isolated.cycles,
+                              static_cast<double>(base.instructions + isolated.instructions)};
       });
   std::vector<CryptSizePoint> points;
   for (const CryptSizePoint& p : raw) {

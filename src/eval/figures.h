@@ -31,11 +31,15 @@ struct ExperimentOptions {
 
 // One baseline-vs-protected execution pair. normalized is protected/baseline
 // cycles (1.0 == baseline, < 0 on failure); the raw cycle counts feed the
-// perf series of the machine-readable benchmark reports.
+// perf series of the machine-readable benchmark reports. The retired
+// instruction counts feed the suite's simulated-instruction throughput
+// (info) metrics.
 struct ExperimentResult {
   double normalized = -1;
   double base_cycles = 0;
   double prot_cycles = 0;
+  double base_instructions = 0;
+  double prot_instructions = 0;
   bool ok() const { return normalized > 0; }
 };
 
@@ -70,6 +74,7 @@ struct FigureSeries {
   double geomean = 0;
   double total_base_cycles = 0;       // summed over the suite
   double total_prot_cycles = 0;
+  double total_instructions = 0;      // baseline + protected retired instrs
 };
 
 // Convenience sweeps over the whole SPEC suite.
@@ -84,6 +89,7 @@ struct CryptSizePoint {
   uint64_t region_bytes;
   double normalized;
   double prot_cycles = 0;
+  double instructions = 0;  // baseline + protected retired instrs
 };
 std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
                                               const std::vector<uint64_t>& sizes,

@@ -31,6 +31,12 @@ struct Function {
 struct Module {
   std::vector<Function> functions;
   int entry = 0;  // index of the entry function
+  // Mutation counter for decode-cache invalidation: PassManager bumps it
+  // after every pass, and anything else that edits instructions should call
+  // Touch() so a stale sim::DecodedModule is detected cheaply.
+  uint64_t version = 0;
+
+  void Touch() { ++version; }
 
   Function& EntryFunction() { return functions[static_cast<size_t>(entry)]; }
 

@@ -8,6 +8,7 @@ Status PassManager::Run(Module& module) {
   MEMSENTRY_RETURN_IF_ERROR(Verify(module));
   for (auto& pass : passes_) {
     MEMSENTRY_RETURN_IF_ERROR(pass->Run(module));
+    module.Touch();  // invalidate any cached decoded form
     Status verified = Verify(module);
     if (!verified.ok()) {
       return InternalError("pass " + pass->name() + " broke the module: " + verified.ToString());

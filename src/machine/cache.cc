@@ -18,36 +18,32 @@ int Log2(uint64_t v) {
 CacheArray::CacheArray(uint64_t size_bytes, int ways, int line_bytes)
     : ways_(ways),
       line_shift_(Log2(static_cast<uint64_t>(line_bytes))),
+      tag_shift_(Log2(size_bytes / (static_cast<uint64_t>(ways) * line_bytes))),
       num_sets_(size_bytes / (static_cast<uint64_t>(ways) * line_bytes)) {
   assert((num_sets_ & (num_sets_ - 1)) == 0 && "set count must be a power of two");
-  lines_.resize(num_sets_ * static_cast<uint64_t>(ways_));
+  lines_.reset(static_cast<Line*>(
+      std::calloc(num_sets_ * static_cast<uint64_t>(ways_), sizeof(Line))));
 }
 
-bool CacheArray::Access(PhysAddr addr) {
-  const uint64_t block = addr >> line_shift_;
-  const uint64_t set = block & (num_sets_ - 1);
-  const uint64_t tag = block >> Log2(num_sets_);
-  Line* base = &lines_[set * static_cast<uint64_t>(ways_)];
+void CacheArray::Fill(Line* base, uint64_t tag) {
+  // Evict the last invalid way if any, else the first least-recently used
+  // way (same choice as the original combined scan).
   Line* victim = base;
   for (int w = 0; w < ways_; ++w) {
     Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.lru = ++tick_;
-      return true;
-    }
-    if (!line.valid) {
+    if (!line.valid()) {
       victim = &line;
-    } else if (victim->valid && line.lru < victim->lru) {
+    } else if (victim->valid() && line.lru < victim->lru) {
       victim = &line;
     }
   }
-  *victim = Line{.valid = true, .tag = tag, .lru = ++tick_};
-  return false;
+  *victim = Line{.tag = tag, .lru = ++tick_};
 }
 
 void CacheArray::Flush() {
-  for (Line& line : lines_) {
-    line.valid = false;
+  const uint64_t n = num_sets_ * static_cast<uint64_t>(ways_);
+  for (uint64_t i = 0; i < n; ++i) {
+    lines_[i].lru = 0;
   }
 }
 
@@ -55,24 +51,6 @@ CacheHierarchy::CacheHierarchy()
     : l1_(32 * 1024, /*ways=*/8, /*line_bytes=*/64),
       l2_(256 * 1024, /*ways=*/4, /*line_bytes=*/64),
       l3_(8 * 1024 * 1024, /*ways=*/16, /*line_bytes=*/64) {}
-
-CacheLevel CacheHierarchy::Access(PhysAddr addr) {
-  ++stats_.accesses;
-  if (l1_.Access(addr)) {
-    ++stats_.l1_hits;
-    return CacheLevel::kL1;
-  }
-  if (l2_.Access(addr)) {
-    ++stats_.l2_hits;
-    return CacheLevel::kL2;
-  }
-  if (l3_.Access(addr)) {
-    ++stats_.l3_hits;
-    return CacheLevel::kL3;
-  }
-  ++stats_.dram_accesses;
-  return CacheLevel::kDram;
-}
 
 void CacheHierarchy::Flush() {
   l1_.Flush();

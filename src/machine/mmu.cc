@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace memsentry::machine {
 
 Mmu::Mmu(PhysicalMemory* pmem, const CostModel* cost) : pmem_(pmem), cost_(cost) {}
 
-FaultOr<AccessResult> Mmu::Access(VirtAddr va, AccessType access, const Pkru& pkru) {
+FaultOr<AccessResult> Mmu::AccessSlow(VirtAddr va, AccessType access, const Pkru& pkru,
+                                      bool fill_grant) {
   ++stats_.accesses;
   assert(page_table_ != nullptr && "no active page table");
 
@@ -20,8 +23,9 @@ FaultOr<AccessResult> Mmu::Access(VirtAddr va, AccessType access, const Pkru& pk
   AccessResult result;
   uint64_t pte = 0;
   const uint16_t asid = EffectiveAsid();
-  if (auto cached = tlb_.Lookup(va, asid); cached.has_value()) {
-    pte = *cached;
+  Tlb::Entry* tlb_entry = tlb_.LookupEntry(va, asid);
+  if (tlb_entry != nullptr) {
+    pte = tlb_entry->pte;
   } else {
     result.tlb_hit = false;
     auto walk = page_table_->Walk(va);
@@ -61,7 +65,7 @@ FaultOr<AccessResult> Mmu::Access(VirtAddr va, AccessType access, const Pkru& pk
       }
       pte = (pte & ~kPteFrameMask) | (host.value() & kPteFrameMask);
     }
-    tlb_.Insert(va, asid, pte);
+    tlb_entry = tlb_.Insert(va, asid, pte);
   }
 
   // Permission checks run on every access, hit or miss.
@@ -98,6 +102,20 @@ FaultOr<AccessResult> Mmu::Access(VirtAddr va, AccessType access, const Pkru& pk
     }
   }
 
+  if (fill_grant) {
+    // Mint the grant before pricing: the verdict is settled, and the TLB
+    // version must be read *after* any Insert above (which bumped it).
+    const uint64_t vpn = PageNumber(va);
+    Grant& grant = grants_[GrantIndex(vpn, access)];
+    grant.vpn = vpn;
+    grant.pte = pte;
+    grant.tlb_version = tlb_.version();
+    grant.entry = tlb_entry;
+    grant.pkru = pkru.value;
+    grant.asid = asid;
+    grant.access = static_cast<uint8_t>(access);
+  }
+
   result.phys = (pte & kPteFrameMask) | PageOffset(va);
   result.level = dcache_.Access(result.phys);
   if (access == AccessType::kRead) {
@@ -107,29 +125,48 @@ FaultOr<AccessResult> Mmu::Access(VirtAddr va, AccessType access, const Pkru& pk
   return result;
 }
 
-FaultOr<uint64_t> Mmu::Read64(VirtAddr va, const Pkru& pkru, Cycles* cycles) {
-  auto access = Access(va, AccessType::kRead, pkru);
-  if (!access.ok()) {
-    return access.fault();
+void Mmu::CheckGrant(const Grant& grant, VirtAddr va, AccessType access,
+                     const Pkru& pkru) const {
+  // Re-derive what the slow path would do on this access and abort on any
+  // divergence: the grant must mirror the entry a first-match Lookup would
+  // hit, with the same PTE, and the permission verdict must still be
+  // "allowed" under the live PKRU.
+  const Tlb::Entry* first = tlb_.PeekEntry(va, EffectiveAsid());
+  const char* divergence = nullptr;
+  if (first == nullptr) {
+    divergence = "grant hit but the TLB has no matching entry";
+  } else if (first != grant.entry) {
+    divergence = "grant entry is not the first-match TLB entry";
+  } else if (first->pte != grant.pte) {
+    divergence = "grant PTE differs from the cached TLB PTE";
+  } else if (!PageTable::PteUser(grant.pte)) {
+    divergence = "grant PTE lost its user bit";
+  } else if (access == AccessType::kExecute && PageTable::PteNx(grant.pte)) {
+    divergence = "grant PTE gained NX";
+  } else if (access == AccessType::kWrite && !PageTable::PteWritable(grant.pte)) {
+    divergence = "grant PTE lost its writable bit";
+  } else if (access != AccessType::kExecute) {
+    const uint8_t key = PageTable::PtePkey(grant.pte);
+    if (pkru.AccessDisabled(key) ||
+        (access == AccessType::kWrite && pkru.WriteDisabled(key))) {
+      divergence = "live PKRU now denies the granted access";
+    }
   }
-  if (cycles != nullptr) {
-    *cycles += access.value().cycles;
+  if (divergence != nullptr) {
+    std::fprintf(stderr,
+                 "memsentry: MMU fast-path divergence: %s (va=0x%llx access=%d asid=%u "
+                 "pkru=0x%x tlb_version=%llu)\n",
+                 divergence, static_cast<unsigned long long>(va), static_cast<int>(access),
+                 unsigned{grant.asid}, grant.pkru,
+                 static_cast<unsigned long long>(grant.tlb_version));
+    std::abort();
   }
-  return pmem_->Read64(access.value().phys);
 }
 
-FaultOr<bool> Mmu::Write64(VirtAddr va, uint64_t value, const Pkru& pkru, Cycles* cycles) {
-  auto access = Access(va, AccessType::kWrite, pkru);
-  if (!access.ok()) {
-    return access.fault();
-  }
-  if (cycles != nullptr) {
-    *cycles += access.value().cycles;
-  }
-  pmem_->Write64(access.value().phys, value);
-  return true;
-}
-
+// Both byte-transfer helpers split at page boundaries, so a multi-page copy
+// performs exactly one Access() — one translation, one pricing — per page
+// touched, regardless of total size. tests/mmu_bytes_test.cc pins the cycle
+// counts of multi-page copies so this invariant cannot drift.
 FaultOr<bool> Mmu::ReadBytes(VirtAddr va, void* out, uint64_t size, const Pkru& pkru,
                              Cycles* cycles) {
   uint8_t* dst = static_cast<uint8_t*>(out);

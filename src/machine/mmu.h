@@ -7,7 +7,9 @@
 #define MEMSENTRY_SRC_MACHINE_MMU_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/base/fastpath.h"
 #include "src/base/types.h"
 #include "src/machine/cache.h"
 #include "src/machine/cost_model.h"
@@ -50,6 +52,18 @@ struct MmuStats {
   uint64_t walk_memory_touches = 0;
 };
 
+// Hit/miss counters for the translation grant cache (the fast path in front
+// of Access()). Observability only: the counters never feed modeled cycles.
+struct GrantStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 class Mmu {
  public:
   Mmu(PhysicalMemory* pmem, const CostModel* cost);
@@ -69,11 +83,82 @@ class Mmu {
   void SetVpid(uint16_t vpid) { vpid_ = vpid; }
 
   // Translates + prices one access. `pkru` is the current thread's PKRU.
-  FaultOr<AccessResult> Access(VirtAddr va, AccessType access, const Pkru& pkru);
+  // Inline so the grant-probe fast path (one compare against a memoized
+  // verdict) fuses into the interpreter's load/store handling; everything
+  // that misses falls into the out-of-line slow path. The interpreter hoists
+  // the mode lookup out of its dispatch loop and uses the explicit-mode
+  // overload; everyone else pays the (relaxed atomic) load per access.
+  FaultOr<AccessResult> Access(VirtAddr va, AccessType access, const Pkru& pkru) {
+    return Access(va, access, pkru, base::GetFastPathMode());
+  }
+
+  FaultOr<AccessResult> Access(VirtAddr va, AccessType access, const Pkru& pkru,
+                               base::FastPathMode mode) {
+    if (mode == base::FastPathMode::kOff) {
+      return AccessSlow(va, access, pkru, /*fill_grant=*/false);
+    }
+    // Non-canonical addresses can never match (grants are only minted for
+    // successful accesses), so the probe needs no range check.
+    const uint64_t vpn = PageNumber(va);
+    Grant& grant = grants_[GrantIndex(vpn, access)];
+    if (grant.vpn == vpn && grant.access == static_cast<uint8_t>(access) &&
+        grant.pkru == pkru.value && grant.tlb_version == tlb_.version() &&
+        grant.asid == EffectiveAsid()) {
+      if (mode == base::FastPathMode::kCheck) {
+        CheckGrant(grant, va, access, pkru);
+      }
+      ++grant_stats_.hits;
+      // Replay the slow path's observable effects exactly: the access
+      // count, the TLB hit bookkeeping (LRU bump + hit counter), and the
+      // stateful data-cache touch that prices the access.
+      ++stats_.accesses;
+      tlb_.RecordHit(grant.entry);
+      AccessResult result;
+      result.phys = (grant.pte & kPteFrameMask) | PageOffset(va);
+      result.level = dcache_.Access(result.phys);
+      if (access == AccessType::kRead) {
+        result.cycles += cost_->LoadCost(result.level);
+      }
+      return result;
+    }
+    ++grant_stats_.misses;
+    return AccessSlow(va, access, pkru, /*fill_grant=*/true);
+  }
 
   // Data helpers on top of Access(). 64-bit accesses must not cross a page.
-  FaultOr<uint64_t> Read64(VirtAddr va, const Pkru& pkru, Cycles* cycles);
-  FaultOr<bool> Write64(VirtAddr va, uint64_t value, const Pkru& pkru, Cycles* cycles);
+  FaultOr<uint64_t> Read64(VirtAddr va, const Pkru& pkru, Cycles* cycles) {
+    return Read64(va, pkru, cycles, base::GetFastPathMode());
+  }
+
+  FaultOr<uint64_t> Read64(VirtAddr va, const Pkru& pkru, Cycles* cycles,
+                           base::FastPathMode mode) {
+    auto access = Access(va, AccessType::kRead, pkru, mode);
+    if (!access.ok()) {
+      return access.fault();
+    }
+    if (cycles != nullptr) {
+      *cycles += access.value().cycles;
+    }
+    return pmem_->Read64(access.value().phys);
+  }
+
+  FaultOr<bool> Write64(VirtAddr va, uint64_t value, const Pkru& pkru, Cycles* cycles) {
+    return Write64(va, value, pkru, cycles, base::GetFastPathMode());
+  }
+
+  FaultOr<bool> Write64(VirtAddr va, uint64_t value, const Pkru& pkru, Cycles* cycles,
+                        base::FastPathMode mode) {
+    auto access = Access(va, AccessType::kWrite, pkru, mode);
+    if (!access.ok()) {
+      return access.fault();
+    }
+    if (cycles != nullptr) {
+      *cycles += access.value().cycles;
+    }
+    pmem_->Write64(access.value().phys, value);
+    return true;
+  }
+
   // Arbitrary-length buffer access, split at page boundaries.
   FaultOr<bool> ReadBytes(VirtAddr va, void* out, uint64_t size, const Pkru& pkru,
                           Cycles* cycles);
@@ -95,13 +180,54 @@ class Mmu {
   CacheHierarchy& dcache() { return dcache_; }
   PhysicalMemory& pmem() { return *pmem_; }
   const MmuStats& stats() const { return stats_; }
+  const GrantStats& grant_stats() const { return grant_stats_; }
   void ResetStats() {
     stats_ = MmuStats{};
+    grant_stats_ = GrantStats{};
     tlb_.ResetStats();
     dcache_.ResetStats();
   }
 
  private:
+  // One memoized Access() verdict: the cached leaf PTE (frame + permission
+  // bits, post-EPT splice) of a prior *successful* access, plus everything
+  // that proves the verdict is still current. A grant hits only when
+  //   * the (vpn, asid, access-kind) key matches,
+  //   * the live PKRU value equals the one the verdict was computed under
+  //     (covers wrpkru and direct PKRU desync writes alike: same pte + same
+  //     pkru => same permission outcome, matching real hardware's "PKRU
+  //     changes need no TLB flush" semantics), and
+  //   * the TLB version is unchanged, which proves the slow path's
+  //     first-match Lookup would hit `entry` with `pte` exactly as it did
+  //     when the grant was minted (every Insert/InvalidatePage/Flush* —
+  //     including every FaultInjector site that touches translation state —
+  //     bumps the version and thereby drops all grants).
+  // A hit replays the slow path's observable effects (access count, TLB hit
+  // bookkeeping, the stateful data-cache touch and its load cost) so all
+  // modeled results stay bit-identical.
+  struct Grant {
+    uint64_t vpn = ~uint64_t{0};
+    uint64_t pte = 0;
+    uint64_t tlb_version = 0;
+    Tlb::Entry* entry = nullptr;
+    uint32_t pkru = 0;
+    uint16_t asid = 0;
+    uint8_t access = 0;
+  };
+
+  static constexpr uint64_t kGrantSlots = 1024;  // direct-mapped, power of two
+  static uint64_t GrantIndex(uint64_t vpn, AccessType access) {
+    return (vpn * 3 + static_cast<uint64_t>(access)) & (kGrantSlots - 1);
+  }
+
+  // The pre-fast-path Access() body; fills the grant slot on success when
+  // `fill_grant` (the fast path is enabled).
+  FaultOr<AccessResult> AccessSlow(VirtAddr va, AccessType access, const Pkru& pkru,
+                                   bool fill_grant);
+  // kCheck lockstep oracle: re-derives the slow path's lookup and permission
+  // verdict for a hitting grant and aborts the process on divergence.
+  void CheckGrant(const Grant& grant, VirtAddr va, AccessType access, const Pkru& pkru) const;
+
   PhysicalMemory* pmem_;
   const CostModel* cost_;
   PageTable* page_table_ = nullptr;
@@ -110,6 +236,8 @@ class Mmu {
   Tlb tlb_;
   CacheHierarchy dcache_;
   MmuStats stats_;
+  GrantStats grant_stats_;
+  std::vector<Grant> grants_ = std::vector<Grant>(kGrantSlots);
 };
 
 }  // namespace memsentry::machine

@@ -29,6 +29,10 @@ Status PhysicalMemory::FreeFrame(PhysAddr frame) {
   if (it == frames_.end()) {
     return NotFound("freeing unallocated frame");
   }
+  CachedFrame& slot = frame_cache_[f & (kFrameCacheSlots - 1)];
+  if (slot.number == f) {
+    slot = CachedFrame{};
+  }
   frames_.erase(it);
   return OkStatus();
 }
@@ -40,6 +44,10 @@ bool PhysicalMemory::IsAllocated(PhysAddr frame) const {
 PhysicalMemory::Frame* PhysicalMemory::FrameFor(PhysAddr addr) {
   const uint64_t f = PageNumber(addr);
   assert(f < total_frames_ && "physical address out of simulated DRAM");
+  CachedFrame& slot = frame_cache_[f & (kFrameCacheSlots - 1)];
+  if (slot.number == f) {
+    return slot.frame;
+  }
   auto it = frames_.find(f);
   if (it == frames_.end()) {
     it = frames_.emplace(f, nullptr).first;
@@ -48,14 +56,25 @@ PhysicalMemory::Frame* PhysicalMemory::FrameFor(PhysAddr addr) {
     it->second = std::make_unique<Frame>();
     it->second->fill(0);
   }
+  slot = CachedFrame{f, it->second.get()};
   return it->second.get();
 }
 
 const PhysicalMemory::Frame* PhysicalMemory::FrameForConst(PhysAddr addr) const {
   const uint64_t f = PageNumber(addr);
   assert(f < total_frames_ && "physical address out of simulated DRAM");
+  CachedFrame& slot = frame_cache_[f & (kFrameCacheSlots - 1)];
+  if (slot.number == f) {
+    return slot.frame;
+  }
   auto it = frames_.find(f);
-  return it == frames_.end() ? nullptr : it->second.get();
+  if (it == frames_.end()) {
+    return nullptr;
+  }
+  if (it->second != nullptr) {
+    slot = CachedFrame{f, it->second.get()};
+  }
+  return it->second.get();
 }
 
 uint64_t PhysicalMemory::Read64(PhysAddr addr) const {

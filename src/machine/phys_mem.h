@@ -49,9 +49,19 @@ class PhysicalMemory {
   Frame* FrameFor(PhysAddr addr);
   const Frame* FrameForConst(PhysAddr addr) const;
 
+  // Direct-mapped lookup cache in front of the frame map: accesses cluster
+  // heavily by frame, and the Frame* stays stable behind its unique_ptr.
+  // Only materialized frames are cached; FreeFrame evicts its slot.
+  struct CachedFrame {
+    uint64_t number = ~uint64_t{0};
+    Frame* frame = nullptr;
+  };
+  static constexpr uint64_t kFrameCacheSlots = 64;  // power of two
+
   uint64_t total_frames_;
   uint64_t next_frame_ = 1;  // frame 0 reserved: phys 0 is never handed out
   std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_;
+  mutable std::array<CachedFrame, kFrameCacheSlots> frame_cache_;
 };
 
 }  // namespace memsentry::machine

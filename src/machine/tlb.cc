@@ -2,32 +2,48 @@
 
 namespace memsentry::machine {
 
-std::optional<uint64_t> Tlb::Lookup(VirtAddr virt, uint16_t vpid) {
+Tlb::Entry* Tlb::LookupEntry(VirtAddr virt, uint16_t vpid) {
   const uint64_t vpn = PageNumber(virt);
   auto& set = sets_[SetIndex(vpn)];
   for (Entry& e : set) {
     if (e.valid && e.vpid == vpid && e.vpn == vpn) {
-      e.lru = ++tick_;
-      ++stats_.hits;
-      return e.pte;
+      RecordHit(&e);
+      return &e;
     }
   }
   ++stats_.misses;
-  return std::nullopt;
+  return nullptr;
 }
 
-std::optional<uint64_t> Tlb::Peek(VirtAddr virt, uint16_t vpid) const {
+std::optional<uint64_t> Tlb::Lookup(VirtAddr virt, uint16_t vpid) {
+  Entry* e = LookupEntry(virt, vpid);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  return e->pte;
+}
+
+const Tlb::Entry* Tlb::PeekEntry(VirtAddr virt, uint16_t vpid) const {
   const uint64_t vpn = PageNumber(virt);
   const auto& set = sets_[SetIndex(vpn)];
   for (const Entry& e : set) {
     if (e.valid && e.vpid == vpid && e.vpn == vpn) {
-      return e.pte;
+      return &e;
     }
   }
-  return std::nullopt;
+  return nullptr;
 }
 
-void Tlb::Insert(VirtAddr virt, uint16_t vpid, uint64_t pte) {
+std::optional<uint64_t> Tlb::Peek(VirtAddr virt, uint16_t vpid) const {
+  const Entry* e = PeekEntry(virt, vpid);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  return e->pte;
+}
+
+Tlb::Entry* Tlb::Insert(VirtAddr virt, uint16_t vpid, uint64_t pte) {
+  ++version_;
   const uint64_t vpn = PageNumber(virt);
   auto& set = sets_[SetIndex(vpn)];
   Entry* victim = &set[0];
@@ -41,9 +57,11 @@ void Tlb::Insert(VirtAddr virt, uint16_t vpid, uint64_t pte) {
     }
   }
   *victim = Entry{.valid = true, .vpid = vpid, .vpn = vpn, .pte = pte, .lru = ++tick_};
+  return victim;
 }
 
 void Tlb::InvalidatePage(VirtAddr virt) {
+  ++version_;
   const uint64_t vpn = PageNumber(virt);
   for (Entry& e : sets_[SetIndex(vpn)]) {
     if (e.valid && e.vpn == vpn) {
@@ -53,6 +71,7 @@ void Tlb::InvalidatePage(VirtAddr virt) {
 }
 
 void Tlb::FlushAll() {
+  ++version_;
   for (auto& set : sets_) {
     for (Entry& e : set) {
       e.valid = false;
@@ -62,6 +81,7 @@ void Tlb::FlushAll() {
 }
 
 void Tlb::FlushVpid(uint16_t vpid) {
+  ++version_;
   for (auto& set : sets_) {
     for (Entry& e : set) {
       if (e.valid && e.vpid == vpid) {

@@ -39,14 +39,37 @@ class Tlb {
 
   // Looks up a virtual page; bumps LRU and stats on hit.
   std::optional<uint64_t> Lookup(VirtAddr virt, uint16_t vpid);
+  // Like Lookup, but exposes the entry that served the hit (first match in
+  // way order) so the MMU grant cache can replay the exact hit bookkeeping.
+  Entry* LookupEntry(VirtAddr virt, uint16_t vpid);
   // Non-perturbing lookup for coherence audits: no LRU bump, no stats.
   std::optional<uint64_t> Peek(VirtAddr virt, uint16_t vpid) const;
-  void Insert(VirtAddr virt, uint16_t vpid, uint64_t pte);
+  // Non-perturbing entry lookup (first match in way order, as Lookup would
+  // find it); used by the fast-path differential oracle.
+  const Entry* PeekEntry(VirtAddr virt, uint16_t vpid) const;
+  Entry* Insert(VirtAddr virt, uint16_t vpid, uint64_t pte);
   // Invalidates one page across all VPIDs (invlpg).
   void InvalidatePage(VirtAddr virt);
   // Flushes everything (mov cr3 without PCID) or one VPID.
-  void FlushAll();
   void FlushVpid(uint16_t vpid);
+  void FlushAll();
+
+  // Replays exactly what Lookup does on a hit of `entry`. The grant cache
+  // calls this instead of re-scanning the set, keeping LRU order and hit
+  // counts bit-identical to the reference path.
+  void RecordHit(Entry* entry) {
+    entry->lru = ++tick_;
+    ++stats_.hits;
+  }
+
+  // Monotonic mutation counter: bumped by every Insert, InvalidatePage,
+  // FlushAll and FlushVpid. Version equality proves the TLB arrays are
+  // unchanged since a grant was minted, so the slow path's first-match
+  // Lookup would still land on the same entry with the same PTE — the
+  // coherence invariant behind the MMU grant cache. Stats resets and LRU
+  // bumps deliberately do not count: they never change which entry a
+  // lookup matches.
+  uint64_t version() const { return version_; }
 
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
@@ -56,6 +79,7 @@ class Tlb {
 
   std::array<std::array<Entry, kWays>, kSets> sets_{};
   uint64_t tick_ = 0;
+  uint64_t version_ = 0;
   TlbStats stats_;
 };
 

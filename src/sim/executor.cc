@@ -1,8 +1,10 @@
 #include "src/sim/executor.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <vector>
 
+#include "src/base/fastpath.h"
 #include "src/mpk/mpk.h"
 #include "src/mpx/mpx.h"
 
@@ -40,6 +42,17 @@ struct Position {
 }  // namespace
 
 RunResult Executor::Run(const RunConfig& config) {
+  const base::FastPathMode mode = base::GetFastPathMode();
+  if (mode == base::FastPathMode::kOff) {
+    return RunReference(config);
+  }
+  if (decoded_ == nullptr || !decoded_->Matches(*module_, *process_)) {
+    decoded_ = DecodedModule::Build(*module_, *process_);
+  }
+  return RunDecoded(config, /*check=*/mode == base::FastPathMode::kCheck);
+}
+
+RunResult Executor::RunReference(const RunConfig& config) {
   RunResult result;
   auto& regs = process_->regs();
   auto& mmu = process_->mmu();
@@ -438,6 +451,472 @@ RunResult Executor::Run(const RunConfig& config) {
       // Fall off the end of a block only after kCall-style non-terminators;
       // the verifier guarantees blocks end in terminators, so this index is
       // always valid.
+    }
+  }
+
+  result.hit_instruction_limit = true;
+  return result;
+}
+
+// The µop-stream interpreter. Mirrors RunReference case by case: every cycle
+// addition happens with the same operands in the same order (pre-resolved
+// static costs are charged as the same cost-then-extra pair of adds), every
+// counter bumps at the same architectural points, and every fault carries
+// the same payload — so all modeled results are bit-identical. Only dispatch
+// changes: flat µop indices replace (block, index) walking, and fused runs
+// of pure-register ops execute back-to-back without re-entering the loop.
+RunResult Executor::RunDecoded(const RunConfig& config, bool check) {
+  RunResult result;
+  auto& regs = process_->regs();
+  auto& mmu = process_->mmu();
+  const auto& functions = module_->functions;
+  const DecodedModule& dec = *decoded_;
+  const machine::CostModel& cost = *cost_;
+
+  int func = module_->entry;
+  const DecodedFunction* df = &dec.functions[static_cast<size_t>(func)];
+  int32_t ui = 0;       // flat µop index within *df
+  uint32_t skip = 0;    // RegOps to skip when resuming mid-fused-run (after ret)
+  int call_depth = 0;
+
+  auto fault_out = [&](const machine::Fault& fault) {
+    result.fault = fault;
+    return result;
+  };
+
+  const bool record_safe_accesses = config.record_safe_accesses;
+  // Hoisted out of the loop: the mode can't change mid-run, and the MMU's
+  // explicit-mode overloads skip the per-access atomic load.
+  const base::FastPathMode mode =
+      check ? base::FastPathMode::kCheck : base::FastPathMode::kOn;
+
+  // Identical to RunReference's data_access, with the instruction position
+  // passed in (the µop carries its source block/index for PackRef).
+  auto data_access = [&](VirtAddr va, machine::AccessType access, uint64_t* value,
+                         machine::Fault* fault, int32_t block, int32_t index) -> bool {
+    if (process_->enclave() != nullptr && !process_->enclave()->AccessAllowed(va)) {
+      *fault = machine::Fault{machine::FaultType::kEnclaveAccess, va, access};
+      return false;
+    }
+    if (access == machine::AccessType::kRead) {
+      auto r = mmu.Read64(va, regs.pkru, &result.cycles, mode);
+      if (!r.ok()) {
+        *fault = r.fault();
+        return false;
+      }
+      *value = r.value();
+    } else {
+      auto w = mmu.Write64(va, *value, regs.pkru, &result.cycles, mode);
+      if (!w.ok()) {
+        *fault = w.fault();
+        return false;
+      }
+    }
+    if (record_safe_accesses && process_->InSafeRegion(va)) {
+      result.safe_access_refs.insert(PackRef(func, block, index));
+    }
+    return true;
+  };
+
+  while (result.instructions < config.max_instructions) {
+    const Uop& u = df->uops[static_cast<size_t>(ui)];
+
+    if (u.fused) {
+      // Replay the pre-resolved pure-register run. `skip` is nonzero only
+      // when a ret landed mid-run; the budget clamp makes the instruction
+      // limit hit at exactly the same op as the reference loop.
+      const uint64_t want = u.fuse_count - skip;
+      const uint64_t budget = config.max_instructions - result.instructions;
+      const uint64_t run = want < budget ? want : budget;
+      const RegOp* ops = df->regops.data() + u.fuse_start + skip;
+      skip = 0;
+      for (uint64_t n = 0; n < run; ++n) {
+        const RegOp& r = ops[n];
+        if (check) {
+          CheckRegOp(*module_, func, r, cost, dec.ymm_reserved);
+        }
+        const Cycles cycles_before = result.cycles;
+        switch (r.op) {
+          case ir::Opcode::kNop:
+          case ir::Opcode::kVecOp:
+            break;
+          case ir::Opcode::kMovImm:
+            regs[static_cast<machine::Gpr>(r.dst)] = r.imm;
+            break;
+          case ir::Opcode::kAddImm: {
+            uint64_t& dst = regs[static_cast<machine::Gpr>(r.dst)];
+            dst += static_cast<int64_t>(r.imm);
+            regs.zero_flag = dst == 0;
+            break;
+          }
+          case ir::Opcode::kAndImm:
+            regs[static_cast<machine::Gpr>(r.dst)] &= r.imm;
+            break;
+          case ir::Opcode::kAluRR: {
+            uint64_t& dst = regs[static_cast<machine::Gpr>(r.dst)];
+            const uint64_t src = regs[static_cast<machine::Gpr>(r.src)];
+            switch (r.alu_kind) {
+              case 0:
+                dst += src;
+                break;
+              case 1:
+                dst -= src;
+                break;
+              case 2:
+                dst ^= src;
+                break;
+              case 3:
+                dst *= src;
+                break;
+            }
+            regs.zero_flag = dst == 0;
+            break;
+          }
+          case ir::Opcode::kLea:
+            regs[static_cast<machine::Gpr>(r.dst)] =
+                regs[static_cast<machine::Gpr>(r.src)] + static_cast<int64_t>(r.imm);
+            break;
+          default:
+            assert(false && "non-fusible op inside a fused run");
+            std::abort();
+        }
+        result.cycles += r.cost;
+        if (r.has_extra) {
+          result.cycles += r.extra;
+        }
+        if (r.instrumentation) {
+          ++result.instrumentation_instrs;
+          result.instrumentation_cycles += result.cycles - cycles_before;
+        }
+      }
+      result.instructions += run;
+      if (run < want) {
+        break;  // instruction budget exhausted mid-run
+      }
+      ++ui;
+      continue;
+    }
+
+    if (check) {
+      CheckUop(*module_, func, u, cost);
+    }
+    if (u.op == ir::Opcode::kNop) {
+      // Synthetic block-end guard: the reference loop faults here when it
+      // fetches past an unterminated block, before counting an instruction.
+      return fault_out({machine::FaultType::kGeneralProtection, 0, machine::AccessType::kExecute});
+    }
+
+    ++result.instructions;
+    const Cycles cycles_before = result.cycles;
+    bool advance = true;
+
+    switch (u.op) {
+      case ir::Opcode::kLoad: {
+        ++result.loads;
+        result.cycles += u.cost;
+        uint64_t value = 0;
+        machine::Fault fault;
+        if (!data_access(regs[static_cast<machine::Gpr>(u.src)], machine::AccessType::kRead,
+                         &value, &fault, u.block, u.index)) {
+          return fault_out(fault);
+        }
+        regs[static_cast<machine::Gpr>(u.dst)] = value;
+        break;
+      }
+      case ir::Opcode::kStore: {
+        ++result.stores;
+        result.cycles += u.cost;
+        uint64_t value = regs[static_cast<machine::Gpr>(u.src)];
+        machine::Fault fault;
+        if (!data_access(regs[static_cast<machine::Gpr>(u.dst)], machine::AccessType::kWrite,
+                         &value, &fault, u.block, u.index)) {
+          return fault_out(fault);
+        }
+        break;
+      }
+      case ir::Opcode::kJmp:
+        result.cycles += u.cost;
+        mpx::OnLegacyBranch(regs);
+        if (u.target < 0) {
+          // Out-of-range block target (undefined behaviour in the reference
+          // interpreter; decode resolves it to a #GP instead of crashing).
+          return fault_out(
+              {machine::FaultType::kGeneralProtection, 0, machine::AccessType::kExecute});
+        }
+        ui = u.target;
+        advance = false;
+        break;
+      case ir::Opcode::kCondBr: {
+        result.cycles += u.cost;
+        mpx::OnLegacyBranch(regs);
+        const int32_t next = !regs.zero_flag ? u.target : u.fallthrough;
+        if (next < 0) {
+          return fault_out(
+              {machine::FaultType::kGeneralProtection, 0, machine::AccessType::kExecute});
+        }
+        ui = next;
+        advance = false;
+        break;
+      }
+      case ir::Opcode::kCall:
+      case ir::Opcode::kIndirectCall: {
+        int callee = u.target;
+        if (u.op == ir::Opcode::kIndirectCall) {
+          ++result.indirect_calls;
+          callee = static_cast<int>(regs[static_cast<machine::Gpr>(u.src)]);
+          if (callee < 0 || callee >= static_cast<int>(functions.size())) {
+            return fault_out({machine::FaultType::kGeneralProtection,
+                              regs[static_cast<machine::Gpr>(u.src)],
+                              machine::AccessType::kExecute});
+          }
+        }
+        ++result.calls;
+        result.cycles += u.cost;
+        mpx::OnLegacyBranch(regs);
+        if (call_depth >= 4096) {
+          return fault_out({machine::FaultType::kGeneralProtection, regs[machine::Gpr::kRsp],
+                            machine::AccessType::kWrite});
+        }
+        const uint64_t ra = EncodeRa(func, u.block, u.index + 1);
+        regs[machine::Gpr::kRsp] -= 8;
+        uint64_t value = ra;
+        machine::Fault fault;
+        if (!data_access(regs[machine::Gpr::kRsp], machine::AccessType::kWrite, &value, &fault,
+                         u.block, u.index)) {
+          return fault_out(fault);
+        }
+        regs[machine::Gpr::kR11] = ra;
+        ++call_depth;
+        if (callee >= static_cast<int>(dec.functions.size()) ||
+            dec.functions[static_cast<size_t>(callee)].uops.empty()) {
+          // Direct call to a bad function index (undefined behaviour in the
+          // reference; #GP here instead of crashing).
+          return fault_out(
+              {machine::FaultType::kGeneralProtection, 0, machine::AccessType::kExecute});
+        }
+        func = callee;
+        df = &dec.functions[static_cast<size_t>(callee)];
+        ui = 0;  // block_head[0] is always the function's first µop
+        advance = false;
+        break;
+      }
+      case ir::Opcode::kRet: {
+        ++result.rets;
+        result.cycles += u.cost;
+        mpx::OnLegacyBranch(regs);
+        if (call_depth == 0) {
+          result.halted = true;
+          return result;
+        }
+        uint64_t ra = 0;
+        machine::Fault fault;
+        if (!data_access(regs[machine::Gpr::kRsp], machine::AccessType::kRead, &ra, &fault,
+                         u.block, u.index)) {
+          return fault_out(fault);
+        }
+        regs[machine::Gpr::kRsp] += 8;
+        int f = 0, b = 0, i = 0;
+        if (!DecodeRa(ra, &f, &b, &i) || f >= static_cast<int>(functions.size())) {
+          return fault_out({machine::FaultType::kGeneralProtection, ra,
+                            machine::AccessType::kExecute});
+        }
+        const auto& rf = functions[static_cast<size_t>(f)];
+        if (b >= static_cast<int>(rf.blocks.size()) ||
+            i >= static_cast<int>(rf.blocks[static_cast<size_t>(b)].instrs.size())) {
+          return fault_out({machine::FaultType::kGeneralProtection, ra,
+                            machine::AccessType::kExecute});
+        }
+        --call_depth;
+        func = f;
+        df = &dec.functions[static_cast<size_t>(f)];
+        const DecodedFunction::InstrSlot slot = df->Slot(b, i);
+        ui = slot.uop;
+        skip = slot.skip;  // forged-but-valid RAs may land mid-fused-run
+        advance = false;
+        break;
+      }
+      case ir::Opcode::kHalt:
+        result.cycles += u.cost;
+        result.halted = true;
+        return result;
+      case ir::Opcode::kSyscall: {
+        ++result.syscalls;
+        if (process_->dune_enabled()) {
+          result.cycles += cost.vmcall;
+          auto r = process_->dune()->vmx().VmCall(dune::kHcSyscall, u.imm,
+                                                  regs[machine::Gpr::kRdi],
+                                                  regs[machine::Gpr::kRsi]);
+          if (!r.ok()) {
+            return fault_out(r.fault());
+          }
+          regs[machine::Gpr::kRax] = r.value();
+        } else {
+          result.cycles += cost.syscall;
+          regs[machine::Gpr::kRax] = process_->DispatchSyscall(
+              u.imm, regs[machine::Gpr::kRdi], regs[machine::Gpr::kRsi]);
+        }
+        break;
+      }
+      case ir::Opcode::kMprotect: {
+        ++result.domain_switches;
+        result.cycles += u.cost;
+        const bool open = u.imm != 0;
+        for (auto& region : process_->safe_regions()) {
+          machine::PageFlags flags = machine::PageFlags::Data();
+          flags.user = open;
+          flags.pkey = region.pkey;
+          const uint64_t pages = PageAlignUp(region.size) >> kPageShift;
+          for (uint64_t p = 0; p < pages; ++p) {
+            (void)process_->page_table().Protect(region.base + p * kPageSize, flags);
+            process_->mmu().InvalidatePage(region.base + p * kPageSize);
+          }
+          region.mprotected = !open;
+        }
+        break;
+      }
+      case ir::Opcode::kBndcu: {
+        result.cycles += u.cost;
+        if (u.has_extra) {
+          result.cycles += u.extra;
+        }
+        auto& bnd = regs.bnd[u.imm];
+        if (bnd.upper == ~uint64_t{0} && process_->bnd_reload(static_cast<int>(u.imm))) {
+          bnd = *process_->bnd_reload(static_cast<int>(u.imm));
+          result.cycles += cost.bnd_table_load;
+        }
+        auto fault = mpx::CheckUpper(bnd, regs[static_cast<machine::Gpr>(u.src)]);
+        if (fault.has_value()) {
+          return fault_out(*fault);
+        }
+        break;
+      }
+      case ir::Opcode::kBndcl: {
+        result.cycles += u.cost;
+        if (u.has_extra) {
+          result.cycles += u.extra;
+        }
+        auto& bnd = regs.bnd[u.imm];
+        if (bnd.upper == ~uint64_t{0} && process_->bnd_reload(static_cast<int>(u.imm))) {
+          bnd = *process_->bnd_reload(static_cast<int>(u.imm));
+          result.cycles += cost.bnd_table_load;
+        }
+        auto fault = mpx::CheckLower(bnd, regs[static_cast<machine::Gpr>(u.src)]);
+        if (fault.has_value()) {
+          return fault_out(*fault);
+        }
+        break;
+      }
+      case ir::Opcode::kWrpkru: {
+        ++result.domain_switches;
+        result.cycles += u.cost;
+        if (u.has_extra) {
+          result.cycles += u.extra;
+        }
+        mpk::WritePkru(regs, static_cast<uint32_t>(u.imm));
+        break;
+      }
+      case ir::Opcode::kRdpkru:
+        result.cycles += u.cost;
+        regs[static_cast<machine::Gpr>(u.dst)] = mpk::ReadPkru(regs);
+        break;
+      case ir::Opcode::kVmFunc: {
+        ++result.domain_switches;
+        result.cycles += u.cost;
+        if (!process_->dune_enabled()) {
+          return fault_out({machine::FaultType::kGeneralProtection, u.imm,
+                            machine::AccessType::kExecute});
+        }
+        auto r = process_->dune()->vmx().VmFunc(0, u.imm);
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        break;
+      }
+      case ir::Opcode::kVmCall: {
+        result.cycles += u.cost;
+        if (!process_->dune_enabled()) {
+          return fault_out({machine::FaultType::kGeneralProtection, u.imm,
+                            machine::AccessType::kExecute});
+        }
+        auto r = process_->dune()->vmx().VmCall(u.imm, regs[machine::Gpr::kRdi],
+                                                regs[machine::Gpr::kRsi], 0);
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        regs[machine::Gpr::kRax] = r.value();
+        break;
+      }
+      case ir::Opcode::kMFence:
+        result.cycles += u.cost;
+        break;
+      case ir::Opcode::kAesCryptRegion: {
+        ++result.domain_switches;
+        SafeRegion* region = process_->FindSafeRegion(regs[static_cast<machine::Gpr>(u.src)]);
+        if (region == nullptr || !region->crypt) {
+          return fault_out({machine::FaultType::kGeneralProtection,
+                            regs[static_cast<machine::Gpr>(u.src)],
+                            machine::AccessType::kRead});
+        }
+        const uint64_t size = u.imm == 0 ? region->size : u.imm;
+        const uint64_t blocks = (size + aes::kBlockSize - 1) / aes::kBlockSize;
+        result.cycles += cost.ymm_to_xmm_all_keys +
+                         static_cast<double>(blocks) * (cost.aes_encdec_block / 2.0) +
+                         static_cast<double>(u.target) * cost.xmm_spill;
+        std::vector<uint8_t> bytes(size);
+        if (!process_->PeekBytes(region->base, bytes.data(), size).ok()) {
+          return fault_out({machine::FaultType::kPageNotPresent, region->base,
+                            machine::AccessType::kRead});
+        }
+        aes::CryptRegion(bytes, region->enc_keys, region->nonce);
+        (void)process_->PokeBytes(region->base, bytes.data(), size);
+        region->encrypted_now = !region->encrypted_now;
+        break;
+      }
+      case ir::Opcode::kEnclaveEnter: {
+        ++result.domain_switches;
+        result.cycles += u.cost;
+        if (process_->enclave() == nullptr) {
+          return fault_out({machine::FaultType::kEnclaveExit, 0, machine::AccessType::kExecute});
+        }
+        auto r = process_->enclave()->Enter(static_cast<uint32_t>(u.imm));
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        break;
+      }
+      case ir::Opcode::kEnclaveExit: {
+        result.cycles += u.cost;
+        if (process_->enclave() == nullptr) {
+          return fault_out({machine::FaultType::kEnclaveExit, 0, machine::AccessType::kExecute});
+        }
+        auto r = process_->enclave()->Exit();
+        if (!r.ok()) {
+          return fault_out(r.fault());
+        }
+        break;
+      }
+      case ir::Opcode::kTrap:
+        result.trapped = true;
+        return result;
+      case ir::Opcode::kTrapIf:
+        result.cycles += u.cost;
+        if (!regs.zero_flag) {
+          result.trapped = true;
+          return result;
+        }
+        break;
+      default:
+        // Fusible opcodes never decode to singleton µops.
+        assert(false && "fusible opcode dispatched as singleton µop");
+        std::abort();
+    }
+
+    if (u.instrumentation) {
+      ++result.instrumentation_instrs;
+      result.instrumentation_cycles += result.cycles - cycles_before;
+    }
+    if (advance) {
+      ++ui;
     }
   }
 

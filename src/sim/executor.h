@@ -8,6 +8,7 @@
 #define MEMSENTRY_SRC_SIM_EXECUTOR_H_
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "src/base/types.h"
 #include "src/ir/module.h"
 #include "src/machine/fault.h"
+#include "src/sim/decoded.h"
 #include "src/sim/process.h"
 
 namespace memsentry::sim {
@@ -72,12 +74,28 @@ class Executor {
   Executor(Process* process, const ir::Module* module)
       : process_(process), module_(module), cost_(&process->machine().cost) {}
 
+  // Interprets the module until halt/trap/fault/instruction limit. Under
+  // base::FastPathMode::kOn (the default) this runs the pre-decoded µop
+  // stream — bit-identical to the reference interpreter by construction;
+  // kOff runs the reference loop; kCheck runs the µop stream with every
+  // dispatched µop re-derived from its source instruction (aborting on any
+  // divergence).
   RunResult Run(const RunConfig& config = {});
 
+  // Hands this executor a pre-built decoded form, so harnesses constructing
+  // a fresh Executor per run don't re-decode each time. Validated against
+  // the live (module, cost model, ymm) state before use; rebuilt if stale.
+  void SetDecoded(std::shared_ptr<const DecodedModule> decoded) { decoded_ = std::move(decoded); }
+  const std::shared_ptr<const DecodedModule>& decoded() const { return decoded_; }
+
  private:
+  RunResult RunReference(const RunConfig& config);
+  RunResult RunDecoded(const RunConfig& config, bool check);
+
   Process* process_;
   const ir::Module* module_;
   const machine::CostModel* cost_;
+  std::shared_ptr<const DecodedModule> decoded_;
 };
 
 }  // namespace memsentry::sim

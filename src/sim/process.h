@@ -114,6 +114,7 @@ class Process {
 
   // --- Accessors ---
   Machine& machine() { return *machine_; }
+  const Machine& machine() const { return *machine_; }
   machine::Mmu& mmu() { return mmu_; }
   machine::PageTable& page_table() { return page_table_; }
   machine::RegisterFile& regs() { return regs_; }

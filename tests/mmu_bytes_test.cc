@@ -1,0 +1,174 @@
+// Pins the Mmu::ReadBytes/WriteBytes page-splitting invariant: a multi-page
+// copy performs exactly one Access() — one translation, one pricing — per
+// page touched, regardless of the total size. The cycle counts are compared
+// bit-for-bit against a per-page Access() oracle run on a second, freshly
+// built identical MMU, for crypt-sized transfers up to several pages, with
+// the translation fast path on and off.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/fastpath.h"
+#include "src/machine/cost_model.h"
+#include "src/machine/mmu.h"
+#include "src/machine/page_table.h"
+#include "src/machine/phys_mem.h"
+
+namespace memsentry::machine {
+namespace {
+
+class FastPathModeGuard {
+ public:
+  explicit FastPathModeGuard(base::FastPathMode mode) : saved_(base::GetFastPathMode()) {
+    base::SetFastPathMode(mode);
+  }
+  ~FastPathModeGuard() { base::SetFastPathMode(saved_); }
+
+ private:
+  base::FastPathMode saved_;
+};
+
+constexpr VirtAddr kBase = 0x40000;
+constexpr uint64_t kMappedPages = 8;
+
+// A fresh MMU over its own physical memory with kMappedPages data pages at
+// kBase. Two Rigs are bit-identical by construction, so any cycle divergence
+// between them is caused by the access pattern, not the starting state.
+struct Rig {
+  PhysicalMemory pmem{1 << 16};
+  CostModel cost;
+  PageTable pt{&pmem};
+  Mmu mmu{&pmem, &cost};
+  Pkru pkru{};
+
+  Rig() {
+    mmu.SetPageTable(&pt);
+    for (uint64_t p = 0; p < kMappedPages; ++p) {
+      EXPECT_TRUE(pt.MapNew(kBase + p * kPageSize, PageFlags::Data()).ok());
+    }
+  }
+};
+
+// The oracle: the page-split loop ReadBytes/WriteBytes promise to make,
+// spelled out as individual Access() calls.
+Cycles OracleCycles(Rig& rig, VirtAddr va, uint64_t size, AccessType access,
+                    uint64_t* accesses) {
+  Cycles cycles = 0;
+  *accesses = 0;
+  while (size > 0) {
+    const uint64_t chunk = std::min<uint64_t>(size, kPageSize - PageOffset(va));
+    auto r = rig.mmu.Access(va, access, rig.pkru);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      cycles += r.value().cycles;
+    }
+    ++*accesses;
+    va += chunk;
+    size -= chunk;
+  }
+  return cycles;
+}
+
+// Crypt-region-shaped transfer sizes (the AES technique copies the whole
+// safe region through these helpers on every domain switch), plus multi-page
+// sizes and page-straddling offsets.
+struct Copy {
+  uint64_t offset;
+  uint64_t size;
+  uint64_t pages_touched;
+};
+
+const Copy kCopies[] = {
+    {0, 16, 1},          {8, 64, 1},           {0, 1024, 1},
+    {4000, 256, 2},      {0, 4096, 1},         {100, 4096, 2},
+    {0, 3 * 4096, 3},    {4090, 4 * 4096, 5},  {0, 8 * 4096, 8},
+};
+
+void ExpectBytesMatchOracle(AccessType access) {
+  for (const Copy& copy : kCopies) {
+    SCOPED_TRACE("offset=" + std::to_string(copy.offset) +
+                 " size=" + std::to_string(copy.size));
+    Rig bytes_rig;
+    Rig oracle_rig;
+    const VirtAddr va = kBase + copy.offset;
+    std::vector<uint8_t> buf(copy.size, 0xa5);
+    Cycles bytes_cycles = 0;
+    if (access == AccessType::kRead) {
+      ASSERT_TRUE(bytes_rig.mmu.ReadBytes(va, buf.data(), buf.size(), bytes_rig.pkru,
+                                          &bytes_cycles)
+                      .ok());
+    } else {
+      ASSERT_TRUE(bytes_rig.mmu.WriteBytes(va, buf.data(), buf.size(), bytes_rig.pkru,
+                                           &bytes_cycles)
+                      .ok());
+    }
+    uint64_t oracle_accesses = 0;
+    const Cycles oracle_cycles =
+        OracleCycles(oracle_rig, va, copy.size, access, &oracle_accesses);
+    // Bitwise: the helper must run the oracle's exact Access() sequence.
+    EXPECT_EQ(bytes_cycles, oracle_cycles);
+    EXPECT_EQ(oracle_accesses, copy.pages_touched);
+    EXPECT_EQ(bytes_rig.mmu.stats().accesses, copy.pages_touched);
+    EXPECT_EQ(bytes_rig.mmu.stats().accesses, oracle_rig.mmu.stats().accesses);
+    EXPECT_EQ(bytes_rig.mmu.tlb().stats().hits, oracle_rig.mmu.tlb().stats().hits);
+    EXPECT_EQ(bytes_rig.mmu.tlb().stats().misses, oracle_rig.mmu.tlb().stats().misses);
+  }
+}
+
+TEST(MmuBytes, ReadBytesIsOneAccessPerPage) { ExpectBytesMatchOracle(AccessType::kRead); }
+
+TEST(MmuBytes, WriteBytesIsOneAccessPerPage) { ExpectBytesMatchOracle(AccessType::kWrite); }
+
+TEST(MmuBytes, ReadBytesIsOneAccessPerPageWithFastPathOff) {
+  FastPathModeGuard guard(base::FastPathMode::kOff);
+  ExpectBytesMatchOracle(AccessType::kRead);
+}
+
+TEST(MmuBytes, FastPathModesPriceCopiesIdentically) {
+  // The same copy sequence on fresh identical MMUs with the grant cache off,
+  // on and checking must cost bit-identical cycles and identical stats.
+  auto run = [](base::FastPathMode mode) {
+    FastPathModeGuard guard(mode);
+    Rig rig;
+    Cycles cycles = 0;
+    std::vector<uint8_t> buf(6 * 4096, 0x5a);
+    // Two passes so the second round hits the TLB (and, when enabled, the
+    // grant cache) — the modeled price must not notice the difference.
+    for (int round = 0; round < 2; ++round) {
+      EXPECT_TRUE(
+          rig.mmu.WriteBytes(kBase + 123, buf.data(), buf.size(), rig.pkru, &cycles).ok());
+      EXPECT_TRUE(
+          rig.mmu.ReadBytes(kBase + 123, buf.data(), buf.size(), rig.pkru, &cycles).ok());
+    }
+    struct Out {
+      Cycles cycles;
+      uint64_t accesses;
+      uint64_t tlb_hits;
+      uint64_t tlb_misses;
+      uint64_t l1_hits;
+      uint64_t dram;
+    };
+    return Out{cycles,
+               rig.mmu.stats().accesses,
+               rig.mmu.tlb().stats().hits,
+               rig.mmu.tlb().stats().misses,
+               rig.mmu.dcache().stats().l1_hits,
+               rig.mmu.dcache().stats().dram_accesses};
+  };
+  const auto off = run(base::FastPathMode::kOff);
+  const auto on = run(base::FastPathMode::kOn);
+  const auto check = run(base::FastPathMode::kCheck);
+  EXPECT_EQ(off.cycles, on.cycles);
+  EXPECT_EQ(off.cycles, check.cycles);
+  EXPECT_EQ(off.accesses, on.accesses);
+  EXPECT_EQ(off.tlb_hits, on.tlb_hits);
+  EXPECT_EQ(off.tlb_misses, on.tlb_misses);
+  EXPECT_EQ(off.l1_hits, on.l1_hits);
+  EXPECT_EQ(off.dram, on.dram);
+  EXPECT_EQ(off.accesses, check.accesses);
+  EXPECT_EQ(off.tlb_hits, check.tlb_hits);
+}
+
+}  // namespace
+}  // namespace memsentry::machine

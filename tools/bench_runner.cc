@@ -35,6 +35,14 @@
 //                                     require every fidelity/perf metric to be
 //                                     byte-identical to OTHER (info metrics
 //                                     such as wall-clock are exempt)
+//   bench_runner --fastpath=MODE      run every binary with the simulator
+//                                     fast paths forced on|off|check (exported
+//                                     as MEMSENTRY_FASTPATH to the children).
+//                                     Modeled results are bit-identical across
+//                                     modes; "check" additionally validates
+//                                     the fast paths in lockstep and aborts on
+//                                     divergence. Default: the environment's
+//                                     setting (effectively "on").
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -53,6 +61,7 @@
 #include <unistd.h>
 #endif
 
+#include "src/base/fastpath.h"
 #include "src/base/json.h"
 #include "src/base/thread_pool.h"
 #include "src/eval/regression_gate.h"
@@ -111,6 +120,7 @@ struct Options {
   std::string compare_existing;
   std::string write_baseline;
   std::string check_determinism;
+  std::string fastpath;  // empty = inherit the environment
   std::vector<std::string> only;
   std::vector<std::string> skip;
 };
@@ -278,7 +288,8 @@ int Usage() {
                "                    [--bench-dir=DIR] [--baseline=PATH] [--no-gate]\n"
                "                    [--compare=RESULTS] [--write-baseline=PATH]\n"
                "                    [--instructions=N] [--jobs=N] [--timeout=SECONDS]\n"
-               "                    [--verbose] [--check-determinism=OTHER.json]\n");
+               "                    [--verbose] [--check-determinism=OTHER.json]\n"
+               "                    [--fastpath=on|off|check]\n");
   return 2;
 }
 
@@ -322,6 +333,8 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.timeout_seconds = std::strtod(v, nullptr);
     } else if (const char* v = value("--check-determinism")) {
       opts.check_determinism = v;
+    } else if (const char* v = value("--fastpath")) {
+      opts.fastpath = v;
     } else {
       std::fprintf(stderr, "bench_runner: unknown argument %s\n", arg.c_str());
       return false;
@@ -427,6 +440,20 @@ int Run(int argc, char** argv) {
   if (!ParseArgs(argc, argv, opts)) {
     return Usage();
   }
+  if (!opts.fastpath.empty()) {
+    base::FastPathMode mode;
+    if (!base::ParseFastPathMode(opts.fastpath.c_str(), &mode)) {
+      std::fprintf(stderr, "bench_runner: bad --fastpath value '%s' (want on|off|check)\n",
+                   opts.fastpath.c_str());
+      return 2;
+    }
+#ifndef _WIN32
+    // Exported (not just set in-process): the bench binaries are child
+    // processes and pick the mode up from their own environment.
+    ::setenv("MEMSENTRY_FASTPATH", base::FastPathModeName(mode), /*overwrite=*/1);
+#endif
+    base::SetFastPathMode(mode);
+  }
   const uint64_t instructions =
       opts.instructions != 0 ? opts.instructions
                              : (opts.quick ? kQuickInstructions : kFullInstructions);
@@ -482,6 +509,7 @@ int Run(int argc, char** argv) {
     merged.Set("suite", "memsentry-bench");
     merged.Set("mode", opts.quick ? "quick" : "full");
     merged.Set("instructions", instructions);
+    merged.Set("fastpath", opts.fastpath.empty() ? "default" : opts.fastpath);
     json::Value binaries = json::Value::Object();
     json::Value metrics = json::Value::Object();
 
