@@ -11,9 +11,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "src/base/crash_handler.h"
+#include "src/base/fastpath.h"
 #include "src/base/json.h"
 #include "src/eval/figures.h"
 #include "src/eval/regression_gate.h"
@@ -81,6 +84,7 @@ class Reporter {
  public:
   Reporter(std::string binary, int argc, char** argv)
       : binary_(std::move(binary)), start_(std::chrono::steady_clock::now()) {
+    std::string bundle_root = "crash_bundles";
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -89,8 +93,36 @@ class Reporter {
         instructions_ = std::strtoull(arg + 15, nullptr, 10);
       } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
         jobs_ = static_cast<int>(std::strtol(arg + 7, nullptr, 10));
+      } else if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
+        checkpoint_dir_ = arg + 17;
+      } else if (std::strncmp(arg, "--checkpoint-interval=", 22) == 0) {
+        checkpoint_interval_ = std::strtoull(arg + 22, nullptr, 10);
+      } else if (std::strncmp(arg, "--bundle-root=", 14) == 0) {
+        bundle_root = arg + 14;
       }
     }
+    if (!checkpoint_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(checkpoint_dir_, ec);
+    }
+    // Any crash from here on produces a replayable bundle tagged with this
+    // binary's run configuration.
+    base::InstallCrashHandler(bundle_root);
+    base::CrashContext context;
+    context.binary = binary_;
+    context.seed = Options().seed;
+    context.config_json = ConfigJson();
+    base::SetCrashContext(context);
+  }
+
+  // The run configuration as a JSON object, recorded in crash-bundle
+  // manifests so a replay can reconstruct the exact cell.
+  std::string ConfigJson() const {
+    json::Value config = json::Value::Object();
+    config.Set("instructions", TargetInstructions());
+    config.Set("jobs", jobs_);
+    config.Set("fastpath", base::FastPathModeName(base::GetFastPathMode()));
+    return config.Dump(0);
   }
 
   // DefaultOptions() with any --instructions= / --jobs= override applied.
@@ -103,6 +135,8 @@ class Reporter {
       options.target_instructions = instructions_;
     }
     options.jobs = jobs_;
+    options.checkpoint_dir = checkpoint_dir_;
+    options.checkpoint_interval = checkpoint_interval_;
     return options;
   }
 
@@ -183,7 +217,9 @@ class Reporter {
     doc.Set("instructions", TargetInstructions());
     doc.Set("wall_seconds", wall);
     doc.Set("metrics", std::move(metrics_));
-    if (Status s = json::WriteFile(json_path_, doc); !s.ok()) {
+    // Atomic write: a crash mid-report leaves no torn JSON for the runner's
+    // salvage pass to misread.
+    if (Status s = json::WriteFileAtomic(json_path_, doc); !s.ok()) {
       std::fprintf(stderr, "%s: %s\n", binary_.c_str(), s.ToString().c_str());
       return 1;
     }
@@ -193,6 +229,8 @@ class Reporter {
  private:
   std::string binary_;
   std::string json_path_;
+  std::string checkpoint_dir_;
+  uint64_t checkpoint_interval_ = 0;
   uint64_t instructions_ = 0;
   double sim_instructions_ = 0;
   int jobs_ = 0;  // 0 = hardware_concurrency (see eval::ExperimentOptions)

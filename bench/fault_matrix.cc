@@ -5,12 +5,44 @@
 // tolerance fidelity metrics, so a silent-corruption escape anywhere in the
 // matrix fails the regression gate. Campaigns are seeded and replay
 // bit-for-bit: --seed=N picks the campaign seed (reported as info).
+//
+// Crash bundles: each cell runs with the crash handler's context staged, so
+// a crash mid-cell — or --force-crash=<Technique>/<site>, the deterministic
+// crash-injection hook — produces a bundle `memsentry_cli replay` can
+// re-execute. An ESCAPED cell writes a bundle programmatically too, with the
+// expected outcome recorded, so escapes are replayable even though the
+// process survives them.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/base/crash_handler.h"
 #include "src/eval/fault_campaign.h"
+
+namespace {
+
+// The machine-readable replay spec memsentry_cli consumes. `expected` is
+// empty for crashes (replay reproduces the abort) and the containment name
+// for escape bundles (replay compares outcomes).
+std::string ReplaySpec(const memsentry::eval::FaultCampaignOptions& options,
+                       const char* technique, const char* site, const char* expected) {
+  using memsentry::json::Value;
+  Value spec = Value::Object();
+  spec.Set("kind", "fault_cell");
+  spec.Set("technique", technique);
+  spec.Set("site", site);
+  spec.Set("seed", options.seed);
+  if (!options.force_crash.empty()) {
+    spec.Set("force_crash", options.force_crash);
+  }
+  if (expected[0] != '\0') {
+    spec.Set("expected", expected);
+  }
+  return spec.Dump(0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace memsentry;
@@ -20,6 +52,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       options.seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    } else if (std::strncmp(argv[i], "--force-crash=", 14) == 0) {
+      options.force_crash = argv[i] + 14;
     }
   }
 
@@ -28,7 +62,53 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-26s %-9s %7s %11s %10s  %s\n", "technique", "fault site", "outcome",
               "repairs", "quarantines", "downgrades", "detail");
 
-  const eval::FaultCampaignResult campaign = eval::RunFaultCampaign(options);
+  // Per-cell loop (rather than RunFaultCampaign) so the crash handler's
+  // context names the cell in flight: a crash anywhere inside RunFaultCell
+  // produces a bundle that replays exactly that cell.
+  eval::FaultCampaignResult campaign;
+  for (const auto& [kind, site] : eval::FaultMatrixCells()) {
+    const char* technique_name = core::TechniqueKindName(kind);
+    const char* site_name = sim::FaultSiteName(site);
+    const std::string label = std::string(technique_name) + "/" + site_name;
+
+    base::CrashContext context;
+    context.binary = "fault_matrix";
+    context.cell = label;
+    context.seed = options.seed;
+    context.config_json = reporter.ConfigJson();
+    context.replay_json = ReplaySpec(options, technique_name, site_name, "");
+    base::SetCrashContext(context);
+
+    eval::FaultCellResult cell = eval::RunFaultCell(kind, site, options);
+
+    if (cell.outcome == eval::Containment::kEscaped) {
+      // The process survives an escape, so trap-style bundles never fire;
+      // write one programmatically with the outcome pinned for replay.
+      context.replay_json = ReplaySpec(options, technique_name, site_name, "ESCAPED");
+      base::SetCrashContext(context);
+      const std::string bundle = base::WriteCrashBundle("fault-matrix-escape");
+      if (!bundle.empty()) {
+        std::fprintf(stderr, "fault_matrix: escape bundle at %s\n", bundle.c_str());
+      }
+    }
+    base::ClearCrashCell();
+
+    switch (cell.outcome) {
+      case eval::Containment::kDetected:
+        ++campaign.detected;
+        break;
+      case eval::Containment::kDegraded:
+        ++campaign.degraded;
+        break;
+      case eval::Containment::kEscaped:
+        ++campaign.escaped;
+        break;
+    }
+    campaign.repairs += cell.repairs;
+    campaign.downgrades += cell.downgrades;
+    campaign.cells.push_back(std::move(cell));
+  }
+
   for (const auto& cell : campaign.cells) {
     std::printf("%-10s %-26s %-9s %7d %11d %10d  %s\n",
                 core::TechniqueKindName(cell.technique), sim::FaultSiteName(cell.site),

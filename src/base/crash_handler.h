@@ -1,0 +1,65 @@
+// Crash bundles: when a bench/campaign process dies — SIGSEGV/SIGABRT/SIGBUS,
+// an uncaught exception, or a programmatic trigger (fastpath check-mode
+// divergence, fault-matrix escape) — a handler writes a replayable bundle
+//
+//   crash_bundles/<timestamp>-<binary>-<cell>/
+//     manifest.json    binary, cell, seed, config, replay spec, reason
+//     snapshot.bin     last simulation snapshot, when one was staged
+//     backtrace.txt    async-signal-safe raw backtrace (glibc builds)
+//     journal_tail.txt tail of the suite journal (MEMSENTRY_JOURNAL)
+//
+// and `memsentry_cli replay <bundle>` re-executes the failing cell
+// deterministically from the manifest's replay spec.
+//
+// Everything the signal handler touches is pre-rendered at SetCrashContext
+// time into static buffers; the handler itself only calls async-signal-safe
+// primitives (mkdir/open/write/time, backtrace_symbols_fd).
+#ifndef MEMSENTRY_SRC_BASE_CRASH_HANDLER_H_
+#define MEMSENTRY_SRC_BASE_CRASH_HANDLER_H_
+
+#include <string>
+#include <string_view>
+
+namespace memsentry::base {
+
+// What the manifest records about the cell in flight. `config_json` and
+// `replay_json` must be complete JSON values (objects); `replay_json` is the
+// machine-readable spec `memsentry_cli replay` consumes.
+struct CrashContext {
+  std::string binary;       // e.g. "fault_matrix"
+  std::string cell;         // e.g. "Mpk/pkru-desync"
+  uint64_t seed = 0;
+  std::string config_json;  // run configuration (mode, instructions, fastpath...)
+  std::string replay_json;  // replay spec, e.g. {"kind":"fault_cell",...}
+};
+
+// Installs the signal/terminate handlers (idempotent; first root wins).
+// Bundles land under `bundle_root` (created on demand).
+void InstallCrashHandler(const std::string& bundle_root);
+
+// Stages the manifest for the cell about to run. Pre-renders everything the
+// handler will write, so a crash any time after this call produces a
+// complete bundle for this cell.
+void SetCrashContext(const CrashContext& context);
+
+// Marks cell completion: a crash between cells produces a bundle with
+// cell="idle" and no replay spec.
+void ClearCrashCell();
+
+// Stages the most recent simulation snapshot blob; written into the bundle
+// verbatim as snapshot.bin. Pass an empty string to drop the staged blob.
+void SetCrashSnapshot(std::string blob);
+
+// Programmatic trigger for failures that are detected rather than trapped
+// (containment escapes, determinism divergence): writes a bundle now and
+// returns its directory path ("" if the handler was never installed or the
+// bundle could not be created). Does not terminate the process.
+std::string WriteCrashBundle(const char* reason);
+
+// The staged journal path, taken from $MEMSENTRY_JOURNAL at install time
+// (exposed for tests).
+std::string_view CrashJournalPath();
+
+}  // namespace memsentry::base
+
+#endif  // MEMSENTRY_SRC_BASE_CRASH_HANDLER_H_

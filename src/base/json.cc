@@ -483,4 +483,29 @@ Status WriteFile(const std::string& path, const Value& value, int indent) {
   return OkStatus();
 }
 
+Status WriteTextFileAtomic(const std::string& path, std::string_view text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return PermissionDenied("json: cannot write " + tmp);
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return InternalError("json: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("json: cannot rename " + tmp + " into place");
+  }
+  return OkStatus();
+}
+
+Status WriteFileAtomic(const std::string& path, const Value& value, int indent) {
+  return WriteTextFileAtomic(path, value.Dump(indent) + "\n");
+}
+
 }  // namespace memsentry::json

@@ -110,6 +110,12 @@ StatusOr<Value> Parse(std::string_view text);
 StatusOr<Value> ParseFile(const std::string& path);
 Status WriteFile(const std::string& path, const Value& value, int indent = 2);
 
+// Crash-safe variants: write to `<path>.tmp`, then rename into place, so a
+// crash mid-write leaves either the old file or the new one at `path` —
+// never a torn half of the new one. Readers must never pick up `.tmp` files.
+Status WriteFileAtomic(const std::string& path, const Value& value, int indent = 2);
+Status WriteTextFileAtomic(const std::string& path, std::string_view text);
+
 }  // namespace memsentry::json
 
 #endif  // MEMSENTRY_SRC_BASE_JSON_H_

@@ -54,6 +54,12 @@ struct FaultCampaignOptions {
   // probe. This reproduces exactly the desync escapes the audit exists to
   // stop, and lets the tests prove that an escape fails the regression gate.
   bool skip_containment_audit = false;
+  // Crash-bundle hook: when set to "<TechniqueKindName>/<FaultSiteName>",
+  // the matching cell stages a full simulation snapshot with the crash
+  // handler and aborts right after injection. Deterministic by construction
+  // (same seed, same cell, same abort point), so `memsentry_cli replay` on
+  // the resulting bundle reproduces the identical failure.
+  std::string force_crash;
 };
 
 struct FaultCampaignResult {

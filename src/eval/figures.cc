@@ -1,5 +1,7 @@
 #include "src/eval/figures.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "src/base/stats_util.h"
@@ -8,6 +10,7 @@
 #include "src/defenses/event_annotator.h"
 #include "src/defenses/shadow_stack.h"
 #include "src/sim/executor.h"
+#include "src/sim/snapshot.h"
 #include "src/workloads/synth.h"
 
 namespace memsentry::eval {
@@ -24,10 +27,65 @@ struct Run {
   uint64_t instructions = 0;
 };
 
-Run Execute(sim::Process& process, const ir::Module& module) {
-  sim::Executor executor(&process, &module);
-  auto result = executor.Run();
+// Filesystem-safe checkpoint filename for a cell label.
+std::string CheckpointPath(const std::string& dir, const std::string& label) {
+  std::string name;
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    name += ok ? c : '-';
+  }
+  return dir + "/" + name + ".snap";
+}
+
+Run Finish(const sim::RunResult& result) {
   return Run{result.halted && !result.fault.has_value(), result.cycles, result.instructions};
+}
+
+// One cell execution. With checkpointing enabled the run proceeds in
+// interval-sized slices, persisting a full simulation snapshot after each
+// slice and resuming from the newest one on re-entry. Resume is TOTAL-budget
+// based (Executor::Resume), so the final RunResult is bit-identical to an
+// uninterrupted executor.Run() — same cycle accumulation order, same stats.
+Run Execute(sim::Process& process, const ir::Module& module,
+            const ExperimentOptions& options, const std::string& label) {
+  sim::Executor executor(&process, &module);
+  sim::RunConfig rc;
+  if (options.checkpoint_interval == 0 || options.checkpoint_dir.empty()) {
+    return Finish(executor.Run(rc));
+  }
+  const uint64_t total_budget = rc.max_instructions;
+  const std::string path = CheckpointPath(options.checkpoint_dir, label);
+  sim::RunResult partial;
+  bool resuming = false;
+  if (auto blob = sim::ReadSnapshotFile(path); blob.ok()) {
+    sim::RunResult loaded;
+    sim::SnapshotInfo info;
+    const Status restored =
+        sim::LoadSnapshot(blob.value(), &process, &loaded, nullptr, nullptr, &info);
+    // A snapshot for a different cell or a corrupt blob is ignored (the
+    // checksum in the header rejects torn files before any state mutates);
+    // the cell simply restarts from its deterministic beginning.
+    if (restored.ok() && info.label == label && loaded.hit_instruction_limit &&
+        loaded.cursor.valid) {
+      partial = std::move(loaded);
+      resuming = true;
+    }
+  }
+  for (;;) {
+    const uint64_t done = resuming ? partial.instructions : 0;
+    rc.max_instructions = std::min(total_budget, done + options.checkpoint_interval);
+    const sim::RunResult result =
+        resuming ? executor.Resume(rc, partial) : executor.Run(rc);
+    if (!result.hit_instruction_limit || rc.max_instructions >= total_budget) {
+      std::remove(path.c_str());
+      return Finish(result);
+    }
+    (void)sim::WriteSnapshotFile(
+        path, sim::SaveSnapshot(process, &result, nullptr, nullptr, label));
+    partial = result;
+    resuming = true;
+  }
 }
 
 // Baseline: the synthesized program plus (for domain scenarios) the defense
@@ -106,9 +164,11 @@ const char* DomainScenarioName(DomainScenario scenario) {
 ExperimentResult RunAddressBasedExperimentFull(const SpecProfile& profile,
                                                core::TechniqueKind kind, core::ProtectMode mode,
                                                const ExperimentOptions& options) {
+  const std::string label = std::string(profile.name) + "/" + core::TechniqueKindName(kind) +
+                            "/mode" + std::to_string(static_cast<int>(mode));
   // Baseline: plain program on a fresh machine.
   Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
-  const Run base = Execute(*baseline.process, baseline.module);
+  const Run base = Execute(*baseline.process, baseline.module, options, label + "/base");
   if (!base.ok) {
     return {};
   }
@@ -119,7 +179,8 @@ ExperimentResult RunAddressBasedExperimentFull(const SpecProfile& profile,
   if (!protected_run.Protect().ok()) {
     return {};
   }
-  const Run isolated = Execute(*protected_run.process, protected_run.module);
+  const Run isolated =
+      Execute(*protected_run.process, protected_run.module, options, label + "/prot");
   if (!isolated.ok) {
     return {};
   }
@@ -136,12 +197,14 @@ double RunAddressBasedExperiment(const SpecProfile& profile, core::TechniqueKind
 ExperimentResult RunDomainBasedExperimentFull(const SpecProfile& profile,
                                               core::TechniqueKind kind, DomainScenario scenario,
                                               const ExperimentOptions& options) {
+  const std::string label = std::string(profile.name) + "/" + core::TechniqueKindName(kind) +
+                            "/" + DomainScenarioName(scenario);
   // Baseline: program + defense pass, no isolation.
   Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
   if (!ApplyDefense(baseline, scenario).ok()) {
     return {};
   }
-  const Run base = Execute(*baseline.process, baseline.module);
+  const Run base = Execute(*baseline.process, baseline.module, options, label + "/base");
   if (!base.ok) {
     return {};
   }
@@ -153,7 +216,8 @@ ExperimentResult RunDomainBasedExperimentFull(const SpecProfile& profile,
   if (!protected_run.Protect().ok()) {
     return {};
   }
-  const Run isolated = Execute(*protected_run.process, protected_run.module);
+  const Run isolated =
+      Execute(*protected_run.process, protected_run.module, options, label + "/prot");
   if (!isolated.ok) {
     return {};
   }
@@ -270,13 +334,16 @@ std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
   const std::vector<CryptSizePoint> raw =
       ParallelMap(options.jobs, sizes.size(), [&](size_t i) -> CryptSizePoint {
         const uint64_t size = sizes[i];
+        const std::string label =
+            std::string(profile.name) + "/crypt-size-" + std::to_string(size);
         // Baseline: defense only; the region size is irrelevant without crypt.
         Pipeline base_pipeline(profile, core::TechniqueKind::kCrypt, options, false);
         base_pipeline.process->safe_regions()[0].size = size;
         if (!ApplyDefense(base_pipeline, DomainScenario::kCallRet).ok()) {
           return {};
         }
-        const Run base = Execute(*base_pipeline.process, base_pipeline.module);
+        const Run base =
+            Execute(*base_pipeline.process, base_pipeline.module, options, label + "/base");
         // Protected with the resized region.
         Pipeline prot(profile, core::TechniqueKind::kCrypt, options, true);
         auto& region = prot.process->safe_regions()[0];
@@ -294,7 +361,7 @@ std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
         if (!prot.Protect().ok()) {
           return {};
         }
-        const Run isolated = Execute(*prot.process, prot.module);
+        const Run isolated = Execute(*prot.process, prot.module, options, label + "/prot");
         if (!base.ok || !isolated.ok) {
           return {};
         }

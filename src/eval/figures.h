@@ -27,6 +27,15 @@ struct ExperimentOptions {
   // are bit-identical for every jobs value — enforced by
   // tests/parallel_determinism_test.cc.
   int jobs = 0;
+  // Crash-safe execution: when both are set, every cell execution runs in
+  // `checkpoint_interval`-instruction slices and persists a snapshot
+  // (sim/snapshot) after each slice under `checkpoint_dir`, resuming from the
+  // newest snapshot on the next run of the same cell. Resumed results are
+  // bit-identical to uninterrupted ones — run(N+M) == run(N); save; load;
+  // run(M) — so a killed suite re-run with the same options converges to the
+  // exact same report. 0 / empty (the default) disables checkpointing.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_interval = 0;
 };
 
 // One baseline-vs-protected execution pair. normalized is protected/baseline

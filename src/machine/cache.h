@@ -9,9 +9,13 @@
 #include <cstdlib>
 #include <memory>
 
+#include "src/base/status.h"
 #include "src/base/types.h"
 
 namespace memsentry::machine {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 enum class CacheLevel { kL1 = 0, kL2 = 1, kL3 = 2, kDram = 3 };
 
@@ -51,6 +55,10 @@ class CacheArray {
   }
 
   void Flush();
+
+  // Crash-safe snapshots: geometry-validated tag/LRU dump of valid lines.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
  private:
   // lru == 0 means invalid: tick_ starts at 0 and every touch stamps
@@ -108,6 +116,9 @@ class CacheHierarchy {
 
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
+
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
  private:
   CacheArray l1_;

@@ -21,6 +21,9 @@
 
 namespace memsentry::machine {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 // Second-level address translation (implemented by vmx::Ept). Guest-physical
 // frames produced by the guest page tables are translated again; pages absent
 // from the active EPT raise EPT violations.
@@ -187,6 +190,12 @@ class Mmu {
     tlb_.ResetStats();
     dcache_.ResetStats();
   }
+
+  // Crash-safe snapshots: vpid, stats, TLB and D-cache state. Grants hold
+  // Tlb::Entry pointers into the pre-restore TLB, so LoadState drops them
+  // all — the slow path re-derives each verdict bit-identically.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
  private:
   // One memoized Access() verdict: the cached leaf PTE (frame + permission

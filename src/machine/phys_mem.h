@@ -15,6 +15,9 @@
 
 namespace memsentry::machine {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class PhysicalMemory {
  public:
   // total_frames bounds the simulated DRAM size (frames are 4 KiB).
@@ -39,6 +42,13 @@ class PhysicalMemory {
   void Write8(PhysAddr addr, uint8_t value);
   void ReadBytes(PhysAddr addr, void* out, uint64_t size) const;
   void WriteBytes(PhysAddr addr, const void* in, uint64_t size);
+
+  // Crash-safe snapshots (src/machine/snapshot.h): frames sorted by number,
+  // preserving the allocated-but-unmaterialized distinction. LoadState
+  // replaces all content, validates the DRAM geometry and resets the frame
+  // lookup cache.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
  private:
   using Frame = std::array<uint8_t, kPageSize>;

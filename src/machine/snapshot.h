@@ -1,0 +1,146 @@
+// Versioned, deterministic binary serialization of machine state. Snapshots
+// power crash-safe campaigns: run(N+M) must be bit-identical to
+// run(N); save; load; run(M), so every value is written exactly (doubles as
+// raw bit patterns, counters verbatim, container contents in a canonical
+// order). The format is explicit little-endian with a magic/version header
+// and an FNV-1a payload checksum; the reader is bounds-checked and
+// status-latching so corrupt or truncated input yields a typed Status, never
+// a crash (fuzzed under ASan in tests/snapshot_test.cc).
+#ifndef MEMSENTRY_SRC_MACHINE_SNAPSHOT_H_
+#define MEMSENTRY_SRC_MACHINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace memsentry::machine {
+
+struct RegisterFile;
+
+inline constexpr uint32_t kSnapshotMagic = 0x4D534E50;  // "MSNP"
+inline constexpr uint32_t kSnapshotVersion = 1;
+// Header: magic, version, payload size, FNV-1a(payload). All little-endian.
+inline constexpr uint64_t kSnapshotHeaderBytes = 4 + 4 + 8 + 8;
+
+// FNV-1a over a byte range; doubles as the config-digest hash (cost model,
+// AES key schedules) so loads can detect a mismatched environment.
+uint64_t SnapshotDigest(const void* data, uint64_t size);
+
+// Append-only byte sink. Integers are written little-endian byte by byte, so
+// snapshots are portable across hosts; doubles are written as their raw IEEE
+// bit pattern, the representation the determinism contract is defined over.
+class SnapshotWriter {
+ public:
+  void PutU8(uint8_t v) { payload_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutLe(v, 2); }
+  void PutU32(uint32_t v) { PutLe(v, 4); }
+  void PutU64(uint64_t v) { PutLe(v, 8); }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutBytes(const void* data, uint64_t size) {
+    payload_.append(static_cast<const char*>(data), size);
+  }
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    PutBytes(s.data(), s.size());
+  }
+  // Section tags bound the blast radius of a bug: a reader that drifts out
+  // of sync fails at the next tag with a named error instead of silently
+  // misinterpreting downstream bytes.
+  void PutTag(uint32_t tag) { PutU32(tag); }
+
+  uint64_t size() const { return payload_.size(); }
+
+  // Prepends the header (magic, version, size, checksum) and returns the
+  // complete blob.
+  std::string Finalize() const;
+
+ private:
+  void PutLe(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      payload_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string payload_;
+};
+
+// Bounds-checked, status-latching reader. Every accessor returns a zero
+// value once the payload is exhausted (or a prior validation failed) and
+// latches the first error; callers check status() / Finish() once at the end
+// instead of guarding every read. Length prefixes must be validated with
+// FitCount() before sizing containers, which keeps the fuzz test OOM-safe.
+class SnapshotReader {
+ public:
+  // Validates the header (typed errors: bad magic -> kInvalidArgument,
+  // unsupported version -> kUnimplemented, truncation/size mismatch ->
+  // kOutOfRange, checksum mismatch -> kInvalidArgument) and returns a reader
+  // positioned at the start of the payload. The reader owns a copy of the
+  // payload, so the blob may be released immediately.
+  static StatusOr<SnapshotReader> Open(std::string_view blob);
+
+  uint8_t U8();
+  uint16_t U16() { return static_cast<uint16_t>(Le(2)); }
+  uint32_t U32() { return static_cast<uint32_t>(Le(4)); }
+  uint64_t U64() { return Le(8); }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  bool Bool() { return U8() != 0; }
+  double Double() {
+    const uint64_t bits = U64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void Bytes(void* out, uint64_t size);
+  std::string String();
+
+  // True when `count` elements of at least `min_bytes_each` fit in the
+  // remaining payload; latches kOutOfRange otherwise. Call before resizing
+  // any container from a length prefix.
+  bool FitCount(uint64_t count, uint64_t min_bytes_each);
+
+  // Reads a tag and latches kInvalidArgument naming `what` on mismatch.
+  bool ExpectTag(uint32_t tag, const char* what);
+
+  // Latches an arbitrary validation failure (keeps subsequent reads inert).
+  void Fail(Status status);
+
+  uint64_t remaining() const { return payload_.size() - pos_; }
+  const Status& status() const { return status_; }
+  // Final verdict: the latched status, or an error if payload bytes remain
+  // unconsumed (a format drift both ways should be loud).
+  Status Finish() const;
+
+ private:
+  explicit SnapshotReader(std::string payload) : payload_(std::move(payload)) {}
+
+  uint64_t Le(int bytes);
+  bool Take(uint64_t n, const char** p);
+
+  std::string payload_;
+  uint64_t pos_ = 0;
+  Status status_;
+};
+
+// --- Machine-state components -----------------------------------------------
+// Each stateful machine class implements SaveState/LoadState (declared on the
+// class); the free functions below cover the plain-aggregate register file.
+// LoadState never allocates from unvalidated lengths and reports failures as
+// typed Status values.
+
+void SaveRegisterFile(const RegisterFile& regs, SnapshotWriter& w);
+Status LoadRegisterFile(RegisterFile* regs, SnapshotReader& r);
+
+}  // namespace memsentry::machine
+
+#endif  // MEMSENTRY_SRC_MACHINE_SNAPSHOT_H_

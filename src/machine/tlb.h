@@ -9,9 +9,13 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/base/status.h"
 #include "src/base/types.h"
 
 namespace memsentry::machine {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 struct TlbStats {
   uint64_t hits = 0;
@@ -73,6 +77,12 @@ class Tlb {
 
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
+
+  // Crash-safe snapshots: entries with their (set, way) coordinates, the LRU
+  // tick and the mutation version — replacement decisions and grant-cache
+  // coherence both depend on them bit-for-bit.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
  private:
   static int SetIndex(uint64_t vpn) { return static_cast<int>(vpn & (kSets - 1)); }

@@ -39,20 +39,56 @@ struct Position {
   int index = 0;
 };
 
+// A resume cursor must name a live instruction of this module before either
+// interpreter dereferences it — snapshots pass checksum validation, but a
+// cursor saved against a different module would index out of bounds.
+bool CursorNamesInstruction(const ir::Module& module, const RunCursor& cursor) {
+  if (cursor.func < 0 || cursor.func >= static_cast<int>(module.functions.size())) {
+    return false;
+  }
+  const auto& func = module.functions[static_cast<size_t>(cursor.func)];
+  if (cursor.block < 0 || cursor.block >= static_cast<int>(func.blocks.size())) {
+    return false;
+  }
+  const auto& block = func.blocks[static_cast<size_t>(cursor.block)];
+  return cursor.index >= 0 && cursor.index < static_cast<int>(block.instrs.size()) &&
+         cursor.call_depth >= 0;
+}
+
 }  // namespace
 
 RunResult Executor::Run(const RunConfig& config) {
   const base::FastPathMode mode = base::GetFastPathMode();
   if (mode == base::FastPathMode::kOff) {
-    return RunReference(config);
+    return RunReference(config, nullptr);
   }
   if (decoded_ == nullptr || !decoded_->Matches(*module_, *process_)) {
     decoded_ = DecodedModule::Build(*module_, *process_);
   }
-  return RunDecoded(config, /*check=*/mode == base::FastPathMode::kCheck);
+  return RunDecoded(config, /*check=*/mode == base::FastPathMode::kCheck, nullptr);
 }
 
-RunResult Executor::RunReference(const RunConfig& config) {
+RunResult Executor::Resume(const RunConfig& config, const RunResult& partial) {
+  if (!partial.hit_instruction_limit || !partial.cursor.valid) {
+    return partial;  // already finished; nothing to continue
+  }
+  if (!CursorNamesInstruction(*module_, partial.cursor)) {
+    RunResult result = partial;
+    result.fault =
+        machine::Fault{machine::FaultType::kGeneralProtection, 0, machine::AccessType::kExecute};
+    return result;
+  }
+  const base::FastPathMode mode = base::GetFastPathMode();
+  if (mode == base::FastPathMode::kOff) {
+    return RunReference(config, &partial);
+  }
+  if (decoded_ == nullptr || !decoded_->Matches(*module_, *process_)) {
+    decoded_ = DecodedModule::Build(*module_, *process_);
+  }
+  return RunDecoded(config, /*check=*/mode == base::FastPathMode::kCheck, &partial);
+}
+
+RunResult Executor::RunReference(const RunConfig& config, const RunResult* resume) {
   RunResult result;
   auto& regs = process_->regs();
   auto& mmu = process_->mmu();
@@ -60,6 +96,13 @@ RunResult Executor::RunReference(const RunConfig& config) {
 
   Position pos{module_->entry, 0, 0};
   int call_depth = 0;
+  if (resume != nullptr) {
+    result = *resume;
+    result.hit_instruction_limit = false;
+    pos = Position{resume->cursor.func, resume->cursor.block, resume->cursor.index};
+    call_depth = resume->cursor.call_depth;
+    result.cursor = RunCursor{};
+  }
 
   auto fault_out = [&](const machine::Fault& fault) {
     result.fault = fault;
@@ -455,6 +498,7 @@ RunResult Executor::RunReference(const RunConfig& config) {
   }
 
   result.hit_instruction_limit = true;
+  result.cursor = RunCursor{true, pos.func, pos.block, pos.index, call_depth};
   return result;
 }
 
@@ -465,7 +509,7 @@ RunResult Executor::RunReference(const RunConfig& config) {
 // the same payload — so all modeled results are bit-identical. Only dispatch
 // changes: flat µop indices replace (block, index) walking, and fused runs
 // of pure-register ops execute back-to-back without re-entering the loop.
-RunResult Executor::RunDecoded(const RunConfig& config, bool check) {
+RunResult Executor::RunDecoded(const RunConfig& config, bool check, const RunResult* resume) {
   RunResult result;
   auto& regs = process_->regs();
   auto& mmu = process_->mmu();
@@ -478,6 +522,19 @@ RunResult Executor::RunDecoded(const RunConfig& config, bool check) {
   int32_t ui = 0;       // flat µop index within *df
   uint32_t skip = 0;    // RegOps to skip when resuming mid-fused-run (after ret)
   int call_depth = 0;
+  if (resume != nullptr) {
+    result = *resume;
+    result.hit_instruction_limit = false;
+    result.cursor = RunCursor{};
+    func = resume->cursor.func;
+    df = &dec.functions[static_cast<size_t>(func)];
+    // Cursors are source positions; Slot maps them onto the µop stream,
+    // landing mid-fused-run when the budget cut one short.
+    const DecodedFunction::InstrSlot slot = df->Slot(resume->cursor.block, resume->cursor.index);
+    ui = slot.uop;
+    skip = slot.skip;
+    call_depth = resume->cursor.call_depth;
+  }
 
   auto fault_out = [&](const machine::Fault& fault) {
     result.fault = fault;
@@ -529,6 +586,7 @@ RunResult Executor::RunDecoded(const RunConfig& config, bool check) {
       const uint64_t budget = config.max_instructions - result.instructions;
       const uint64_t run = want < budget ? want : budget;
       const RegOp* ops = df->regops.data() + u.fuse_start + skip;
+      const uint32_t entered_skip = skip;
       skip = 0;
       for (uint64_t n = 0; n < run; ++n) {
         const RegOp& r = ops[n];
@@ -591,7 +649,11 @@ RunResult Executor::RunDecoded(const RunConfig& config, bool check) {
       }
       result.instructions += run;
       if (run < want) {
-        break;  // instruction budget exhausted mid-run
+        // Instruction budget exhausted mid-run: leave `skip` naming the next
+        // unexecuted RegOp so the exit cursor below reads its source
+        // position — the same (block, index) the reference loop stops at.
+        skip = entered_skip + static_cast<uint32_t>(run);
+        break;
       }
       ++ui;
       continue;
@@ -921,6 +983,20 @@ RunResult Executor::RunDecoded(const RunConfig& config, bool check) {
   }
 
   result.hit_instruction_limit = true;
+  {
+    // Map the µop position back to its source instruction. A fused µop's
+    // next unexecuted RegOp carries its own (block, index); a singleton µop
+    // is its source instruction.
+    const Uop& u = df->uops[static_cast<size_t>(ui)];
+    int32_t block = u.block;
+    int32_t index = u.index;
+    if (u.fused) {
+      const RegOp& r = df->regops[u.fuse_start + skip];
+      block = r.block;
+      index = r.index;
+    }
+    result.cursor = RunCursor{true, func, block, index, call_depth};
+  }
   return result;
 }
 

@@ -83,6 +83,11 @@ class Kernel {
     return key < mpk::kNumKeys ? tag_counts_[key] : 0;
   }
 
+  // Crash-safe snapshots: key allocator bitmap, placement cursors, counters
+  // and armed injected failures. Install() is re-run by setup, not saved.
+  void SaveState(machine::SnapshotWriter& w) const;
+  Status LoadState(machine::SnapshotReader& r);
+
  private:
   uint64_t DoMmap(VirtAddr hint, uint64_t length);
   uint64_t DoMprotect(VirtAddr addr, uint64_t prot);

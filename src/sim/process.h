@@ -140,6 +140,18 @@ class Process {
   void SetSyscallHandler(SyscallHandler handler) { syscall_ = std::move(handler); }
   uint64_t DispatchSyscall(uint64_t nr, uint64_t a0, uint64_t a1);
 
+  // Crash-safe snapshots: everything architecturally observable — physical
+  // memory, page table root, MMU/TLB/cache state, registers, layout
+  // bookkeeping, Dune/EPT and enclave state, and the safe-region registry.
+  // The syscall handler is NOT serialized; restores must run the same
+  // deterministic setup (technique Prepare + Kernel::Install) on a fresh
+  // Process before LoadState overwrites its state. Presence of Dune / an
+  // enclave and the EPT count must match the snapshot (kFailedPrecondition
+  // otherwise). Safe regions are overwritten in place so handed-out
+  // SafeRegion* handles stay valid.
+  void SaveState(machine::SnapshotWriter& w) const;
+  Status LoadState(machine::SnapshotReader& r);
+
  private:
   // Binary search over the base-sorted index (last-hit cache first); exact
   // under the disjoint-regions invariant documented at AddSafeRegion.

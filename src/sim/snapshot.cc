@@ -1,0 +1,210 @@
+#include "src/sim/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/machine/snapshot.h"
+
+namespace memsentry::sim {
+namespace {
+
+constexpr uint32_t kTagSim = 0x53494D21;   // "SIM!"
+constexpr uint32_t kTagRun = 0x52554E21;   // "RUN!"
+
+// Reads the sim-level preamble (tag, label, presence flags). Shared by
+// LoadSnapshot and PeekSnapshot so the two can never disagree.
+Status ReadPreamble(machine::SnapshotReader& r, SnapshotInfo* info) {
+  if (!r.ExpectTag(kTagSim, "sim-snapshot")) {
+    return r.status();
+  }
+  info->label = r.String();
+  info->has_partial = r.Bool();
+  info->has_kernel = r.Bool();
+  info->has_injector = r.Bool();
+  return r.status();
+}
+
+}  // namespace
+
+void SaveRunResult(const RunResult& result, machine::SnapshotWriter& w) {
+  w.PutTag(kTagRun);
+  w.PutU64(result.instructions);
+  // Cycles accumulate as a specific sequence of FP additions; the raw bit
+  // pattern must survive so a resumed accumulator continues identically.
+  w.PutDouble(result.cycles);
+  w.PutBool(result.halted);
+  w.PutBool(result.trapped);
+  w.PutBool(result.hit_instruction_limit);
+  w.PutBool(result.fault.has_value());
+  if (result.fault.has_value()) {
+    w.PutI32(static_cast<int32_t>(result.fault->type));
+    w.PutU64(result.fault->address);
+    w.PutI32(static_cast<int32_t>(result.fault->access));
+  }
+  w.PutU64(result.loads);
+  w.PutU64(result.stores);
+  w.PutU64(result.calls);
+  w.PutU64(result.rets);
+  w.PutU64(result.indirect_calls);
+  w.PutU64(result.syscalls);
+  w.PutU64(result.domain_switches);
+  w.PutU64(result.instrumentation_instrs);
+  w.PutDouble(result.instrumentation_cycles);
+  w.PutBool(result.cursor.valid);
+  w.PutI32(result.cursor.func);
+  w.PutI32(result.cursor.block);
+  w.PutI32(result.cursor.index);
+  w.PutI32(result.cursor.call_depth);
+  const std::vector<uint64_t> refs = result.SortedSafeAccessRefs();
+  w.PutU64(refs.size());
+  for (const uint64_t ref : refs) {
+    w.PutU64(ref);
+  }
+}
+
+Status LoadRunResult(RunResult* result, machine::SnapshotReader& r) {
+  if (!r.ExpectTag(kTagRun, "run-result")) {
+    return r.status();
+  }
+  RunResult out;
+  out.instructions = r.U64();
+  out.cycles = r.Double();
+  out.halted = r.Bool();
+  out.trapped = r.Bool();
+  out.hit_instruction_limit = r.Bool();
+  if (r.Bool()) {
+    machine::Fault fault;
+    fault.type = static_cast<machine::FaultType>(r.I32());
+    fault.address = r.U64();
+    fault.access = static_cast<machine::AccessType>(r.I32());
+    out.fault = fault;
+  }
+  out.loads = r.U64();
+  out.stores = r.U64();
+  out.calls = r.U64();
+  out.rets = r.U64();
+  out.indirect_calls = r.U64();
+  out.syscalls = r.U64();
+  out.domain_switches = r.U64();
+  out.instrumentation_instrs = r.U64();
+  out.instrumentation_cycles = r.Double();
+  out.cursor.valid = r.Bool();
+  out.cursor.func = r.I32();
+  out.cursor.block = r.I32();
+  out.cursor.index = r.I32();
+  out.cursor.call_depth = r.I32();
+  const uint64_t ref_count = r.U64();
+  if (!r.FitCount(ref_count, 8)) {
+    return r.status();
+  }
+  out.safe_access_refs.reserve(ref_count);
+  for (uint64_t i = 0; i < ref_count; ++i) {
+    out.safe_access_refs.insert(r.U64());
+  }
+  MEMSENTRY_RETURN_IF_ERROR(r.status());
+  *result = std::move(out);
+  return OkStatus();
+}
+
+std::string SaveSnapshot(const Process& process, const RunResult* partial,
+                         const Kernel* kernel, const FaultInjector* injector,
+                         const std::string& label) {
+  machine::SnapshotWriter w;
+  w.PutTag(kTagSim);
+  w.PutString(label);
+  w.PutBool(partial != nullptr);
+  w.PutBool(kernel != nullptr);
+  w.PutBool(injector != nullptr);
+  process.SaveState(w);
+  if (partial != nullptr) {
+    SaveRunResult(*partial, w);
+  }
+  if (kernel != nullptr) {
+    kernel->SaveState(w);
+  }
+  if (injector != nullptr) {
+    injector->SaveState(w);
+  }
+  return w.Finalize();
+}
+
+Status LoadSnapshot(std::string_view blob, Process* process, RunResult* partial,
+                    Kernel* kernel, FaultInjector* injector, SnapshotInfo* info) {
+  MEMSENTRY_ASSIGN_OR_RETURN(machine::SnapshotReader r, machine::SnapshotReader::Open(blob));
+  SnapshotInfo local;
+  MEMSENTRY_RETURN_IF_ERROR(ReadPreamble(r, &local));
+  if (process == nullptr) {
+    return InvalidArgument("LoadSnapshot requires a process");
+  }
+  if (local.has_partial != (partial != nullptr)) {
+    return FailedPrecondition(local.has_partial
+                                  ? "snapshot carries a partial run but no RunResult was given"
+                                  : "RunResult given but the snapshot has no partial run");
+  }
+  if (local.has_kernel != (kernel != nullptr)) {
+    return FailedPrecondition(local.has_kernel
+                                  ? "snapshot carries kernel state but no Kernel was given"
+                                  : "Kernel given but the snapshot has no kernel state");
+  }
+  if (local.has_injector != (injector != nullptr)) {
+    return FailedPrecondition(
+        local.has_injector ? "snapshot carries injector state but no FaultInjector was given"
+                           : "FaultInjector given but the snapshot has no injector state");
+  }
+  MEMSENTRY_RETURN_IF_ERROR(process->LoadState(r));
+  if (partial != nullptr) {
+    MEMSENTRY_RETURN_IF_ERROR(LoadRunResult(partial, r));
+  }
+  if (kernel != nullptr) {
+    MEMSENTRY_RETURN_IF_ERROR(kernel->LoadState(r));
+  }
+  if (injector != nullptr) {
+    MEMSENTRY_RETURN_IF_ERROR(injector->LoadState(r));
+  }
+  MEMSENTRY_RETURN_IF_ERROR(r.Finish());
+  if (info != nullptr) {
+    *info = std::move(local);
+  }
+  return OkStatus();
+}
+
+Status PeekSnapshot(std::string_view blob, SnapshotInfo* info) {
+  MEMSENTRY_ASSIGN_OR_RETURN(machine::SnapshotReader r, machine::SnapshotReader::Open(blob));
+  return ReadPreamble(r, info);
+}
+
+Status WriteSnapshotFile(const std::string& path, const std::string& blob) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return InternalError("cannot open " + tmp + " for writing");
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return InternalError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("cannot rename " + tmp + " into place");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("no snapshot at " + path);
+  }
+  std::string blob((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return InternalError("read error on " + path);
+  }
+  return blob;
+}
+
+}  // namespace memsentry::sim

@@ -1,0 +1,66 @@
+// Whole-simulation snapshots: one blob capturing a Process (machine state,
+// translation structures, registers, safe regions), an optional in-flight
+// RunResult (accumulators + resume cursor), and the optional Kernel and
+// FaultInjector state driving it. The golden guarantee is bit-identity:
+// run(N+M) == run(N); SaveSnapshot; LoadSnapshot; Resume(M), under every
+// MEMSENTRY_FASTPATH mode — snapshots carry architectural state only, so a
+// blob saved under one mode restores under any other.
+//
+// Restores do not conjure structure: the caller rebuilds the process with
+// the same deterministic setup that produced the snapshot (technique
+// Prepare, Kernel::Install, EnableDune/CreateEpt...) and LoadSnapshot then
+// overwrites its state. Structural mismatches (Dune/enclave presence, EPT
+// count, physical-memory geometry, cost-model calibration) fail with
+// kFailedPrecondition; corrupt or truncated blobs fail with typed errors
+// from machine::SnapshotReader rather than crashing.
+#ifndef MEMSENTRY_SRC_SIM_SNAPSHOT_H_
+#define MEMSENTRY_SRC_SIM_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/sim/executor.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/kernel.h"
+#include "src/sim/process.h"
+
+namespace memsentry::sim {
+
+// What a blob claims to contain, readable without a live process (crash
+// bundles show this in their manifests).
+struct SnapshotInfo {
+  std::string label;
+  bool has_partial = false;
+  bool has_kernel = false;
+  bool has_injector = false;
+};
+
+// Serializes the process plus whichever optional components are non-null.
+// `label` names the producing cell ("figure2/mpk/..."), recorded verbatim.
+std::string SaveSnapshot(const Process& process, const RunResult* partial,
+                         const Kernel* kernel, const FaultInjector* injector,
+                         const std::string& label);
+
+// Restores into `process` (required) and the optional components. Strict
+// presence matching: a blob with kernel state needs a non-null `kernel` and
+// vice versa — silently dropping state would break bit-identity downstream.
+Status LoadSnapshot(std::string_view blob, Process* process, RunResult* partial,
+                    Kernel* kernel, FaultInjector* injector, SnapshotInfo* info = nullptr);
+
+// Header-only peek for manifests and tooling.
+Status PeekSnapshot(std::string_view blob, SnapshotInfo* info);
+
+// Crash-safe file IO: write-to-temp + rename so a crash mid-write can never
+// leave a half-written blob at `path`.
+Status WriteSnapshotFile(const std::string& path, const std::string& blob);
+StatusOr<std::string> ReadSnapshotFile(const std::string& path);
+
+// RunResult (de)serialization, exposed for tests that checkpoint executor
+// state without a full process snapshot.
+void SaveRunResult(const RunResult& result, machine::SnapshotWriter& w);
+Status LoadRunResult(RunResult* result, machine::SnapshotReader& r);
+
+}  // namespace memsentry::sim
+
+#endif  // MEMSENTRY_SRC_SIM_SNAPSHOT_H_

@@ -5,6 +5,7 @@
 // machine stats with the fast paths on, off, and in lockstep-check mode.
 // This is the end-to-end half of the oracle; kCheck additionally re-derives
 // every µop and MMU grant inline and aborts the process on divergence.
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "src/defenses/shadow_stack.h"
 #include "src/sim/executor.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/snapshot.h"
 #include "src/workloads/spec_profiles.h"
 #include "src/workloads/synth.h"
 
@@ -67,49 +69,115 @@ struct Snapshot {
   bool injected = false;
 };
 
-// One full pipeline run under the current fast-path mode: fresh machine,
+// One fully built pipeline under the current fast-path mode: fresh machine,
 // workload prep, synthesized program, defense pass (domain techniques),
-// MemSentry protection, optional fault injection, then execution with
-// safe-access profiling on. Everything is derived from `seed`, so two calls
-// with equal arguments build bit-identical initial states.
-Snapshot RunPipeline(TechniqueKind kind, const SpecProfile& profile, uint64_t seed,
-                     uint64_t max_instructions, std::optional<FaultSite> site) {
+// MemSentry protection, optional fault injection. Everything is derived from
+// `seed`, so two calls with equal arguments build bit-identical initial
+// states — which is exactly what the snapshot restore protocol requires of
+// the process it loads into.
+struct BuiltPipeline {
   sim::Machine machine;
-  sim::Process process(&machine);
+  std::unique_ptr<sim::Process> process;
+  std::unique_ptr<core::MemSentry> ms;
+  ir::Module module;
+  bool injected = false;
+};
+
+std::unique_ptr<BuiltPipeline> BuildPipeline(TechniqueKind kind, const SpecProfile& profile,
+                                             uint64_t seed, std::optional<FaultSite> site) {
+  auto p = std::make_unique<BuiltPipeline>();
+  p->process = std::make_unique<sim::Process>(&p->machine);
   if (kind == TechniqueKind::kVmfunc) {
-    (void)process.EnableDune();
+    (void)p->process->EnableDune();
   }
-  EXPECT_TRUE(workloads::PrepareWorkloadProcess(process, profile).ok());
+  EXPECT_TRUE(workloads::PrepareWorkloadProcess(*p->process, profile).ok());
   core::MemSentryConfig config;
   config.technique = kind;
   config.options.mode = core::ProtectMode::kReadWrite;
-  core::MemSentry ms(&process, config);
+  p->ms = std::make_unique<core::MemSentry>(p->process.get(), config);
   const uint64_t region_bytes = kind == TechniqueKind::kCrypt ? 16 : 4096;
-  auto region = ms.allocator().Alloc("secret", region_bytes);
+  auto region = p->ms->allocator().Alloc("secret", region_bytes);
   EXPECT_TRUE(region.ok());
   const VirtAddr base = region.ok() ? region.value()->base : 0;
   workloads::SynthOptions synth;
   synth.target_instructions = 120'000;
   synth.seed = seed;
-  ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
+  p->module = workloads::SynthesizeSpecProgram(profile, synth);
   if (NeedsDomainDefense(kind)) {
     defenses::ShadowStackPass pass(base);
-    EXPECT_TRUE(pass.Run(module).ok());
+    EXPECT_TRUE(pass.Run(p->module).ok());
   }
-  EXPECT_TRUE(ms.Protect(module).ok());
-  Snapshot snap;
+  EXPECT_TRUE(p->ms->Protect(p->module).ok());
   if (site.has_value()) {
-    sim::FaultInjector injector(&process, seed);
-    snap.injected = injector.Inject(*site).ok();
+    sim::FaultInjector injector(p->process.get(), seed);
+    p->injected = injector.Inject(*site).ok();
   }
-  sim::Executor executor(&process, &module);
+  return p;
+}
+
+void ReadStats(const BuiltPipeline& p, Snapshot& snap) {
+  snap.tlb = p.process->mmu().tlb().stats();
+  snap.cache = p.process->mmu().dcache().stats();
+  snap.mmu = p.process->mmu().stats();
+}
+
+Snapshot RunPipeline(TechniqueKind kind, const SpecProfile& profile, uint64_t seed,
+                     uint64_t max_instructions, std::optional<FaultSite> site) {
+  auto p = BuildPipeline(kind, profile, seed, site);
+  Snapshot snap;
+  snap.injected = p->injected;
+  sim::Executor executor(p->process.get(), &p->module);
   sim::RunConfig rc;
   rc.max_instructions = max_instructions;
   rc.record_safe_accesses = true;
   snap.result = executor.Run(rc);
-  snap.tlb = process.mmu().tlb().stats();
-  snap.cache = process.mmu().dcache().stats();
-  snap.mmu = process.mmu().stats();
+  ReadStats(*p, snap);
+  return snap;
+}
+
+// The same execution interrupted at `midpoint` instructions: the whole
+// simulation is serialized, restored into a freshly built twin pipeline (the
+// twin does NOT re-inject — the injected state travels inside the snapshot),
+// and resumed there to the full budget. The tentpole guarantee under test:
+// run(N+M) is bit-identical to run(N); save; load; run(M).
+Snapshot RunPipelineWithRoundTrip(TechniqueKind kind, const SpecProfile& profile, uint64_t seed,
+                                  uint64_t max_instructions, uint64_t midpoint,
+                                  std::optional<FaultSite> site, FastPathMode save_mode,
+                                  FastPathMode resume_mode) {
+  Snapshot snap;
+  std::string blob;
+  {
+    FastPathModeGuard guard(save_mode);
+    auto first = BuildPipeline(kind, profile, seed, site);
+    snap.injected = first->injected;
+    sim::Executor executor(first->process.get(), &first->module);
+    sim::RunConfig rc;
+    rc.max_instructions = midpoint;
+    rc.record_safe_accesses = true;
+    const sim::RunResult partial = executor.Run(rc);
+    if (!partial.hit_instruction_limit || !partial.cursor.valid) {
+      // The workload finished (or faulted) before the midpoint; nothing to
+      // round-trip, the straight result is the answer.
+      snap.result = partial;
+      ReadStats(*first, snap);
+      return snap;
+    }
+    blob = sim::SaveSnapshot(*first->process, &partial, nullptr, nullptr, "differential");
+    // `first` dies here: the restored twin must not alias anything from the
+    // donor pipeline.
+  }
+
+  FastPathModeGuard guard(resume_mode);
+  auto second = BuildPipeline(kind, profile, seed, std::nullopt);
+  sim::RunResult partial;
+  const Status loaded = sim::LoadSnapshot(blob, second->process.get(), &partial, nullptr, nullptr);
+  EXPECT_TRUE(loaded.ok()) << loaded.ToString();
+  sim::Executor executor(second->process.get(), &second->module);
+  sim::RunConfig rc;
+  rc.max_instructions = max_instructions;
+  rc.record_safe_accesses = true;
+  snap.result = executor.Resume(rc, partial);
+  ReadStats(*second, snap);
   return snap;
 }
 
@@ -228,6 +296,73 @@ TEST(FastPathDifferential, FaultInjectionSitesBitIdentical) {
           RunWithMode(FastPathMode::kOn, kind, profile, seed, 500'000'000, site);
       ExpectBitIdentical(ref, fast, std::string("site=") + sim::FaultSiteName(site));
     }
+  }
+}
+
+TEST(FastPathDifferential, SnapshotRoundTripEveryTechnique) {
+  // Save/load/resume at a midpoint must be invisible: the resumed run's
+  // result, stats and safe-access profile equal an uninterrupted run's bit
+  // for bit, for every technique. Midpoints vary per technique so the cut
+  // lands at different µop/fused-run offsets.
+  const auto profiles = workloads::SpecCpu2006();
+  for (size_t t = 0; t < std::size(kAllTechniques); ++t) {
+    const TechniqueKind kind = kAllTechniques[t];
+    const SpecProfile& profile = profiles[t % profiles.size()];
+    const uint64_t seed = 0x5eed00 + t;
+    const uint64_t midpoint = 20'011 + 7'777 * t;
+    const Snapshot straight = RunWithMode(FastPathMode::kOn, kind, profile, seed, 500'000'000);
+    const Snapshot trip =
+        RunPipelineWithRoundTrip(kind, profile, seed, 500'000'000, midpoint, std::nullopt,
+                                 FastPathMode::kOn, FastPathMode::kOn);
+    ExpectBitIdentical(straight, trip,
+                       "roundtrip technique=" + std::to_string(static_cast<int>(kind)));
+    EXPECT_GT(straight.result.instructions, midpoint);  // the cut actually happened
+  }
+}
+
+TEST(FastPathDifferential, SnapshotRoundTripAcrossFastPathModes) {
+  // The snapshot format is mode-portable: state saved under one fast-path
+  // mode resumes under any other with a bit-identical outcome. The check
+  // mode leg additionally validates every resumed µop and grant in lockstep.
+  const SpecProfile& profile = workloads::SpecCpu2006()[0];
+  constexpr uint64_t kSeed = 0xab1e;
+  constexpr uint64_t kMidpoint = 31'337;
+  const Snapshot ref = RunWithMode(FastPathMode::kOff, TechniqueKind::kMpx, profile, kSeed,
+                                   500'000'000);
+  const std::pair<FastPathMode, FastPathMode> legs[] = {
+      {FastPathMode::kOn, FastPathMode::kOff},
+      {FastPathMode::kOff, FastPathMode::kOn},
+      {FastPathMode::kOn, FastPathMode::kCheck},
+  };
+  for (const auto& [save_mode, resume_mode] : legs) {
+    const Snapshot trip =
+        RunPipelineWithRoundTrip(TechniqueKind::kMpx, profile, kSeed, 500'000'000, kMidpoint,
+                                 std::nullopt, save_mode, resume_mode);
+    ExpectBitIdentical(ref, trip,
+                       std::string("save=") + base::FastPathModeName(save_mode) +
+                           " resume=" + base::FastPathModeName(resume_mode));
+  }
+}
+
+TEST(FastPathDifferential, SnapshotRoundTripUnderInjectedFaults) {
+  // Injected protection-state corruption (PKRU desync, clobbered round keys,
+  // dropped EPT mappings) must travel inside the snapshot: the twin pipeline
+  // never re-injects, yet resumes to the same outcome as the straight
+  // injected run.
+  const SpecProfile& profile = workloads::SpecCpu2006()[1];
+  const std::pair<TechniqueKind, FaultSite> cells[] = {
+      {TechniqueKind::kMpk, FaultSite::kPkruDesync},
+      {TechniqueKind::kCrypt, FaultSite::kAesRoundKeyClobber},
+      {TechniqueKind::kVmfunc, FaultSite::kEptMappingDrop},
+      {TechniqueKind::kMpx, FaultSite::kBndRegisterClobber},
+  };
+  for (const auto& [kind, site] : cells) {
+    const uint64_t seed = 0xfa117 + static_cast<uint64_t>(site);
+    const Snapshot straight =
+        RunWithMode(FastPathMode::kOn, kind, profile, seed, 500'000'000, site);
+    const Snapshot trip = RunPipelineWithRoundTrip(kind, profile, seed, 500'000'000, 24'683,
+                                                   site, FastPathMode::kOn, FastPathMode::kOn);
+    ExpectBitIdentical(straight, trip, std::string("injected site=") + sim::FaultSiteName(site));
   }
 }
 

@@ -113,6 +113,97 @@ TEST(BenchRunnerRobustness, SurvivesHangCrashAndSalvage) {
   EXPECT_NE(metrics->Find("fake/salvaged"), nullptr);
 }
 
+// The write-ahead journal end to end: a suite with one healthy and one
+// crashing binary leaves a journal; after the crasher is "fixed", --resume
+// re-runs only it — the healthy binary's completion is taken from the
+// journal (its invocation count stays at one) and marked as resumed.
+TEST(BenchRunnerRobustness, JournalResumeSkipsCompletedBinaries) {
+  const std::string dir = FreshDir("runner_resume");
+  const std::string count = dir + "/invocations";
+  WriteScript(dir + "/table3_limits",
+              "echo run >> \"" + count + "\"\n" + ReportingScript("fake/healthy"));
+  WriteScript(dir + "/table4_micro", "kill -SEGV $$\n");
+
+  const RunnerRun first = RunSuite(dir, "table3_limits,table4_micro", "--timeout=30");
+  EXPECT_NE(first.exit_code, 0);
+  {
+    std::ifstream journal(dir + "/BENCH_JOURNAL.jsonl");
+    std::string header;
+    ASSERT_TRUE(std::getline(journal, header));
+    EXPECT_NE(header.find("\"journal\""), std::string::npos);
+  }
+
+  // Resuming under a different configuration must refuse to merge, loudly.
+  const RunnerRun mismatched =
+      RunSuite(dir, "table3_limits,table4_micro", "--timeout=30 --resume --instructions=123");
+  EXPECT_EQ(mismatched.exit_code, 2);
+
+  WriteScript(dir + "/table4_micro", ReportingScript("fake/fixed"));
+  const RunnerRun second = RunSuite(dir, "table3_limits,table4_micro", "--timeout=30 --resume");
+  EXPECT_EQ(second.exit_code, 0);
+
+  // The healthy binary ran exactly once across both suite invocations.
+  std::ifstream in(count);
+  int lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1);
+
+  const json::Value* healthy = second.merged.Find("binaries")->Find("table3_limits");
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_TRUE(healthy->BoolOr("resumed", false));
+  const json::Value* fixed = second.merged.Find("binaries")->Find("table4_micro");
+  ASSERT_NE(fixed, nullptr);
+  EXPECT_FALSE(fixed->BoolOr("resumed", false));  // re-ran, not journal-sourced
+  EXPECT_NE(second.merged.Find("metrics")->Find("fake/healthy"), nullptr);
+  EXPECT_NE(second.merged.Find("metrics")->Find("fake/fixed"), nullptr);
+}
+
+// Atomic report writes from the runner's perspective: a binary that dies
+// leaving only a half-written temp file (the write-to-temp half of
+// temp+rename) must not have that file salvaged as a report.
+TEST(BenchRunnerRobustness, HalfWrittenTempFileIsNeverSalvaged) {
+  const std::string dir = FreshDir("runner_tempfile");
+  WriteScript(dir + "/table3_limits",
+              "out=\"\"\n"
+              "for a in \"$@\"; do case \"$a\" in --json=*) out=\"${a#--json=}\";; esac; done\n"
+              "printf '{\"schema\":1,\"wall_seconds\":0.01,\"metrics\":{\"fake/teased\":'"
+              " > \"$out.tmp\"\n"  // a torn prefix at the temp path, never renamed
+              "kill -SEGV $$\n");
+
+  const RunnerRun run = RunSuite(dir, "table3_limits", "--timeout=30");
+  EXPECT_NE(run.exit_code, 0);
+  const json::Value* info = run.merged.Find("binaries")->Find("table3_limits");
+  ASSERT_NE(info, nullptr);
+  EXPECT_FALSE(info->BoolOr("salvaged", true));
+  EXPECT_EQ(run.merged.Find("metrics")->Find("fake/teased"), nullptr);
+}
+
+// Crash-retry reports write to stamped paths (<name>.retry1.json) so a
+// retry can never overwrite the first attempt's output, and the merged
+// header records every attempt's path.
+TEST(BenchRunnerRobustness, RetriesWriteStampedReportPaths) {
+  const std::string dir = FreshDir("runner_retry");
+  const std::string marker = dir + "/already_crashed";
+  WriteScript(dir + "/table3_limits",
+              "if [ ! -f \"" + marker + "\" ]; then touch \"" + marker +
+                  "\"; kill -SEGV $$; fi\n" + ReportingScript("fake/second_try"));
+
+  const RunnerRun run = RunSuite(dir, "table3_limits", "--timeout=30");
+  EXPECT_EQ(run.exit_code, 0);
+  const json::Value* info = run.merged.Find("binaries")->Find("table3_limits");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->NumberOr("retries", 0), 1);
+  const json::Value* reports = info->Find("reports");
+  ASSERT_NE(reports, nullptr);
+  ASSERT_EQ(reports->size(), 2u);
+  const std::string retry_path = reports->items()[1].string_value();
+  EXPECT_NE(retry_path.find("table3_limits.retry1.json"), std::string::npos);
+  EXPECT_TRUE(json::ParseFile(retry_path).ok()) << retry_path;
+  EXPECT_NE(run.merged.Find("metrics")->Find("fake/second_try"), nullptr);
+}
+
 TEST(BenchRunnerRobustness, CleanSuiteReportsCleanHeader) {
   const std::string dir = FreshDir("runner_clean");
   WriteScript(dir + "/table1_defenses", ReportingScript("fake/clean"));

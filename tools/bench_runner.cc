@@ -43,12 +43,35 @@
 //                                     the fast paths in lockstep and aborts on
 //                                     divergence. Default: the environment's
 //                                     setting (effectively "on").
+//   bench_runner --journal=PATH       suite journal location (default:
+//                                     BENCH_JOURNAL.jsonl next to --out). The
+//                                     runner write-ahead journals every binary
+//                                     start/completion; each append rewrites
+//                                     the journal atomically, so a kill -9 at
+//                                     any point leaves a complete journal.
+//   bench_runner --resume             resume a killed run from its journal:
+//                                     binaries journaled as cleanly done (with
+//                                     a parseable report on disk) are not
+//                                     re-executed; in-flight or failed ones
+//                                     re-run. The merged report and gate
+//                                     verdict are identical to an
+//                                     uninterrupted run's (the suite is
+//                                     deterministic; host wall-clocks are info
+//                                     metrics and never gated).
+//   bench_runner --checkpoint-interval=N
+//                                     forward per-cell checkpointing to the
+//                                     bench binaries: every experiment cell
+//                                     snapshots its simulation state each N
+//                                     instructions (under
+//                                     bench_reports/checkpoints/<binary>), so
+//                                     --resume also resumes mid-cell.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -110,9 +133,11 @@ struct Options {
   bool quick = false;
   bool verbose = false;
   bool gate = true;
-  uint64_t instructions = 0;     // 0 = mode default
-  double timeout_seconds = 600;  // per-binary wall-clock budget; 0 = none
-  int jobs = 0;                  // 0 = hardware_concurrency; 1 = fully serial
+  bool resume = false;
+  uint64_t instructions = 0;         // 0 = mode default
+  uint64_t checkpoint_interval = 0;  // 0 = no per-cell checkpointing
+  double timeout_seconds = 600;      // per-binary wall-clock budget; 0 = none
+  int jobs = 0;                      // 0 = hardware_concurrency; 1 = fully serial
   std::string bench_dir;
   std::string out = "BENCH_RESULTS.json";
   std::string baseline;
@@ -121,6 +146,7 @@ struct Options {
   std::string write_baseline;
   std::string check_determinism;
   std::string fastpath;  // empty = inherit the environment
+  std::string journal;   // empty = BENCH_JOURNAL.jsonl next to --out
   std::vector<std::string> only;
   std::vector<std::string> skip;
 };
@@ -282,6 +308,107 @@ bool Contains(const std::vector<std::string>& list, const std::string& name) {
   return false;
 }
 
+// Write-ahead suite journal: one JSON object per line — a header describing
+// the run configuration, then {"event":"start"|"done",...} per binary. Every
+// append rewrites the whole file through the temp-file+rename path, so the
+// on-disk journal is always a complete prefix of the run: a kill -9 at any
+// instant loses at most the event being appended, never corrupts one.
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  // Starts a fresh journal (overwrites any previous run's).
+  void Start(const json::Value& header) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    content_ = header.Dump(0) + "\n";
+    Flush();
+  }
+
+  // Continues an existing journal (the --resume path).
+  void Continue(std::string existing) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    content_ = std::move(existing);
+  }
+
+  void Append(const json::Value& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    content_ += event.Dump(0) + "\n";
+    Flush();
+  }
+
+ private:
+  void Flush() {
+    if (Status s = json::WriteTextFileAtomic(path_, content_); !s.ok()) {
+      std::fprintf(stderr, "bench_runner: journal write failed: %s\n", s.ToString().c_str());
+    }
+  }
+
+  std::string path_;
+  std::string content_;
+  std::mutex mutex_;
+};
+
+// What a previous run's journal says about the suite: the run-configuration
+// header and, per binary, the last completion event.
+struct JournalState {
+  json::Value header;
+  std::map<std::string, json::Value> done;  // binary name -> "done" event
+  std::string raw;                          // full text, continued on resume
+};
+
+StatusOr<JournalState> LoadJournal(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFound("no journal at " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  JournalState state;
+  state.raw = text;
+  size_t start = 0;
+  bool first = true;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    auto parsed = json::Parse(line);
+    if (!parsed.ok()) {
+      // A torn trailing line should be impossible (appends are atomic); be
+      // lenient anyway and treat the rest as absent.
+      break;
+    }
+    if (first) {
+      if (parsed->Find("journal") == nullptr) {
+        return InvalidArgument(path + " does not start with a journal header");
+      }
+      state.header = std::move(parsed).value();
+      first = false;
+      continue;
+    }
+    if (parsed->StringOr("event", "") == "done") {
+      state.done[parsed->StringOr("binary", "")] = std::move(parsed).value();
+    }
+  }
+  if (first) {
+    return InvalidArgument(path + " is empty");
+  }
+  return state;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_runner [--quick] [--only=a,b] [--skip=a,b] [--out=PATH]\n"
@@ -289,7 +416,8 @@ int Usage() {
                "                    [--compare=RESULTS] [--write-baseline=PATH]\n"
                "                    [--instructions=N] [--jobs=N] [--timeout=SECONDS]\n"
                "                    [--verbose] [--check-determinism=OTHER.json]\n"
-               "                    [--fastpath=on|off|check]\n");
+               "                    [--fastpath=on|off|check] [--journal=PATH]\n"
+               "                    [--resume] [--checkpoint-interval=N]\n");
   return 2;
 }
 
@@ -309,6 +437,12 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.verbose = true;
     } else if (arg == "--no-gate") {
       opts.gate = false;
+    } else if (arg == "--resume") {
+      opts.resume = true;
+    } else if (const char* v = value("--journal")) {
+      opts.journal = v;
+    } else if (const char* v = value("--checkpoint-interval")) {
+      opts.checkpoint_interval = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--only")) {
       opts.only = SplitCsv(v);
     } else if (const char* v = value("--skip")) {
@@ -513,6 +647,52 @@ int Run(int argc, char** argv) {
     json::Value binaries = json::Value::Object();
     json::Value metrics = json::Value::Object();
 
+    // The suite journal. A fresh run writes a new header; --resume validates
+    // the existing header against this invocation's configuration (merging
+    // two differently-configured runs would silently gate garbage) and
+    // collects the binaries already journaled as done.
+    const std::string journal_path =
+        opts.journal.empty() ? (fs::path(opts.out).parent_path() / "BENCH_JOURNAL.jsonl").string()
+                             : opts.journal;
+    Journal journal(journal_path);
+    json::Value journal_header = json::Value::Object();
+    journal_header.Set("journal", 1);
+    journal_header.Set("mode", opts.quick ? "quick" : "full");
+    journal_header.Set("instructions", instructions);
+    journal_header.Set("fastpath", opts.fastpath.empty() ? "default" : opts.fastpath);
+    journal_header.Set("out", opts.out);
+    std::map<std::string, json::Value> journaled_done;
+    bool resuming = false;
+    if (opts.resume) {
+      auto previous = LoadJournal(journal_path);
+      if (!previous.ok()) {
+        std::fprintf(stderr, "bench_runner: --resume: %s; starting fresh\n",
+                     previous.status().ToString().c_str());
+      } else if (previous->header.Dump(0) != journal_header.Dump(0)) {
+        std::fprintf(stderr,
+                     "bench_runner: --resume: journal %s was written by a differently "
+                     "configured run\n  journal: %s\n  this run: %s\n",
+                     journal_path.c_str(), previous->header.Dump(0).c_str(),
+                     journal_header.Dump(0).c_str());
+        return 2;
+      } else {
+        journaled_done = std::move(previous->done);
+        journal.Continue(std::move(previous->raw));
+        resuming = true;
+      }
+    }
+    if (!resuming) {
+      journal.Start(journal_header);
+    }
+#ifndef _WIN32
+    // The crash handler in each bench binary snapshots the journal tail into
+    // its bundles.
+    std::error_code abs_ec;
+    const fs::path abs_journal = fs::absolute(journal_path, abs_ec);
+    ::setenv("MEMSENTRY_JOURNAL", (abs_ec ? fs::path(journal_path) : abs_journal).c_str(),
+             /*overwrite=*/1);
+#endif
+
     // Select the binaries to run; missing ones are reported up front so a
     // half-built tree fails fast instead of mid-suite.
     std::vector<const SuiteEntry*> to_run;
@@ -547,31 +727,86 @@ int Run(int argc, char** argv) {
       CommandStatus status;
       int retries = 0;            // signal deaths retried (at most once)
       double runner_seconds = 0;  // host wall-clock around the child process
+      bool from_journal = false;  // completion taken from a resumed journal
+      // Every attempt's report path; retries get stamped paths
+      // (<name>.retry1.json) so no attempt ever overwrites another's output.
+      std::vector<std::string> report_paths;
     };
+
+    // Resumable completions: journaled as done with a clean exit and a
+    // parseable final report still on disk. Anything else (in-flight at the
+    // kill, crashed, report missing) re-runs.
+    std::map<std::string, BinaryRun> resumable;
+    for (const auto& [name, event] : journaled_done) {
+      BinaryRun run;
+      run.from_journal = true;
+      const int exit = static_cast<int>(event.NumberOr("exit", -1));
+      run.status.spawn_failed = exit < 0;
+      run.status.exit_code = exit < 0 ? 0 : exit;
+      if (const json::Value* sig = event.Find("signal"); sig != nullptr) {
+        run.status.signaled = true;
+        run.status.signal = static_cast<int>(sig->number_value());
+      }
+      run.status.timed_out = event.BoolOr("timed_out", false);
+      run.retries = static_cast<int>(event.NumberOr("retries", 0));
+      run.runner_seconds = event.NumberOr("runner_seconds", 0.0);
+      if (const json::Value* reports = event.Find("reports");
+          reports != nullptr && reports->is_array()) {
+        for (const json::Value& p : reports->items()) {
+          run.report_paths.push_back(p.string_value());
+        }
+      }
+      if (run.status.ok() && !run.report_paths.empty() &&
+          json::ParseFile(run.report_paths.back()).ok()) {
+        resumable.emplace(name, std::move(run));
+      }
+    }
+
     std::mutex print_mutex;
     const auto suite_start = std::chrono::steady_clock::now();
     const std::vector<BinaryRun> runs =
         ParallelMap(slots, to_run.size(), [&](size_t i) -> BinaryRun {
           const SuiteEntry& entry = *to_run[i];
           const std::string name = entry.name;
-          const fs::path binary = fs::path(opts.bench_dir) / name;
-          const fs::path report_path = report_dir / (name + ".json");
-          const fs::path log_path = report_dir / (name + ".log");
-          std::vector<std::string> args = {
-              binary.string(), "--json=" + report_path.string(),
-              "--instructions=" + std::to_string(instructions),
-              "--jobs=" + std::to_string(inner_jobs)};
-          if (opts.quick && entry.quick_extra[0] != '\0') {
-            args.push_back(entry.quick_extra);
+          if (const auto it = resumable.find(name); it != resumable.end()) {
+            std::lock_guard<std::mutex> lock(print_mutex);
+            std::printf("[bench_runner] %s (done; resumed from journal)\n", name.c_str());
+            std::fflush(stdout);
+            return it->second;
           }
+          const fs::path binary = fs::path(opts.bench_dir) / name;
+          const fs::path log_path = report_dir / (name + ".log");
           {
             std::lock_guard<std::mutex> lock(print_mutex);
             std::printf("[bench_runner] %s ...\n", name.c_str());
             std::fflush(stdout);
           }
+          json::Value started = json::Value::Object();
+          started.Set("event", "start");
+          started.Set("binary", name);
+          journal.Append(started);
+
           BinaryRun run;
           const auto start = std::chrono::steady_clock::now();
           for (;;) {
+            const fs::path report_path =
+                report_dir / (run.retries == 0
+                                  ? name + ".json"
+                                  : name + ".retry" + std::to_string(run.retries) + ".json");
+            run.report_paths.push_back(report_path.string());
+            std::vector<std::string> args = {
+                binary.string(), "--json=" + report_path.string(),
+                "--instructions=" + std::to_string(instructions),
+                "--jobs=" + std::to_string(inner_jobs)};
+            if (opts.checkpoint_interval > 0) {
+              args.push_back("--checkpoint-dir=" +
+                             (report_dir / "checkpoints" / name).string());
+              args.push_back("--checkpoint-interval=" +
+                             std::to_string(opts.checkpoint_interval));
+            }
+            if (opts.quick && entry.quick_extra[0] != '\0') {
+              args.push_back(entry.quick_extra);
+            }
             // A stale report from a previous attempt (or run) must never be
             // salvaged as this attempt's output.
             std::error_code remove_ec;
@@ -597,6 +832,23 @@ int Run(int argc, char** argv) {
           }
           run.runner_seconds =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+          json::Value done = json::Value::Object();
+          done.Set("event", "done");
+          done.Set("binary", name);
+          done.Set("exit", run.status.spawn_failed ? -1 : run.status.exit_code);
+          if (run.status.signaled) {
+            done.Set("signal", run.status.signal);
+          }
+          done.Set("timed_out", run.status.timed_out);
+          done.Set("retries", run.retries);
+          done.Set("runner_seconds", run.runner_seconds);
+          json::Value reports = json::Value::Array();
+          for (const std::string& p : run.report_paths) {
+            reports.Append(p);
+          }
+          done.Set("reports", std::move(reports));
+          journal.Append(done);
           return run;
         });
     const double suite_seconds =
@@ -607,7 +859,9 @@ int Run(int argc, char** argv) {
     for (size_t i = 0; i < to_run.size(); ++i) {
       const std::string name = to_run[i]->name;
       const BinaryRun& run = runs[i];
-      const fs::path report_path = report_dir / (name + ".json");
+      const fs::path report_path = run.report_paths.empty()
+                                       ? report_dir / (name + ".json")
+                                       : fs::path(run.report_paths.back());
       const fs::path log_path = report_dir / (name + ".log");
       json::Value info = json::Value::Object();
       info.Set("exit", run.status.spawn_failed ? -1 : run.status.exit_code);
@@ -617,6 +871,16 @@ int Run(int argc, char** argv) {
       info.Set("timed_out", run.status.timed_out);
       info.Set("retries", run.retries);
       info.Set("runner_seconds", run.runner_seconds);
+      if (run.from_journal) {
+        info.Set("resumed", true);
+      }
+      // Every attempt's report path (retries write to stamped paths), so the
+      // merged header records exactly which file each metric came from.
+      json::Value report_list = json::Value::Array();
+      for (const std::string& p : run.report_paths) {
+        report_list.Append(p);
+      }
+      info.Set("reports", std::move(report_list));
       auto report = json::ParseFile(report_path.string());
       if (!run.status.ok()) {
         std::fprintf(stderr, "bench_runner: %s %s (log: %s)\n", name.c_str(),
@@ -673,7 +937,7 @@ int Run(int argc, char** argv) {
     std::printf("[bench_runner] suite wall-clock %.2fs (jobs=%d, per-binary jobs=%d)\n",
                 suite_seconds, total_jobs, inner_jobs);
 
-    if (Status s = json::WriteFile(opts.out, merged); !s.ok()) {
+    if (Status s = json::WriteFileAtomic(opts.out, merged); !s.ok()) {
       std::fprintf(stderr, "bench_runner: %s\n", s.ToString().c_str());
       return 1;
     }
@@ -682,7 +946,7 @@ int Run(int argc, char** argv) {
   }
 
   if (!opts.write_baseline.empty()) {
-    if (Status s = json::WriteFile(opts.write_baseline, merged); !s.ok()) {
+    if (Status s = json::WriteFileAtomic(opts.write_baseline, merged); !s.ok()) {
       std::fprintf(stderr, "bench_runner: %s\n", s.ToString().c_str());
       return 1;
     }

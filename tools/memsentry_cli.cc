@@ -5,15 +5,19 @@
 //   memsentry advise --events F --bytes N [--year Y] [--mpk] [--no-hypervisor]
 //   memsentry dump --benchmark 403.gcc --technique mpx [--defense shadowstack]
 //                                                  show instrumented IR
+//   memsentry replay <crash-bundle-dir>  deterministically re-execute the
+//                                        failing cell a crash bundle recorded
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/attacks/harness.h"
+#include "src/base/json.h"
 #include "src/core/advisor.h"
 #include "src/core/memsentry.h"
 #include "src/defenses/shadow_stack.h"
+#include "src/eval/fault_campaign.h"
 #include "src/eval/figures.h"
 #include "src/ir/printer.h"
 #include "src/workloads/synth.h"
@@ -28,7 +32,8 @@ int Usage() {
                "  attack [--region-bytes N]\n"
                "  advise [--events F] [--bytes N] [--year Y] [--mpk] [--no-hypervisor]\n"
                "  dump [--benchmark NAME] [--technique sfi|mpx|mpk|vmfunc|crypt|sgx|mprotect]\n"
-               "       [--defense shadowstack|none] [--lines N]\n");
+               "       [--defense shadowstack|none] [--lines N]\n"
+               "  replay BUNDLE_DIR   re-execute the cell a crash bundle recorded\n");
   return 2;
 }
 
@@ -186,6 +191,80 @@ int RunDump(int argc, char** argv) {
   return 0;
 }
 
+// `replay <bundle>`: parse the bundle's manifest.json and deterministically
+// re-execute the cell it recorded. Fault-campaign cells derive all their
+// randomness from (seed, technique, site), so the replay is bit-for-bit the
+// original run:
+//   - forced-crash bundles re-run with the same force_crash hook and abort
+//     at the same point (exit mirrors the original SIGABRT death);
+//   - escape bundles re-run the cell and compare the outcome against the
+//     manifest's expected outcome: 0 when it reproduces, 1 when it doesn't.
+int RunReplay(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  const std::string bundle = argv[0];
+  auto manifest = json::ParseFile(bundle + "/manifest.json");
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "replay: %s\n", manifest.status().ToString().c_str());
+    return 2;
+  }
+  const json::Value* replay = manifest->Find("replay");
+  if (replay == nullptr || !replay->is_object()) {
+    std::fprintf(stderr, "replay: bundle has no replay spec (cell \"%s\", reason \"%s\")\n",
+                 manifest->StringOr("cell", "?").c_str(),
+                 manifest->StringOr("reason", "?").c_str());
+    return 2;
+  }
+  const std::string kind = replay->StringOr("kind", "");
+  if (kind != "fault_cell") {
+    std::fprintf(stderr, "replay: unsupported replay kind \"%s\"\n", kind.c_str());
+    return 2;
+  }
+
+  const std::string technique = replay->StringOr("technique", "");
+  const std::string site = replay->StringOr("site", "");
+  eval::FaultCampaignOptions options;
+  options.seed = static_cast<uint64_t>(replay->NumberOr("seed", 0));
+  options.force_crash = replay->StringOr("force_crash", "");
+  const std::string expected = replay->StringOr("expected", "");
+
+  // Resolve the cell by its names against the matrix — the names in the
+  // manifest are exactly the names the matrix prints, so an unknown pair
+  // means a stale or hand-edited bundle.
+  for (const auto& [cell_kind, cell_site] : eval::FaultMatrixCells()) {
+    if (technique != core::TechniqueKindName(cell_kind) ||
+        site != sim::FaultSiteName(cell_site)) {
+      continue;
+    }
+    std::printf("replay: cell %s/%s seed 0x%llx%s\n", technique.c_str(), site.c_str(),
+                static_cast<unsigned long long>(options.seed),
+                options.force_crash.empty() ? "" : " (forced crash armed)");
+    // A forced-crash replay aborts inside RunFaultCell, reproducing the
+    // original death; control only returns here for surviving cells.
+    const eval::FaultCellResult cell = eval::RunFaultCell(cell_kind, cell_site, options);
+    std::printf("replay: outcome %s (repairs %d, quarantines %d, downgrades %d)\n",
+                eval::ContainmentName(cell.outcome), cell.repairs, cell.quarantines,
+                cell.downgrades);
+    if (!cell.detail.empty()) {
+      std::printf("replay: detail: %s\n", cell.detail.c_str());
+    }
+    if (!expected.empty()) {
+      if (expected == eval::ContainmentName(cell.outcome)) {
+        std::printf("replay: reproduced the recorded outcome (%s)\n", expected.c_str());
+        return 0;
+      }
+      std::fprintf(stderr, "replay: outcome diverged: bundle recorded %s, replay got %s\n",
+                   expected.c_str(), eval::ContainmentName(cell.outcome));
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "replay: unknown fault-matrix cell %s/%s\n", technique.c_str(),
+               site.c_str());
+  return 2;
+}
+
 }  // namespace
 }  // namespace memsentry
 
@@ -206,6 +285,9 @@ int main(int argc, char** argv) {
   }
   if (command == "dump") {
     return RunDump(argc - 2, argv + 2);
+  }
+  if (command == "replay") {
+    return RunReplay(argc - 2, argv + 2);
   }
   return Usage();
 }
