@@ -1,5 +1,8 @@
 #include "src/machine/tlb.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace memsentry::machine {
 
 Tlb::Entry* Tlb::LookupEntry(VirtAddr virt, uint16_t vpid) {
@@ -90,6 +93,34 @@ void Tlb::FlushVpid(uint16_t vpid) {
     }
   }
   ++stats_.flushes;
+}
+
+int Tlb::OccupancyForVpid(uint16_t vpid) const {
+  int count = 0;
+  for (const auto& set : sets_) {
+    for (const Entry& e : set) {
+      if (e.valid && e.vpid == vpid) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+int Tlb::CountResidentVpids() const {
+  // kSets * kWays is 512; a scan with a small sorted vector beats dragging
+  // in a hash set for a diagnostic call.
+  std::vector<uint16_t> seen;
+  for (const auto& set : sets_) {
+    for (const Entry& e : set) {
+      if (e.valid) {
+        seen.push_back(e.vpid);
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  return static_cast<int>(seen.size());
 }
 
 }  // namespace memsentry::machine

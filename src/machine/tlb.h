@@ -78,6 +78,13 @@ class Tlb {
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
 
+  // Non-perturbing occupancy scans for multi-tenant experiments: how many
+  // valid entries a given address space holds, and how many distinct address
+  // spaces are resident. No LRU bumps, no stats, no version change — safe to
+  // call mid-run without breaking bit-identity.
+  int OccupancyForVpid(uint16_t vpid) const;
+  int CountResidentVpids() const;
+
   // Crash-safe snapshots: entries with their (set, way) coordinates, the LRU
   // tick and the mutation version — replacement decisions and grant-cache
   // coherence both depend on them bit-for-bit.

@@ -54,6 +54,11 @@ bool Kernel::ConsumeInjected(uint64_t nr, Errno* err) {
 }
 
 uint64_t Kernel::Dispatch(uint64_t nr, uint64_t a0, uint64_t a1) {
+  ++total_syscalls_;
+  if (current_asid_ >= asid_syscalls_.size()) {
+    asid_syscalls_.resize(current_asid_ + 1, 0);
+  }
+  ++asid_syscalls_[current_asid_];
   Errno injected;
   if (ConsumeInjected(nr, &injected)) {
     return SysErr(injected);
@@ -291,6 +296,11 @@ Status Kernel::LoadState(machine::SnapshotReader& r) {
   injected_failures_ = injected;
   tag_counts_ = tag_counts;
   armed_ = std::move(armed);
+  // Per-ASID attribution is scheduler-session state and is not part of the
+  // pinned snapshot format; a restored kernel starts with a clean ledger.
+  current_asid_ = 0;
+  total_syscalls_ = 0;
+  asid_syscalls_.clear();
   return OkStatus();
 }
 

@@ -70,6 +70,17 @@ class Kernel {
   void InjectSyscallFailure(Sysno nr, Errno err, int count = 1);
   uint64_t injected_failures() const { return injected_failures_; }
 
+  // Scheduler integration: the scheduler announces which tenant (ASID) is on
+  // the CPU before running its timeslice, so syscall accounting can be
+  // attributed per tenant. ASID 0 is "kernel/no tenant" and is the default.
+  void SetCurrentAsid(uint16_t asid) { current_asid_ = asid; }
+  uint16_t current_asid() const { return current_asid_; }
+  // Syscalls dispatched while `asid` was current (0 for never-seen ASIDs).
+  uint64_t asid_syscalls(uint16_t asid) const {
+    return asid < asid_syscalls_.size() ? asid_syscalls_[asid] : 0;
+  }
+  uint64_t total_syscalls() const { return total_syscalls_; }
+
   // Bookkeeping the tests inspect.
   uint64_t mmap_calls() const { return mmap_calls_; }
   uint64_t mprotect_calls() const { return mprotect_calls_; }
@@ -85,6 +96,9 @@ class Kernel {
 
   // Crash-safe snapshots: key allocator bitmap, placement cursors, counters
   // and armed injected failures. Install() is re-run by setup, not saved.
+  // The per-ASID attribution is scheduler-session state, not ABI state: it is
+  // NOT serialized (the on-disk format is pinned by a golden blob) and
+  // LoadState resets it along with current_asid.
   void SaveState(machine::SnapshotWriter& w) const;
   Status LoadState(machine::SnapshotReader& r);
 
@@ -116,6 +130,9 @@ class Kernel {
   uint64_t injected_failures_ = 0;
   std::array<uint64_t, mpk::kNumKeys> tag_counts_{};
   std::vector<ArmedFailure> armed_;
+  uint16_t current_asid_ = 0;
+  uint64_t total_syscalls_ = 0;
+  std::vector<uint64_t> asid_syscalls_;  // grown on demand, indexed by ASID
 };
 
 }  // namespace memsentry::sim

@@ -125,6 +125,7 @@ const SuiteEntry kSuite[] = {
     {"attack_matrix"},
     {"fault_matrix"},
     {"ablations"},
+    {"server_workload", "--quick"},
     {"microarch_stats"},
     {"bench_substrate", "--benchmark_min_time=0.01s"},
 };

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Shared CI gate and step-summary helpers over bench report JSON.
+#
+# Every CI job that inspects a report with jq goes through this script so the
+# metric schema (.metrics[KEY].value, .host.jobs) is spelled out in exactly
+# one place. Subcommands:
+#
+#   require-zero KEY FILE...
+#       Fail (exit 1) unless .metrics[KEY].value is exactly 0 in every FILE.
+#   require-zero-matching REGEX FILE...
+#       Fail unless every metric whose key matches REGEX is exactly 0 in
+#       every FILE; also fail if a FILE has no matching metric at all (a
+#       silently-renamed key must not pass the gate).
+#   wall-summary TITLE FILE...
+#       Markdown table of .host.jobs and runner/wall_seconds per FILE, for
+#       $GITHUB_STEP_SUMMARY. Missing files are skipped.
+#   fastpath-summary ON_FILE OFF_FILE
+#       Markdown table comparing runner/seconds/<binary> between a
+#       fastpath=on and a fastpath=off report.
+#   show FILE
+#       Pretty-print FILE, failing the step if it is not valid JSON.
+set -euo pipefail
+
+die_usage() {
+  echo "usage: $0 {require-zero KEY FILE...|require-zero-matching REGEX FILE...|wall-summary TITLE FILE...|fastpath-summary ON OFF|show FILE}" >&2
+  exit 2
+}
+
+[ $# -ge 1 ] || die_usage
+cmd=$1
+shift
+
+metric() { # metric KEY FILE
+  jq -r --arg k "$1" '.metrics[$k].value // "?"' "$2"
+}
+
+case "$cmd" in
+  require-zero)
+    [ $# -ge 2 ] || die_usage
+    key=$1
+    shift
+    fail=0
+    for f in "$@"; do
+      value=$(jq -r --arg k "$key" '.metrics[$k].value' "$f")
+      echo "$f: $key=$value"
+      if [ "$value" != "0" ]; then
+        echo "::error::$f reports $key=$value (expected 0)"
+        fail=1
+      fi
+    done
+    exit "$fail"
+    ;;
+
+  require-zero-matching)
+    [ $# -ge 2 ] || die_usage
+    regex=$1
+    shift
+    fail=0
+    for f in "$@"; do
+      matches=$(jq -r --arg re "$regex" \
+        '.metrics | to_entries[] | select(.key | test($re)) | "\(.key)=\(.value.value)"' "$f")
+      if [ -z "$matches" ]; then
+        echo "::error::$f has no metric matching /$regex/"
+        fail=1
+        continue
+      fi
+      count=$(printf '%s\n' "$matches" | wc -l)
+      echo "$f: $count metric(s) match /$regex/"
+      while IFS= read -r line; do
+        if [ "${line##*=}" != "0" ]; then
+          echo "::error::$f: $line (expected 0)"
+          fail=1
+        fi
+      done <<< "$matches"
+    done
+    exit "$fail"
+    ;;
+
+  wall-summary)
+    [ $# -ge 2 ] || die_usage
+    title=$1
+    shift
+    echo "### $title"
+    echo ""
+    echo "| run | jobs | runner/wall_seconds |"
+    echo "|---|---|---|"
+    for f in "$@"; do
+      [ -f "$f" ] || continue
+      jobs=$(jq -r '.host.jobs // "?"' "$f")
+      wall=$(metric runner/wall_seconds "$f")
+      echo "| $f | $jobs | $wall |"
+    done
+    ;;
+
+  fastpath-summary)
+    [ $# -eq 2 ] || die_usage
+    on_file=$1
+    off_file=$2
+    echo "### fast-path on vs off — runner/seconds per binary"
+    echo ""
+    echo "| binary | fastpath=on (s) | fastpath=off (s) |"
+    echo "|---|---|---|"
+    jq -r '.metrics | keys[] | select(startswith("runner/seconds/"))' "$on_file" |
+      while read -r key; do
+        on=$(metric "$key" "$on_file")
+        off=$(metric "$key" "$off_file")
+        echo "| ${key#runner/seconds/} | $on | $off |"
+      done
+    for f in "$on_file" "$off_file"; do
+      wall=$(metric runner/wall_seconds "$f")
+      echo "| total ($f) | $wall | |"
+    done
+    ;;
+
+  show)
+    [ $# -eq 1 ] || die_usage
+    jq . "$1"
+    ;;
+
+  *)
+    die_usage
+    ;;
+esac
