@@ -75,6 +75,10 @@ inline constexpr double kGeomeanTol = 0.05;
 inline constexpr double kPerBenchmarkTol = 0.15;
 inline constexpr double kCyclesTol = 0.15;
 inline constexpr double kMicroLatencyTol = 0.10;
+// Host-side throughput (sim instr/s) swings with machine load and CPU
+// generation; the wide band still catches order-of-magnitude interpreter
+// regressions while staying quiet across healthy hosts.
+inline constexpr double kHostThroughputTol = 0.60;
 
 // Collects a benchmark binary's results as named metrics and writes the
 // machine-readable report when the binary was invoked with --json=<path>.
@@ -174,10 +178,20 @@ class Reporter {
     Add(name, value, eval::MetricKind::kInfo, 0.0);
   }
 
+  // Host-dependent perf metric: tolerance-checked against the committed
+  // baseline (so sustained throughput regressions surface in the gate) but
+  // never a hard failure, and exempt from --check-determinism — its value
+  // depends on host wall-clock speed, not on simulation state.
+  void AddHostPerf(const std::string& name, double value, double tol) {
+    Add(name, value, eval::MetricKind::kPerf, tol);
+    metrics_[name].Set("host", true);
+  }
+
   // Accumulates simulated (retired) instructions executed by this binary.
-  // Finish() turns the total into a `<binary>/sim_instr_per_second` info
-  // metric — the suite's wall-clock throughput gauge, deliberately kInfo so
-  // host speed never gates.
+  // Finish() turns the total into a `<binary>/sim_instr_per_second`
+  // host-perf metric — the suite's wall-clock throughput gauge, checked
+  // against the baseline with a generous tolerance (hosts vary) but
+  // warn-only so a slow machine never hard-fails the gate.
   void AddSimulatedInstructions(double instructions) { sim_instructions_ += instructions; }
 
   // A whole figure: per-config geomeans (fidelity, with the paper's
@@ -209,7 +223,8 @@ class Reporter {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
     AddInfo(binary_ + "/wall_seconds", wall);
     if (sim_instructions_ > 0 && wall > 0) {
-      AddInfo(binary_ + "/sim_instr_per_second", sim_instructions_ / wall);
+      AddHostPerf(binary_ + "/sim_instr_per_second", sim_instructions_ / wall,
+                  kHostThroughputTol);
     }
     json::Value doc = json::Value::Object();
     doc.Set("schema", 1);

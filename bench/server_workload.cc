@@ -7,6 +7,7 @@
 // tenants for the CI gate; the full run adds the 10k point.
 #include "bench/bench_util.h"
 
+#include "src/sim/decode_cache.h"
 #include "src/workloads/server.h"
 
 int main(int argc, char** argv) {
@@ -26,8 +27,13 @@ int main(int argc, char** argv) {
   }
   const auto techniques = workloads::AllServerTechniques();
   workloads::ServerConfig base;
+  // Scoped to the sweep so the hit-rate metric below reflects exactly this
+  // binary's lowering traffic: one decode per technique, every tenant in
+  // every cell a hit.
+  sim::DecodeCache::Global().ResetStats();
   const auto cells =
       workloads::RunServerSweep(tenant_counts, techniques, base, reporter.Jobs());
+  const sim::DecodeCacheStats decode_stats = sim::DecodeCache::Global().stats();
 
   std::printf("%-10s %8s %14s %12s %12s %12s %8s %8s\n", "technique", "tenants", "req/s",
               "p50 cyc", "p99 cyc", "p999 cyc", "tlb-hit", "switches");
@@ -63,5 +69,12 @@ int main(int argc, char** argv) {
   std::printf("(modeled cycles at the calibrated 4 GHz clock; open-loop load %.0f%%;\n"
               " VMFUNC omitted: one EPT per tenant exceeds the 512-entry EPTP list)\n",
               100.0 * base.offered_load);
+  // Shared decoded-module cache behavior across the whole sweep: tenants of
+  // one technique share a single lowering, so misses == #techniques.
+  reporter.AddInfo("microarch/decode_cache_hit_rate", decode_stats.HitRate());
+  reporter.AddInfo("microarch/decode_cache_lowerings",
+                   static_cast<double>(decode_stats.misses));
+  std::printf("decode cache: %.4f hit rate, %llu lowerings\n", decode_stats.HitRate(),
+              static_cast<unsigned long long>(decode_stats.misses));
   return reporter.Finish();
 }

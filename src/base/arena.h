@@ -1,0 +1,105 @@
+// A chunked bump allocator for executor-transient state. Hot interpreter
+// paths (the AES crypt scratch buffer, per-cell setup scratch) used to hit
+// the general heap once per event; an Arena turns that into a pointer bump
+// after the first chunk warms up. Reset() recycles every chunk without
+// returning memory to the OS, so steady-state allocation never calls
+// malloc. Not thread-safe: each Executor owns its own Arena.
+#ifndef MEMSENTRY_SRC_BASE_ARENA_H_
+#define MEMSENTRY_SRC_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace memsentry::base {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two). The
+  // storage lives until Reset() or destruction.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    uintptr_t p = (cursor_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    if (p + bytes > limit_) {
+      Grow(bytes, align);
+      p = (cursor_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Typed array of trivially-destructible Ts; not zero-initialized.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds to empty, keeping every chunk for reuse. O(chunks), no frees.
+  void Reset() {
+    chunk_index_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = reinterpret_cast<uintptr_t>(chunks_[0].data.get());
+      limit_ = cursor_ + chunks_[0].size;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+  }
+
+  size_t chunk_count() const { return chunks_.size(); }
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) {
+      total += c.size;
+    }
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  void Grow(size_t bytes, size_t align) {
+    // Advance to the next retained chunk that fits, or mint a new one.
+    while (chunk_index_ + 1 < chunks_.size()) {
+      ++chunk_index_;
+      const Chunk& c = chunks_[chunk_index_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+      const uintptr_t aligned = (base + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+      if (aligned + bytes <= base + c.size) {
+        cursor_ = base;
+        limit_ = base + c.size;
+        return;
+      }
+    }
+    const size_t want = bytes + align;
+    const size_t size = want > chunk_bytes_ ? want : chunk_bytes_;
+    Chunk chunk;
+    chunk.data = std::make_unique<uint8_t[]>(size);
+    chunk.size = size;
+    cursor_ = reinterpret_cast<uintptr_t>(chunk.data.get());
+    limit_ = cursor_ + size;
+    chunks_.push_back(std::move(chunk));
+    chunk_index_ = chunks_.size() - 1;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t chunk_index_ = 0;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+};
+
+}  // namespace memsentry::base
+
+#endif  // MEMSENTRY_SRC_BASE_ARENA_H_

@@ -38,8 +38,17 @@ class SecondLevelTranslation {
   virtual int ExtraWalkLevels() const = 0;
 
   // Mixed into TLB tags: switching EPTs (vmfunc) must not require a flush,
-  // which real hardware achieves with per-EPTP TLB tagging.
-  virtual uint16_t AsidTag() const = 0;
+  // which real hardware achieves with per-EPTP TLB tagging. Non-virtual on
+  // purpose — the grant probe reads it on every memory access, so it must
+  // stay a plain inline load; implementations publish tag changes through
+  // SetAsidTag (vmx does so on every EPT switch and snapshot restore).
+  uint16_t AsidTag() const { return asid_tag_; }
+
+ protected:
+  void SetAsidTag(uint16_t tag) { asid_tag_ = tag; }
+
+ private:
+  uint16_t asid_tag_ = 0;
 };
 
 struct AccessResult {

@@ -77,8 +77,7 @@ const PhysicalMemory::Frame* PhysicalMemory::FrameForConst(PhysAddr addr) const 
   return it->second.get();
 }
 
-uint64_t PhysicalMemory::Read64(PhysAddr addr) const {
-  assert(PageOffset(addr) + 8 <= kPageSize && "64-bit read crosses a frame boundary");
+uint64_t PhysicalMemory::Read64Slow(PhysAddr addr) const {
   const Frame* frame = FrameForConst(addr);
   if (frame == nullptr) {
     return 0;
@@ -88,18 +87,17 @@ uint64_t PhysicalMemory::Read64(PhysAddr addr) const {
   return v;
 }
 
-void PhysicalMemory::Write64(PhysAddr addr, uint64_t value) {
-  assert(PageOffset(addr) + 8 <= kPageSize && "64-bit write crosses a frame boundary");
+void PhysicalMemory::Write64Slow(PhysAddr addr, uint64_t value) {
   Frame* frame = FrameFor(addr);
   std::memcpy(frame->data() + PageOffset(addr), &value, sizeof(value));
 }
 
-uint8_t PhysicalMemory::Read8(PhysAddr addr) const {
+uint8_t PhysicalMemory::Read8Slow(PhysAddr addr) const {
   const Frame* frame = FrameForConst(addr);
   return frame == nullptr ? 0 : (*frame)[PageOffset(addr)];
 }
 
-void PhysicalMemory::Write8(PhysAddr addr, uint8_t value) {
+void PhysicalMemory::Write8Slow(PhysAddr addr, uint8_t value) {
   (*FrameFor(addr))[PageOffset(addr)] = value;
 }
 

@@ -5,6 +5,7 @@
 #define MEMSENTRY_SRC_MACHINE_PHYS_MEM_H_
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -35,11 +36,40 @@ class PhysicalMemory {
   uint64_t total_frames() const { return total_frames_; }
 
   // Byte access. Addresses may span frame boundaries only within one frame;
-  // callers (the MMU) split accesses at page granularity.
-  uint64_t Read64(PhysAddr addr) const;
-  void Write64(PhysAddr addr, uint64_t value);
-  uint8_t Read8(PhysAddr addr) const;
-  void Write8(PhysAddr addr, uint8_t value);
+  // callers (the MMU) split accesses at page granularity. The frame-cache
+  // hit path is inline — the interpreter performs one of these per modeled
+  // memory access, and accesses cluster on a handful of frames — with the
+  // map lookup / lazy materialization out of line.
+  uint64_t Read64(PhysAddr addr) const {
+    assert(PageOffset(addr) + 8 <= kPageSize && "64-bit read crosses a frame boundary");
+    if (const Frame* frame = CachedFrameLookup(addr)) {
+      uint64_t v;
+      std::memcpy(&v, frame->data() + PageOffset(addr), sizeof(v));
+      return v;
+    }
+    return Read64Slow(addr);
+  }
+  void Write64(PhysAddr addr, uint64_t value) {
+    assert(PageOffset(addr) + 8 <= kPageSize && "64-bit write crosses a frame boundary");
+    if (Frame* frame = CachedFrameLookup(addr)) {
+      std::memcpy(frame->data() + PageOffset(addr), &value, sizeof(value));
+      return;
+    }
+    Write64Slow(addr, value);
+  }
+  uint8_t Read8(PhysAddr addr) const {
+    if (const Frame* frame = CachedFrameLookup(addr)) {
+      return (*frame)[PageOffset(addr)];
+    }
+    return Read8Slow(addr);
+  }
+  void Write8(PhysAddr addr, uint8_t value) {
+    if (Frame* frame = CachedFrameLookup(addr)) {
+      (*frame)[PageOffset(addr)] = value;
+      return;
+    }
+    Write8Slow(addr, value);
+  }
   void ReadBytes(PhysAddr addr, void* out, uint64_t size) const;
   void WriteBytes(PhysAddr addr, const void* in, uint64_t size);
 
@@ -58,6 +88,20 @@ class PhysicalMemory {
   // explicitly; test code may poke memory directly).
   Frame* FrameFor(PhysAddr addr);
   const Frame* FrameForConst(PhysAddr addr) const;
+
+  // Direct-mapped cache probe shared by the inline access fast paths;
+  // returns nullptr on a cache miss (the slow paths consult the map).
+  Frame* CachedFrameLookup(PhysAddr addr) const {
+    const uint64_t f = PageNumber(addr);
+    const CachedFrame& slot = frame_cache_[f & (kFrameCacheSlots - 1)];
+    return slot.number == f ? slot.frame : nullptr;
+  }
+
+  // Out-of-line halves of the inline accessors: frame-cache misses only.
+  uint64_t Read64Slow(PhysAddr addr) const;
+  void Write64Slow(PhysAddr addr, uint64_t value);
+  uint8_t Read8Slow(PhysAddr addr) const;
+  void Write8Slow(PhysAddr addr, uint8_t value);
 
   // Direct-mapped lookup cache in front of the frame map: accesses cluster
   // heavily by frame, and the Frame* stays stable behind its unique_ptr.

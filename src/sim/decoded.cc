@@ -9,8 +9,12 @@
 namespace memsentry::sim {
 namespace {
 
-// Pure-register instructions with statically known cycle contributions; a
-// maximal run of these becomes one fused µop.
+// Instructions with statically known cycle contributions whose execution
+// never redirects control flow on success; a maximal run of these becomes
+// one fused µop (a superblock). kLoad/kStore joined the set in PR 7: their
+// slot cost is static, their MMU access replays inline, and the executor
+// bails out of the run on a grant miss or TLB-version tick (and on fault,
+// with exact per-op bookkeeping).
 bool Fusible(ir::Opcode op) {
   switch (op) {
     case ir::Opcode::kNop:
@@ -20,9 +24,65 @@ bool Fusible(ir::Opcode op) {
     case ir::Opcode::kAluRR:
     case ir::Opcode::kLea:
     case ir::Opcode::kVecOp:
+    case ir::Opcode::kLoad:
+    case ir::Opcode::kStore:
       return true;
     default:
       return false;
+  }
+}
+
+// Dispatch handler index for a singleton (non-fused) µop.
+uint8_t HandlerFor(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::kLoad:
+      return kHLoad;
+    case ir::Opcode::kStore:
+      return kHStore;
+    case ir::Opcode::kJmp:
+      return kHJmp;
+    case ir::Opcode::kCondBr:
+      return kHCondBr;
+    case ir::Opcode::kCall:
+      return kHCall;
+    case ir::Opcode::kIndirectCall:
+      return kHIndirectCall;
+    case ir::Opcode::kRet:
+      return kHRet;
+    case ir::Opcode::kHalt:
+      return kHHalt;
+    case ir::Opcode::kSyscall:
+      return kHSyscall;
+    case ir::Opcode::kMprotect:
+      return kHMprotect;
+    case ir::Opcode::kBndcu:
+      return kHBndcu;
+    case ir::Opcode::kBndcl:
+      return kHBndcl;
+    case ir::Opcode::kWrpkru:
+      return kHWrpkru;
+    case ir::Opcode::kRdpkru:
+      return kHRdpkru;
+    case ir::Opcode::kVmFunc:
+      return kHVmFunc;
+    case ir::Opcode::kVmCall:
+      return kHVmCall;
+    case ir::Opcode::kMFence:
+      return kHMFence;
+    case ir::Opcode::kAesCryptRegion:
+      return kHAesCryptRegion;
+    case ir::Opcode::kEnclaveEnter:
+      return kHEnclaveEnter;
+    case ir::Opcode::kEnclaveExit:
+      return kHEnclaveExit;
+    case ir::Opcode::kTrap:
+      return kHTrap;
+    case ir::Opcode::kTrapIf:
+      return kHTrapIf;
+    default:
+      // Fusible opcodes never decode to singleton µops; treat an impossible
+      // one as a guard so a decode bug faults instead of executing.
+      return kHGuard;
   }
 }
 
@@ -140,6 +200,7 @@ std::shared_ptr<const DecodedModule> DecodedModule::Build(const ir::Module& modu
           const int32_t uop_index = static_cast<int32_t>(df.uops.size());
           Uop u;
           u.fused = true;
+          u.handler = kHFused;
           u.block = static_cast<int32_t>(b);
           u.index = static_cast<int32_t>(i);
           u.fuse_start = static_cast<uint32_t>(df.regops.size());
@@ -153,6 +214,7 @@ std::shared_ptr<const DecodedModule> DecodedModule::Build(const ir::Module& modu
             op.src = static_cast<uint8_t>(instr.src);
             op.alu_kind = static_cast<uint8_t>(instr.imm & 3);
             op.instrumentation = instr.IsInstrumentation();
+            op.is_memory = instr.op == ir::Opcode::kLoad || instr.op == ir::Opcode::kStore;
             const ResolvedCost rc = StaticCost(instr, cost, dec->ymm_reserved);
             op.cost = rc.cost;
             op.extra = rc.extra;
@@ -171,6 +233,7 @@ std::shared_ptr<const DecodedModule> DecodedModule::Build(const ir::Module& modu
           slots[i] = {static_cast<int32_t>(df.uops.size()), 0};
           Uop u;
           u.op = instr.op;
+          u.handler = HandlerFor(instr.op);
           u.instrumentation = instr.IsInstrumentation();
           u.critical = instr.IsCritical();
           u.dst = static_cast<uint8_t>(instr.dst);
@@ -226,7 +289,11 @@ std::shared_ptr<const DecodedModule> DecodedModule::Build(const ir::Module& modu
 
 bool DecodedModule::Matches(const ir::Module& module, const Process& process) const {
   return source == &module && module_version == module.version &&
-         instr_count == module.InstrCount() && ymm_reserved == process.ymm_reserved() &&
+         instr_count == module.InstrCount() && CostMatches(process);
+}
+
+bool DecodedModule::CostMatches(const Process& process) const {
+  return ymm_reserved == process.ymm_reserved() &&
          std::memcmp(&cost, &process.machine().cost, sizeof(cost)) == 0;
 }
 
@@ -243,6 +310,9 @@ void CheckUop(const ir::Module& module, int func, const Uop& uop,
     if (uop.index != static_cast<int32_t>(instrs.size())) {
       DecodeDivergence("guard µop not at block end", func, uop.block, uop.index);
     }
+    if (uop.handler != kHGuard) {
+      DecodeDivergence("guard µop with non-guard handler", func, uop.block, uop.index);
+    }
     return;
   }
   if (uop.index < 0 || uop.index >= static_cast<int32_t>(instrs.size())) {
@@ -253,12 +323,18 @@ void CheckUop(const ir::Module& module, int func, const Uop& uop,
     if (!Fusible(instr.op)) {
       DecodeDivergence("fused run starts at a non-fusible instruction", func, uop.block, uop.index);
     }
+    if (uop.handler != kHFused) {
+      DecodeDivergence("fused µop with non-fused handler", func, uop.block, uop.index);
+    }
     return;  // the RegOps inside are checked individually
   }
   if (instr.op != uop.op || static_cast<uint8_t>(instr.dst) != uop.dst ||
       static_cast<uint8_t>(instr.src) != uop.src || instr.imm != uop.imm ||
       instr.flags != uop.flags) {
     DecodeDivergence("µop fields differ from source instruction", func, uop.block, uop.index);
+  }
+  if (uop.handler != HandlerFor(instr.op)) {
+    DecodeDivergence("µop handler differs from opcode's", func, uop.block, uop.index);
   }
   const ResolvedCost rc = StaticCost(instr, cost, /*ymm_reserved=*/false);
   if (rc.cost != uop.cost || rc.has_extra != uop.has_extra ||
@@ -281,7 +357,8 @@ void CheckRegOp(const ir::Module& module, int func, const RegOp& op,
   if (instr.op != op.op || static_cast<uint8_t>(instr.dst) != op.dst ||
       static_cast<uint8_t>(instr.src) != op.src || instr.imm != op.imm ||
       static_cast<uint8_t>(instr.imm & 3) != op.alu_kind ||
-      instr.IsInstrumentation() != op.instrumentation) {
+      instr.IsInstrumentation() != op.instrumentation ||
+      (instr.op == ir::Opcode::kLoad || instr.op == ir::Opcode::kStore) != op.is_memory) {
     DecodeDivergence("RegOp fields differ from source instruction", func, op.block, op.index);
   }
   const ResolvedCost rc = StaticCost(instr, cost, ymm_reserved);

@@ -3,8 +3,11 @@
 // pre-resolved to flat indices, register numbers are pre-bound, and the
 // static per-instruction cycle costs (including the instrumentation/critical
 // flag outcomes) are pre-computed against the active CostModel. Maximal runs
-// of pure-register instructions fuse into a single µop whose RegOps the
-// interpreter replays back-to-back without touching the dispatch loop.
+// of straight-line instructions — pure-register ops and, since PR 7,
+// kLoad/kStore — fuse into a single superblock µop whose RegOps the
+// interpreter replays back-to-back without touching the dispatch loop;
+// fused memory ops ride the MMU grant cache and bail out of the run on a
+// verdict miss or TLB-version tick.
 //
 // Bit-identity by construction: fused execution performs the *same sequence
 // of floating-point additions* to the cycle accumulator as the reference
@@ -26,10 +29,47 @@ namespace memsentry::sim {
 
 class Process;
 
-// One pre-resolved pure-register operation inside a fused run. `cost` and
-// (when `has_extra`) `extra` are charged as two separate additions, exactly
+// Dispatch handler index, pre-resolved at decode so the interpreter's
+// dispatch (computed-goto table or portable switch) is a single indexed
+// jump with no opcode re-classification. kHFused covers every fused run;
+// kHGuard is the synthetic block-end guard; the rest map 1:1 onto the
+// non-fusible opcodes.
+enum UopHandler : uint8_t {
+  kHFused = 0,
+  kHGuard,
+  kHLoad,
+  kHStore,
+  kHJmp,
+  kHCondBr,
+  kHCall,
+  kHIndirectCall,
+  kHRet,
+  kHHalt,
+  kHSyscall,
+  kHMprotect,
+  kHBndcu,
+  kHBndcl,
+  kHWrpkru,
+  kHRdpkru,
+  kHVmFunc,
+  kHVmCall,
+  kHMFence,
+  kHAesCryptRegion,
+  kHEnclaveEnter,
+  kHEnclaveExit,
+  kHTrap,
+  kHTrapIf,
+  kNumUopHandlers,
+};
+
+// One pre-resolved operation inside a fused run. `cost` and (when
+// `has_extra`) `extra` are charged as two separate additions, exactly
 // as the reference interpreter charges slot + critical-latency (kAndImm) or
-// slot + ymm-reserve penalty (kVecOp).
+// slot + ymm-reserve penalty (kVecOp). Since PR 7, fused runs extend across
+// kLoad/kStore (`is_memory`): a fused memory op replays the full MMU access
+// (grant probe, pricing, safe-access profiling) inline, and the run bails
+// back to the dispatch loop the moment the op's grant verdict misses or the
+// TLB version ticks — see Executor::RunDecoded.
 struct RegOp {
   ir::Opcode op = ir::Opcode::kNop;
   uint8_t dst = 0;
@@ -37,6 +77,7 @@ struct RegOp {
   uint8_t alu_kind = 0;  // kAluRR: imm & 3
   bool instrumentation = false;
   bool has_extra = false;
+  bool is_memory = false;  // kLoad/kStore: grant-stability bailout applies
   double cost = 0;
   double extra = 0;
   uint64_t imm = 0;
@@ -51,6 +92,7 @@ struct RegOp {
 // interpreter's fetch-past-terminator #GP for unverified modules.
 struct Uop {
   ir::Opcode op = ir::Opcode::kNop;
+  uint8_t handler = kHGuard;  // pre-resolved dispatch index (UopHandler)
   bool fused = false;
   bool instrumentation = false;
   bool critical = false;
@@ -117,6 +159,12 @@ struct DecodedModule {
   // identity and version, same instruction count, identical cost model and
   // ymm reservation.
   bool Matches(const ir::Module& module, const Process& process) const;
+
+  // The cost-model half of Matches: identical cost snapshot and ymm
+  // reservation. Used by Executor for decodes obtained from the shared
+  // DecodeCache, whose `source` points at whichever module instance first
+  // populated the entry (content-identical, not pointer-identical).
+  bool CostMatches(const Process& process) const;
 };
 
 // kCheck helpers: re-derive a µop/RegOp from its source instruction and the

@@ -50,6 +50,7 @@ machine::FaultOr<bool> VmxContext::VmFunc(uint64_t leaf, uint64_t index) {
     return machine::Fault{machine::FaultType::kVmExit, index, machine::AccessType::kExecute};
   }
   active_ = static_cast<int>(index);
+  SetAsidTag(static_cast<uint16_t>(active_ + 1));
   return true;
 }
 
@@ -99,6 +100,7 @@ Status VmxContext::LoadState(machine::SnapshotReader& r) {
     MEMSENTRY_RETURN_IF_ERROR(ept->LoadState(r));
   }
   active_ = active;
+  SetAsidTag(static_cast<uint16_t>(active_ + 1));
   return OkStatus();
 }
 

@@ -60,7 +60,7 @@ using HypercallHandler =
 // translation hook, owns the EPTP list and dispatches VM functions.
 class VmxContext : public machine::SecondLevelTranslation {
  public:
-  explicit VmxContext(machine::PhysicalMemory* pmem) : pmem_(pmem) {}
+  explicit VmxContext(machine::PhysicalMemory* pmem) : pmem_(pmem) { SetAsidTag(1); }
 
   // Hypervisor-side: creates a new EPT, returns its EPTP-list index.
   StatusOr<int> CreateEpt();
@@ -80,7 +80,6 @@ class VmxContext : public machine::SecondLevelTranslation {
   machine::FaultOr<PhysAddr> TranslateGuestPhys(GuestPhysAddr gpa,
                                                 machine::AccessType access) override;
   int ExtraWalkLevels() const override { return 4; }
-  uint16_t AsidTag() const override { return static_cast<uint16_t>(active_ + 1); }
 
   // Crash-safe snapshots: the active index and every EPT root. The live EPT
   // count must equal the snapshot's (restores rebuild the same number of

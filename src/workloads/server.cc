@@ -7,7 +7,10 @@
 
 #include "src/base/rng.h"
 #include "src/base/thread_pool.h"
+#include "src/ir/builder.h"
 #include "src/mpk/mpk.h"
+#include "src/sim/decode_cache.h"
+#include "src/sim/executor.h"
 
 namespace memsentry::workloads {
 namespace {
@@ -207,7 +210,126 @@ Status ServerEngine::Setup() {
     }
   }
   process_.regs().pkru = AtRestPkru();
+  MEMSENTRY_RETURN_IF_ERROR(BuildSharedRequestStream());
   setup_done_ = true;
+  return OkStatus();
+}
+
+namespace {
+
+// One connection's request path (setup / handshake / io / teardown) as a
+// straight-line IR stream, with the technique's per-access story inlined:
+// SFI masks every pointer, MPK brackets the handshake in wrpkru, mprotect
+// opens and closes the safe regions, crypt pays AES vector rounds. Content
+// depends only on the technique, so every engine of one technique keys the
+// same DecodeCache entry no matter its tenant count.
+ir::Module BuildRequestModule(ServerTechnique technique) {
+  using machine::Gpr;
+  ir::Module m;
+  ir::Builder b(&m);
+  b.CreateFunction("request");
+  const VirtAddr scratch = sim::kWorkingSetBase;  // tenant-0 scratch page
+
+  auto mask = [&](Gpr reg) {
+    if (technique == ServerTechnique::kSfi) {
+      b.AndImm(reg, ~uint64_t{0}).flags |= ir::kFlagInstrumentation;
+    }
+  };
+
+  // Setup: parse the connection, stash session state, one accept syscall.
+  // The scratch base lives in r12 — syscalls overwrite rax with their
+  // return value.
+  b.MovImm(Gpr::kR12, scratch);
+  b.MovImm(Gpr::kRbx, 0x5e9f);
+  mask(Gpr::kR12);
+  b.Store(Gpr::kR12, Gpr::kRbx);
+  b.Load(Gpr::kRcx, Gpr::kR12);
+  b.Syscall(static_cast<uint64_t>(Sysno::kNop));
+
+  // Handshake: open the safe region, touch the secret, do the AES work.
+  ir::Instr open;
+  ir::Instr close;
+  switch (technique) {
+    case ServerTechnique::kMpk:
+      open.op = ir::Opcode::kWrpkru;
+      open.imm = 0;  // all keys open
+      close.op = ir::Opcode::kWrpkru;
+      close.imm = 0xfffffffc;  // every key but 0 closed, as at rest
+      break;
+    case ServerTechnique::kMprotect:
+      open.op = ir::Opcode::kMprotect;
+      open.imm = 1;
+      close.op = ir::Opcode::kMprotect;
+      close.imm = 0;
+      break;
+    default:
+      open.op = ir::Opcode::kNop;
+      close.op = ir::Opcode::kNop;
+      break;
+  }
+  b.Emit(open);
+  b.Lea(Gpr::kRdx, Gpr::kR12, 16);
+  mask(Gpr::kRdx);
+  b.Load(Gpr::kRsi, Gpr::kRdx);
+  const int aes_rounds = technique == ServerTechnique::kCrypt ? 22 : 11;
+  for (int i = 0; i < aes_rounds; ++i) {
+    b.VecOp(i & 3);
+  }
+  b.AluRR(Gpr::kRsi, Gpr::kRcx, /*xor*/ 2);
+  b.Store(Gpr::kRdx, Gpr::kRsi);
+  b.Emit(close);
+
+  // IO: two write()-heavy rounds, then teardown and halt.
+  for (int i = 0; i < 2; ++i) {
+    b.Load(Gpr::kRdi, Gpr::kR12);
+    b.AddImm(Gpr::kRdi, 1);
+    b.Syscall(static_cast<uint64_t>(Sysno::kWrite));
+  }
+  b.MovImm(Gpr::kRbx, 0);
+  b.Store(Gpr::kR12, Gpr::kRbx);
+  b.Syscall(static_cast<uint64_t>(Sysno::kNop));
+  b.Halt();
+  return m;
+}
+
+}  // namespace
+
+Status ServerEngine::BuildSharedRequestStream() {
+  request_module_ = BuildRequestModule(config_.technique);
+  // Every tenant draws its decoded stream from the shared cache: the first
+  // draw anywhere in the suite lowers, every other tenant (and every other
+  // engine of this technique) hits.
+  for (int t = 0; t < config_.tenants; ++t) {
+    decoded_request_ = sim::DecodeCache::Global().Get(request_module_, process_);
+  }
+  // One bounded run on a scratch machine proves the shared lowering
+  // actually executes the request path; the engine's own machine state (and
+  // therefore every modeled digest) is untouched.
+  sim::Machine scratch_machine;
+  sim::Process scratch(&scratch_machine);
+  MEMSENTRY_RETURN_IF_ERROR(scratch.SetupStack());
+  sim::Kernel scratch_kernel(&scratch);
+  scratch_kernel.Install();
+  MEMSENTRY_RETURN_IF_ERROR(
+      scratch.MapRange(sim::kWorkingSetBase, 1, machine::PageFlags::Data()));
+  // Deliberately no SetDecoded: the executor draws from the cache itself
+  // (one more deterministic hit), keeping the suite-wide hit count
+  // independent of cell scheduling.
+  sim::Executor executor(&scratch, &request_module_);
+  sim::RunConfig run_config;
+  run_config.max_instructions = 4096;
+  const sim::RunResult r = executor.Run(run_config);
+  if (r.fault.has_value() || !r.halted) {
+    char detail[96] = {0};
+    if (r.fault.has_value()) {
+      std::snprintf(detail, sizeof(detail), "faulted: %s @ 0x%llx after %llu instrs",
+                    machine::FaultTypeName(r.fault->type),
+                    static_cast<unsigned long long>(r.fault->address),
+                    static_cast<unsigned long long>(r.instructions));
+    }
+    std::string why = r.fault.has_value() ? std::string(detail) : std::string("did not halt");
+    return InternalError("shared request stream failed its validation run (" + why + ")");
+  }
   return OkStatus();
 }
 
@@ -466,6 +588,9 @@ machine::FaultOr<uint64_t> ServerEngine::ProbeCrossTenantRead(int attacker, int 
 ServerResult RunServerWorkload(const ServerConfig& config) {
   ServerEngine engine(config);
   const Status setup = engine.Setup();
+  if (!setup.ok()) {
+    std::fprintf(stderr, "server workload setup: %s\n", setup.message().c_str());
+  }
   MEMSENTRY_CONTRACT_CHECK(setup.ok(), "server workload setup failed");
   return engine.Run();
 }

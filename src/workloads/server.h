@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/ir/module.h"
 #include "src/machine/registers.h"
+#include "src/sim/decoded.h"
 #include "src/sim/kernel.h"
 #include "src/sim/process.h"
 #include "src/sim/scheduler.h"
@@ -113,6 +115,14 @@ class ServerEngine {
   // from `attacker`'s steady state (at-rest PKRU, attacker's ASID).
   machine::FaultOr<uint64_t> ProbeCrossTenantRead(int attacker, int victim);
 
+  // The technique's request-path µop stream, shared across every tenant
+  // (and across engines of the same technique) through the process-wide
+  // sim::DecodeCache. Built and validated during Setup().
+  const ir::Module& request_module() const { return request_module_; }
+  const std::shared_ptr<const sim::DecodedModule>& decoded_request() const {
+    return decoded_request_;
+  }
+
  private:
   Cycles RunPhase(uint16_t tenant, uint64_t seq, int phase, bool* done);
   Cycles OpenRegion(int tenant);   // technique-specific open, returns cycles
@@ -120,6 +130,11 @@ class ServerEngine {
   // One priced MMU access; faults are counted, not fatal.
   Cycles TouchRead(VirtAddr va);
   Cycles TouchWrite(VirtAddr va, uint64_t value);
+  // Builds request_module_, has every tenant draw the decoded stream from
+  // the shared cache (one lowering per technique suite-wide), and proves
+  // the lowering executes by running it on a scratch machine. Digest-
+  // neutral: the engine's own machine state is never touched.
+  Status BuildSharedRequestStream();
 
   ServerConfig config_;
   sim::Machine machine_;
@@ -130,6 +145,8 @@ class ServerEngine {
   std::vector<uint8_t> tenant_keys_;            // MPK multiplexed key per tenant
   std::vector<aes::KeySchedule> tenant_keys_aes_;  // crypt: per-tenant schedule
   std::vector<uint64_t> tenant_nonces_;
+  ir::Module request_module_;
+  std::shared_ptr<const sim::DecodedModule> decoded_request_;
 };
 
 ServerResult RunServerWorkload(const ServerConfig& config);

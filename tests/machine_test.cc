@@ -292,10 +292,11 @@ class FakeSecondLevel : public SecondLevelTranslation {
     return gpa;  // identity
   }
   int ExtraWalkLevels() const override { return 4; }
-  uint16_t AsidTag() const override { return tag_; }
+  void SetTag(uint16_t tag) { SetAsidTag(tag); }
+
+  FakeSecondLevel() { SetAsidTag(1); }
 
   GuestPhysAddr blocked_ = 0;
-  uint16_t tag_ = 1;
 };
 
 TEST_F(MmuTest, SecondLevelViolationSurfacesVirtualAddress) {
@@ -319,12 +320,12 @@ TEST_F(MmuTest, SecondLevelSwitchNeedsNoFlush) {
   // "Switch EPTs": block the frame and change the ASID tag. The stale entry
   // under tag 1 must not leak into tag 2.
   second.blocked_ = PageAlignDown(frame.value());
-  second.tag_ = 2;
+  second.SetTag(2);
   auto r = mmu_.Access(0x4000, AccessType::kRead, pkru_);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.fault().type, FaultType::kEptViolation);
   // Switching back re-hits the old entry without a walk.
-  second.tag_ = 1;
+  second.SetTag(1);
   auto back = mmu_.Access(0x4000, AccessType::kRead, pkru_);
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(back.value().tlb_hit);

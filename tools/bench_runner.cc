@@ -508,8 +508,9 @@ const char* CompilerString() {
 
 // Compares every fidelity/perf metric of `results` and `other` for exact
 // (bitwise double) equality in both directions. Info metrics — wall clocks,
-// host-side benchmark times, jobs — legitimately differ between runs and are
-// exempt. Returns the number of mismatches, printing each.
+// host-side benchmark times, jobs — and host-flagged perf metrics
+// (sim_instr_per_second) legitimately differ between runs and are exempt.
+// Returns the number of mismatches, printing each.
 int CountDeterminismMismatches(const json::Value& results, const json::Value& other) {
   const json::Value* a = results.Find("metrics");
   const json::Value* b = other.Find("metrics");
@@ -519,7 +520,8 @@ int CountDeterminismMismatches(const json::Value& results, const json::Value& ot
   }
   int mismatches = 0;
   for (const auto& [name, entry] : a->members()) {
-    if (eval::ParseMetricKind(entry.StringOr("kind", "info")) == eval::MetricKind::kInfo) {
+    if (eval::ParseMetricKind(entry.StringOr("kind", "info")) == eval::MetricKind::kInfo ||
+        entry.BoolOr("host", false)) {
       continue;
     }
     const json::Value* peer = b->Find(name);
@@ -536,7 +538,8 @@ int CountDeterminismMismatches(const json::Value& results, const json::Value& ot
     }
   }
   for (const auto& [name, entry] : b->members()) {
-    if (eval::ParseMetricKind(entry.StringOr("kind", "info")) == eval::MetricKind::kInfo) {
+    if (eval::ParseMetricKind(entry.StringOr("kind", "info")) == eval::MetricKind::kInfo ||
+        entry.BoolOr("host", false)) {
       continue;
     }
     if (a->Find(name) == nullptr) {

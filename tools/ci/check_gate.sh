@@ -14,6 +14,12 @@
 #   wall-summary TITLE FILE...
 #       Markdown table of .host.jobs and runner/wall_seconds per FILE, for
 #       $GITHUB_STEP_SUMMARY. Missing files are skipped.
+#   wall-budget REPORT REFERENCE
+#       Fail if REPORT's runner/wall_seconds exceeds the quick-suite budget
+#       recorded in REFERENCE (a BENCH_PR7.json-style trajectory file with
+#       .quick_suite.ci_budget.{reference_wall_seconds,max_regression}).
+#       MEMSENTRY_WALL_BUDGET_SCALE (default 1.0) scales the budget for
+#       slower hosts without editing the committed reference.
 #   fastpath-summary ON_FILE OFF_FILE
 #       Markdown table comparing runner/seconds/<binary> between a
 #       fastpath=on and a fastpath=off report.
@@ -22,7 +28,7 @@
 set -euo pipefail
 
 die_usage() {
-  echo "usage: $0 {require-zero KEY FILE...|require-zero-matching REGEX FILE...|wall-summary TITLE FILE...|fastpath-summary ON OFF|show FILE}" >&2
+  echo "usage: $0 {require-zero KEY FILE...|require-zero-matching REGEX FILE...|wall-summary TITLE FILE...|wall-budget REPORT REFERENCE|fastpath-summary ON OFF|show FILE}" >&2
   exit 2
 }
 
@@ -90,6 +96,28 @@ case "$cmd" in
       wall=$(metric runner/wall_seconds "$f")
       echo "| $f | $jobs | $wall |"
     done
+    ;;
+
+  wall-budget)
+    [ $# -eq 2 ] || die_usage
+    report=$1
+    reference=$2
+    wall=$(metric runner/wall_seconds "$report")
+    if [ "$wall" = "?" ]; then
+      echo "::error::$report has no runner/wall_seconds metric"
+      exit 1
+    fi
+    scale=${MEMSENTRY_WALL_BUDGET_SCALE:-1.0}
+    # jq does the float math so the gate stays dependency-free beyond what
+    # the other subcommands already require.
+    budget=$(jq -r --argjson scale "$scale" \
+      '.quick_suite.ci_budget | .reference_wall_seconds * (1 + .max_regression) * $scale' \
+      "$reference")
+    echo "$report: runner/wall_seconds=$wall budget=$budget (reference=$reference, scale=$scale)"
+    if [ "$(jq -n --argjson w "$wall" --argjson b "$budget" '$w > $b')" = "true" ]; then
+      echo "::error::quick-suite wall ${wall}s exceeds budget ${budget}s — interpreter throughput regressed"
+      exit 1
+    fi
     ;;
 
   fastpath-summary)
