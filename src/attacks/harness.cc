@@ -43,11 +43,20 @@ const char* OutcomeName(Outcome outcome) {
       return "detected";
     case Outcome::kNotFound:
       return "not-located";
+    case Outcome::kTimedOut:
+      return "timed-out";
   }
   return "?";
 }
 
 AttackReport RunAttackScenario(core::TechniqueKind kind, uint64_t region_bytes) {
+  ScenarioOptions options;
+  options.region_bytes = region_bytes;
+  return RunAttackScenario(kind, options);
+}
+
+AttackReport RunAttackScenario(core::TechniqueKind kind, const ScenarioOptions& options) {
+  const uint64_t region_bytes = options.region_bytes;
   AttackReport report;
   report.technique = kind;
 
@@ -65,7 +74,12 @@ AttackReport RunAttackScenario(core::TechniqueKind kind, uint64_t region_bytes) 
   core::MemSentry memsentry(&process, config);
   auto region = memsentry.allocator().Alloc("secret", region_bytes);
   if (!region.ok()) {
-    report.detail = "setup failed: " + region.status().ToString();
+    // Conservative default, mirroring eval::fault_campaign: a scenario that
+    // cannot produce a defense signal is scored as if the attack succeeded,
+    // never silently as "prevented".
+    report.read_outcome = Outcome::kLeaked;
+    report.write_outcome = Outcome::kCorrupted;
+    report.detail = "setup failed (scored as escape): " + region.status().ToString();
     return report;
   }
   const VirtAddr base = region.value()->base;
@@ -73,7 +87,9 @@ AttackReport RunAttackScenario(core::TechniqueKind kind, uint64_t region_bytes) 
   (void)process.Poke64(base, kSecret);
   Status prepared = memsentry.PrepareRuntime();
   if (!prepared.ok()) {
-    report.detail = "prepare failed: " + prepared.ToString();
+    report.read_outcome = Outcome::kLeaked;
+    report.write_outcome = Outcome::kCorrupted;
+    report.detail = "prepare failed (scored as escape): " + prepared.ToString();
     return report;
   }
 
@@ -83,6 +99,12 @@ AttackReport RunAttackScenario(core::TechniqueKind kind, uint64_t region_bytes) 
   if (kind == core::TechniqueKind::kInfoHide) {
     LocateResult located = AllocationOracleAttack(process, pages);
     report.locate_probes = located.probes;
+    if (options.probe_budget != 0 && located.probes > options.probe_budget) {
+      report.read_outcome = Outcome::kTimedOut;
+      report.write_outcome = Outcome::kTimedOut;
+      report.detail = "locate phase exceeded probe budget";
+      return report;
+    }
     if (!located.found) {
       report.read_outcome = Outcome::kNotFound;
       report.write_outcome = Outcome::kNotFound;

@@ -21,9 +21,34 @@ enum class Outcome {
   kPrevented,  // access silently diverted / yielded ciphertext; region intact
   kDetected,   // architectural fault: the attempt was caught
   kNotFound,   // attacker could not even locate the region
+  // Appended (fidelity metrics persist these as ints; earlier values must
+  // not shift): the scenario's step/probe budget ran out before a verdict.
+  kTimedOut,
 };
 
 const char* OutcomeName(Outcome outcome);
+
+// A per-campaign step budget: long generated campaigns consume one unit per
+// primitive step; once the budget is exhausted further Consume() calls fail
+// and the campaign classifies as a clean timeout instead of running open
+// ended. Counts the overrun attempt too, so used() > limit ⇔ exhausted().
+class StepBudget {
+ public:
+  explicit StepBudget(uint64_t limit) : limit_(limit) {}
+
+  // Consumes `n` units. Returns false once the budget is exceeded.
+  bool Consume(uint64_t n = 1) {
+    used_ += n;
+    return used_ <= limit_;
+  }
+  bool exhausted() const { return used_ > limit_; }
+  uint64_t used() const { return used_; }
+  uint64_t limit() const { return limit_; }
+
+ private:
+  uint64_t limit_;
+  uint64_t used_ = 0;
+};
 
 struct AttackReport {
   core::TechniqueKind technique;
@@ -34,8 +59,17 @@ struct AttackReport {
   std::string detail;
 };
 
+struct ScenarioOptions {
+  uint64_t region_bytes = 4096;
+  // Bounds the locate phase (information hiding's oracle search). 0 means
+  // unlimited; a positive budget that runs out yields Outcome::kTimedOut
+  // rather than an open-ended search.
+  uint64_t probe_budget = 0;
+};
+
 // Runs the full scenario for one technique.
 AttackReport RunAttackScenario(core::TechniqueKind kind, uint64_t region_bytes = 4096);
+AttackReport RunAttackScenario(core::TechniqueKind kind, const ScenarioOptions& options);
 
 // All eight techniques.
 std::vector<AttackReport> RunAttackMatrix(uint64_t region_bytes = 4096);

@@ -272,6 +272,16 @@ std::vector<ProtectionAuditIssue> CryptTechnique::AuditProtection(sim::Process& 
       // Clobbered round keys cannot be reconstructed; the ciphertext stays
       // unreadable (contained) but a domain open would produce garbage, so
       // the region is quarantined rather than repaired.
+      if (!region.encrypted_now) {
+        // Caught mid-open: the region holds (near-)plaintext that the
+        // clobbered schedule cannot re-seal — a last-round key flip garbles
+        // only one byte per block, so "garbage" re-encryption would still
+        // leak almost everything. Quarantine must scrub the exposure.
+        std::vector<uint8_t> zeros(region.size, 0);
+        if (process.PokeBytes(region.base, zeros.data(), region.size).ok()) {
+          region.encrypted_now = true;  // sealed; contents destroyed
+        }
+      }
       issues.push_back(ProtectionAuditIssue{
           .what = "AES round-key schedule clobbered for " + region.name +
                   "; region quarantined (ciphertext unrecoverable)",

@@ -1,0 +1,152 @@
+#include "src/defenses/mmap_policy.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/machine/page_table.h"
+
+namespace memsentry::defenses {
+
+using sim::Errno;
+using sim::Sysno;
+
+MmapPolicy::MmapPolicy(sim::Process* process, const MmapPolicyConfig& config,
+                       uint64_t seed)
+    : process_(process), config_(config), rng_(seed) {}
+
+void MmapPolicy::Attach(sim::Kernel* kernel) { kernel->SetMmapPolicy(this); }
+
+Status MmapPolicy::InstallGuards() {
+  if (!config_.guard_pages) {
+    return OkStatus();
+  }
+  for (const auto& region : process_->safe_regions()) {
+    const std::array<VirtAddr, 2> candidates = {
+        PageAlignDown(region.base) - kPageSize,
+        PageAlignUp(region.base + region.size),
+    };
+    for (const VirtAddr va : candidates) {
+      if (IsGuardPage(va)) {
+        continue;  // shared edge with an already-guarded neighbor
+      }
+      // Only claim the page if it is actually free; an occupied neighbor
+      // (e.g. two adjacent regions) keeps its mapping.
+      const auto free_run = process_->FindFreeRun(va, va + kPageSize, 1);
+      if (!free_run.has_value() || *free_run != va) {
+        continue;
+      }
+      const Status reserved = process_->ReserveRange(va, 1);
+      if (!reserved.ok()) {
+        return reserved;
+      }
+      guard_pages_.push_back(va);
+      ++stats_.guard_pages_installed;
+    }
+  }
+  return OkStatus();
+}
+
+bool MmapPolicy::IsGuardPage(VirtAddr va) const {
+  const VirtAddr page = PageAlignDown(va);
+  return std::find(guard_pages_.begin(), guard_pages_.end(), page) !=
+         guard_pages_.end();
+}
+
+std::optional<Errno> MmapPolicy::FilterSyscall(Sysno nr, uint64_t a0,
+                                               uint64_t a1) {
+  switch (nr) {
+    case Sysno::kMmap: {
+      // a0 = hint (0 = kernel chooses). Attacker-chosen placements defeat
+      // both ASLR and guard pages, so MapGuard refuses MAP_FIXED outright.
+      if (config_.ban_fixed_address && a0 != 0) {
+        ++stats_.refused_fixed;
+        return Errno::kEPERM;
+      }
+      return std::nullopt;
+    }
+    case Sysno::kMprotect: {
+      // a0 = page-aligned addr, a1 = prot. Guard pages may not be
+      // re-protected into existence.
+      if (IsGuardPage(a0)) {
+        ++stats_.refused_guard_op;
+        return Errno::kEPERM;
+      }
+      const bool want_write = (a1 & 2) != 0;
+      const bool want_exec = (a1 & sim::kProtExec) != 0;
+      if (config_.ban_rwx && want_write && want_exec) {
+        ++stats_.refused_rwx;
+        return Errno::kEACCES;
+      }
+      if (config_.ban_wx_transitions && (want_write || want_exec)) {
+        const auto pte = process_->page_table().ReadPte(PageAlignDown(a0));
+        if (pte.ok() && (*pte & machine::kPtePresent) != 0) {
+          const bool was_write = machine::PageTable::PteWritable(*pte);
+          const bool was_exec = !machine::PageTable::PteNx(*pte);
+          // Once-writable memory never becomes executable and vice versa:
+          // the classic W^X lifetime rule, which closes the
+          // write-shellcode-then-flip-to-exec path.
+          if ((was_write && want_exec && !was_exec) ||
+              (was_exec && want_write && !was_write)) {
+            ++stats_.refused_transition;
+            return Errno::kEACCES;
+          }
+        }
+      }
+      return std::nullopt;
+    }
+    case Sysno::kMunmap: {
+      // a0 = addr, a1 = length. Unmapping a guard hole would let a later
+      // mmap fill it; refuse any overlap.
+      const VirtAddr lo = PageAlignDown(a0);
+      const VirtAddr hi = PageAlignUp(a0 + (a1 == 0 ? 1 : a1));
+      for (VirtAddr va = lo; va < hi; va += kPageSize) {
+        if (IsGuardPage(va)) {
+          ++stats_.refused_guard_op;
+          return Errno::kEPERM;
+        }
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<VirtAddr> MmapPolicy::ChoosePlacement(uint64_t pages) {
+  if (!config_.randomize_placement || pages == 0) {
+    return std::nullopt;
+  }
+  // Draw a page-granular candidate with the configured entropy, then take
+  // the lowest free run at or above it (retrying from the area base keeps
+  // the call infallible when the draw lands near the top).
+  const uint64_t span_pages = (sim::kStackTop - sim::kMmapAreaBase) / kPageSize;
+  const int bits = std::clamp(config_.aslr_entropy_bits, 1, 40);
+  const uint64_t entropy_pages =
+      std::min(span_pages, uint64_t{1} << bits);
+  const VirtAddr candidate =
+      sim::kMmapAreaBase + rng_.Below(entropy_pages) * kPageSize;
+  auto run = process_->FindFreeRun(candidate, sim::kStackTop, pages);
+  if (!run.has_value()) {
+    run = process_->FindFreeRun(sim::kMmapAreaBase, sim::kStackTop, pages);
+  }
+  if (run.has_value()) {
+    ++stats_.randomized_placements;
+  }
+  return run;
+}
+
+void MmapPolicy::OnMapped(VirtAddr base, uint64_t pages) {
+  if (!config_.poison_on_alloc) {
+    return;
+  }
+  std::array<uint8_t, kPageSize> fill;
+  fill.fill(config_.poison_byte);
+  for (uint64_t i = 0; i < pages; ++i) {
+    // Fresh kernel mappings are always pokeable; a failure here would mean
+    // the mapping the kernel just reported did not happen.
+    (void)process_->PokeBytes(base + i * kPageSize, fill.data(), fill.size());
+  }
+  stats_.poisoned_pages += pages;
+}
+
+}  // namespace memsentry::defenses

@@ -1,0 +1,100 @@
+// A MapGuard-style mmap-policy defense: a kernel-attached filter over the
+// memory-management syscalls that enforces W^X (no RWX mappings, no
+// writable<->executable transitions), bans attacker-chosen fixed placements,
+// randomizes kernel-chosen placements with configurable entropy, installs
+// guard pages around every safe region, and poisons fresh mappings so
+// uninitialized reads are recognizable. Modeled on MapGuard's LD_PRELOAD
+// interposition of mmap/mprotect; here the interposition point is
+// sim::Kernel's MmapPolicyHook, so refusals surface as ordinary errnos.
+//
+// The guard pages are the load-bearing piece for information hiding: they
+// sit adjacent to the region, so the allocation oracle's size sanity check
+// (derived hole == region size) sees region+2 pages and rejects its own
+// answer, and probe sweeps fault before reaching the region.
+#ifndef MEMSENTRY_SRC_DEFENSES_MMAP_POLICY_H_
+#define MEMSENTRY_SRC_DEFENSES_MMAP_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/sim/kernel.h"
+#include "src/sim/process.h"
+
+namespace memsentry::defenses {
+
+struct MmapPolicyConfig {
+  bool ban_rwx = true;              // refuse prot with write+exec together
+  bool ban_wx_transitions = true;   // refuse W->X and X->W re-protections
+  bool ban_fixed_address = true;    // refuse attacker-chosen mmap hints
+  bool randomize_placement = true;  // ASLR for kernel-chosen placements
+  int aslr_entropy_bits = 28;       // page-granular entropy of placements
+  bool guard_pages = true;          // unmapped pages around safe regions
+  bool poison_on_alloc = true;      // fill fresh mappings with poison_byte
+  uint8_t poison_byte = 0xde;
+
+  // Full enforcement (the gated configuration).
+  static MmapPolicyConfig Strict() { return MmapPolicyConfig{}; }
+  // Everything off — the control configuration the weakened campaigns run.
+  static MmapPolicyConfig Off() {
+    MmapPolicyConfig c;
+    c.ban_rwx = false;
+    c.ban_wx_transitions = false;
+    c.ban_fixed_address = false;
+    c.randomize_placement = false;
+    c.guard_pages = false;
+    c.poison_on_alloc = false;
+    return c;
+  }
+};
+
+class MmapPolicy : public sim::MmapPolicyHook {
+ public:
+  struct Stats {
+    uint64_t refused_rwx = 0;
+    uint64_t refused_transition = 0;
+    uint64_t refused_fixed = 0;
+    uint64_t refused_guard_op = 0;
+    uint64_t randomized_placements = 0;
+    uint64_t poisoned_pages = 0;
+    uint64_t guard_pages_installed = 0;
+  };
+
+  // `seed` drives placement randomization only; everything else is
+  // deterministic filtering.
+  MmapPolicy(sim::Process* process, const MmapPolicyConfig& config, uint64_t seed);
+
+  // Attaches this policy to the kernel (kernel->SetMmapPolicy(this)). The
+  // policy must outlive the kernel's use of it.
+  void Attach(sim::Kernel* kernel);
+
+  // Reserves one unmapped guard page immediately below and above every
+  // currently registered safe region (skipping pages that are not free).
+  // No-op when config.guard_pages is off.
+  Status InstallGuards();
+
+  bool IsGuardPage(VirtAddr va) const;
+
+  // sim::MmapPolicyHook:
+  std::optional<sim::Errno> FilterSyscall(sim::Sysno nr, uint64_t a0,
+                                          uint64_t a1) override;
+  std::optional<VirtAddr> ChoosePlacement(uint64_t pages) override;
+  void OnMapped(VirtAddr base, uint64_t pages) override;
+
+  const Stats& stats() const { return stats_; }
+  const MmapPolicyConfig& config() const { return config_; }
+
+ private:
+  sim::Process* process_;
+  MmapPolicyConfig config_;
+  Rng rng_;
+  Stats stats_;
+  std::vector<VirtAddr> guard_pages_;  // page-aligned bases, unmapped holes
+};
+
+}  // namespace memsentry::defenses
+
+#endif  // MEMSENTRY_SRC_DEFENSES_MMAP_POLICY_H_

@@ -22,9 +22,28 @@ const std::array<DefenseInfo, 13> kDefenses = {{
     {"LR2", true, false, false, true, "Mem. accesses & ind. branches"},
 }};
 
+// Defenses this repo actually implements and can attach at runtime, as
+// opposed to the surveyed systems above.
+const std::array<RuntimeDefenseInfo, 1> kRuntimeDefenses = {{
+    {"MapGuard", "src/defenses/mmap_policy.h",
+     "mmap-policy layer: W^X transition bans, guard pages around safe "
+     "regions, ASLR entropy enforcement, poison-on-alloc"},
+}};
+
 }  // namespace
 
 std::span<const DefenseInfo> SurveyedDefenses() { return kDefenses; }
+
+std::span<const RuntimeDefenseInfo> RuntimeDefenses() { return kRuntimeDefenses; }
+
+const RuntimeDefenseInfo* FindRuntimeDefense(const std::string& name) {
+  for (const auto& d : kRuntimeDefenses) {
+    if (d.name == name) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
 
 const DefenseInfo* FindDefense(const std::string& name) {
   for (const auto& d : kDefenses) {

@@ -23,6 +23,19 @@ std::span<const DefenseInfo> SurveyedDefenses();
 
 const DefenseInfo* FindDefense(const std::string& name);
 
+// Runtime defenses implemented in this repo and attachable to a simulated
+// process. Deliberately a separate table from the paper's Table 1 survey
+// (which is pinned row-for-row by the table1_defenses fidelity bench).
+struct RuntimeDefenseInfo {
+  std::string name;
+  std::string header;   // where the implementation lives
+  std::string summary;  // one-line description of the enforcement
+};
+
+std::span<const RuntimeDefenseInfo> RuntimeDefenses();
+
+const RuntimeDefenseInfo* FindRuntimeDefense(const std::string& name);
+
 }  // namespace memsentry::defenses
 
 #endif  // MEMSENTRY_SRC_DEFENSES_REGISTRY_H_

@@ -6,7 +6,7 @@ namespace memsentry::sim {
 namespace {
 
 // The kernel's mmap area sits between the heap and the stack.
-inline constexpr VirtAddr kMmapBase = 0x240000000000ULL;  // 36 TiB
+inline constexpr VirtAddr kMmapBase = kMmapAreaBase;
 
 constexpr uint32_t kTagKernel = 0x4B45524E;  // "KERN"
 
@@ -63,6 +63,17 @@ uint64_t Kernel::Dispatch(uint64_t nr, uint64_t a0, uint64_t a1) {
   if (ConsumeInjected(nr, &injected)) {
     return SysErr(injected);
   }
+  // The mmap-policy layer vets memory-management calls before they mutate
+  // anything; a refusal is indistinguishable from a kernel errno to the
+  // caller (exactly how MapGuard's LD_PRELOAD interposition presents).
+  if (policy_ != nullptr) {
+    const Sysno sysno = static_cast<Sysno>(nr);
+    if (sysno == Sysno::kMmap || sysno == Sysno::kMprotect || sysno == Sysno::kMunmap) {
+      if (auto refused = policy_->FilterSyscall(sysno, a0, a1); refused.has_value()) {
+        return SysErr(*refused);
+      }
+    }
+  }
   switch (static_cast<Sysno>(nr)) {
     case Sysno::kNop:
       return 0;
@@ -108,7 +119,15 @@ uint64_t Kernel::DoMmap(VirtAddr hint, uint64_t length) {
     }
     base = hint;
   } else {
-    auto run = process_->FindFreeRun(mmap_cursor_, kStackTop, pages);
+    // Policy-chosen randomized placement first (ASLR entropy enforcement);
+    // the linear cursor is the no-policy fallback.
+    std::optional<VirtAddr> run;
+    if (policy_ != nullptr) {
+      run = policy_->ChoosePlacement(pages);
+    }
+    if (!run.has_value()) {
+      run = process_->FindFreeRun(mmap_cursor_, kStackTop, pages);
+    }
     if (!run.has_value()) {
       return SysErr(Errno::kENOMEM);
     }
@@ -118,6 +137,9 @@ uint64_t Kernel::DoMmap(VirtAddr hint, uint64_t length) {
   if (!mapped.ok()) {
     return SysErr(mapped.code() == StatusCode::kAlreadyExists ? Errno::kEEXIST
                                                               : Errno::kENOMEM);
+  }
+  if (policy_ != nullptr) {
+    policy_->OnMapped(base, pages);
   }
   return base;
 }
@@ -130,6 +152,7 @@ uint64_t Kernel::DoMprotect(VirtAddr addr, uint64_t prot) {
   machine::PageFlags flags = machine::PageFlags::Data();
   flags.user = prot != kProtNone;
   flags.writable = (prot & 2) != 0;
+  flags.executable = (prot & kProtExec) != 0;
   // Keep the page's protection key (mprotect must not strip MPK tags).
   auto walk = process_->page_table().Walk(addr);
   if (!walk.ok()) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/mpk/mpk.h"
@@ -31,6 +32,16 @@ enum class Sysno : uint64_t {
 
 inline constexpr uint64_t kProtNone = 0;
 inline constexpr uint64_t kProtRw = 3;
+// Executable protections (prot bit 2, as in PROT_EXEC). The mmap-policy
+// defense (src/defenses/mmap_policy.h) exists to police transitions into
+// these states; the kernel itself applies them verbatim.
+inline constexpr uint64_t kProtExec = 4;
+inline constexpr uint64_t kProtRx = 5;
+inline constexpr uint64_t kProtRwx = 7;
+
+// Base of the kernel-chosen mmap area (between heap and stack). Exposed so
+// mmap-policy layers can randomize placements within the same area.
+inline constexpr VirtAddr kMmapAreaBase = 0x240000000000ULL;  // 36 TiB
 
 // Raw-syscall error convention: failures return -errno as an unsigned 64-bit
 // value, exactly like the Linux syscall ABI before libc's errno translation.
@@ -48,6 +59,27 @@ enum class Errno : uint64_t {
 
 const char* ErrnoName(Errno err);
 
+// An installed mmap-policy layer (e.g. defenses::MmapPolicy). Consulted by
+// the kernel on the memory-management syscalls. Like the syscall handler, it
+// is session state: never owned by the kernel and never serialized — setup
+// re-attaches it after LoadState.
+class MmapPolicyHook {
+ public:
+  virtual ~MmapPolicyHook() = default;
+
+  // Runs before kMmap/kMprotect/kMunmap execute. Returning an errno refuses
+  // the call without mutating anything; nullopt lets it proceed.
+  virtual std::optional<Errno> FilterSyscall(Sysno nr, uint64_t a0, uint64_t a1) = 0;
+
+  // Placement override for hint==0 mmaps (ASLR entropy enforcement).
+  // nullopt falls back to the kernel's linear cursor.
+  virtual std::optional<VirtAddr> ChoosePlacement(uint64_t pages) = 0;
+
+  // Runs after kMmap successfully maps [base, base + pages) — the
+  // poison-on-alloc hook.
+  virtual void OnMapped(VirtAddr base, uint64_t pages) = 0;
+};
+
 inline constexpr uint64_t SysErr(Errno err) {
   return static_cast<uint64_t>(-static_cast<int64_t>(static_cast<uint64_t>(err)));
 }
@@ -63,6 +95,11 @@ class Kernel {
   void Install();
 
   uint64_t Dispatch(uint64_t nr, uint64_t a0, uint64_t a1);
+
+  // Attaches/detaches the mmap-policy layer (nullptr detaches). Session
+  // state, like the syscall handler: not owned, not serialized.
+  void SetMmapPolicy(MmapPolicyHook* policy) { policy_ = policy; }
+  MmapPolicyHook* mmap_policy() const { return policy_; }
 
   // Fault injection: arms the next `count` calls of syscall `nr` to fail
   // with -err before executing (the campaign engine's ENOMEM/ENOSPC/EACCES
@@ -121,6 +158,7 @@ class Kernel {
   };
 
   Process* process_;
+  MmapPolicyHook* policy_ = nullptr;
   mpk::KeyAllocator keys_;
   VirtAddr mmap_cursor_;  // kernel-chosen placements grow up from here
   VirtAddr brk_;

@@ -1,0 +1,218 @@
+// MapGuard-style mmap-policy defense (src/defenses/mmap_policy.h): W^X
+// enforcement, fixed-address bans, guard pages around safe regions, ASLR'd
+// placements and poison-on-alloc — plus the control experiments proving each
+// knob is load-bearing (the same attack succeeds with the policy off).
+#include "src/defenses/mmap_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/attacks/campaign_gen.h"
+#include "src/attacks/strategies.h"
+#include "src/core/safe_region.h"
+#include "src/defenses/registry.h"
+#include "src/sim/kernel.h"
+#include "src/sim/process.h"
+
+namespace memsentry {
+namespace {
+
+using defenses::MmapPolicy;
+using defenses::MmapPolicyConfig;
+
+uint64_t Mmap(sim::Kernel& kernel, uint64_t hint, uint64_t bytes) {
+  return kernel.Dispatch(static_cast<uint64_t>(sim::Sysno::kMmap), hint, bytes);
+}
+
+uint64_t Mprotect(sim::Kernel& kernel, VirtAddr va, uint64_t prot) {
+  return kernel.Dispatch(static_cast<uint64_t>(sim::Sysno::kMprotect), va, prot);
+}
+
+struct PolicyEnv {
+  explicit PolicyEnv(const MmapPolicyConfig& config, uint64_t seed = 1)
+      : process(&machine), kernel(&process), policy(&process, config, seed) {
+    (void)process.SetupStack();
+    kernel.Install();
+    policy.Attach(&kernel);
+  }
+  sim::Machine machine;
+  sim::Process process;
+  sim::Kernel kernel;
+  MmapPolicy policy;
+};
+
+TEST(MmapPolicyTest, RefusesRwxMappings) {
+  PolicyEnv env(MmapPolicyConfig::Strict());
+  const uint64_t va = Mmap(env.kernel, 0, kPageSize);
+  ASSERT_FALSE(sim::IsSysError(va));
+  const uint64_t rv = Mprotect(env.kernel, va, sim::kProtRwx);
+  ASSERT_TRUE(sim::IsSysError(rv));
+  EXPECT_EQ(sim::SysErrnoOf(rv), sim::Errno::kEACCES);
+  EXPECT_EQ(env.policy.stats().refused_rwx, 1u);
+}
+
+TEST(MmapPolicyTest, RefusesWritableToExecutableTransition) {
+  PolicyEnv env(MmapPolicyConfig::Strict());
+  const uint64_t va = Mmap(env.kernel, 0, kPageSize);
+  ASSERT_FALSE(sim::IsSysError(va));
+  // The classic JIT-smash: write a payload, then flip the page executable.
+  ASSERT_TRUE(env.process.Poke64(va, 0xc3c3c3c3c3c3c3c3ULL).ok());
+  const uint64_t rv = Mprotect(env.kernel, va, sim::kProtRx);
+  ASSERT_TRUE(sim::IsSysError(rv));
+  EXPECT_EQ(sim::SysErrnoOf(rv), sim::Errno::kEACCES);
+  EXPECT_GE(env.policy.stats().refused_transition, 1u);
+}
+
+TEST(MmapPolicyTest, RefusesExecutableToWritableTransition) {
+  PolicyEnv env(MmapPolicyConfig::Strict());
+  // An existing code page (mapped beneath the policy, like the program
+  // image); making it writable is the other half of the W^X ban.
+  const VirtAddr code = 0x700000000000ULL;
+  machine::PageFlags flags;
+  flags.writable = false;
+  flags.user = true;
+  flags.executable = true;
+  ASSERT_TRUE(env.process.MapRange(code, 1, flags).ok());
+  const uint64_t rv = Mprotect(env.kernel, code, sim::kProtRw);
+  ASSERT_TRUE(sim::IsSysError(rv));
+  EXPECT_EQ(sim::SysErrnoOf(rv), sim::Errno::kEACCES);
+  EXPECT_GE(env.policy.stats().refused_transition, 1u);
+}
+
+TEST(MmapPolicyTest, WxTransitionSucceedsWithPolicyOff) {
+  PolicyEnv env(MmapPolicyConfig::Off());
+  const uint64_t va = Mmap(env.kernel, 0, kPageSize);
+  ASSERT_FALSE(sim::IsSysError(va));
+  ASSERT_TRUE(env.process.Poke64(va, 0xc3c3c3c3c3c3c3c3ULL).ok());
+  // The control: without the policy the same flip goes through, which is
+  // exactly why the strict configuration is the gated default.
+  EXPECT_FALSE(sim::IsSysError(Mprotect(env.kernel, va, sim::kProtRx)));
+}
+
+TEST(MmapPolicyTest, RefusesFixedAddressMappings) {
+  PolicyEnv env(MmapPolicyConfig::Strict());
+  const uint64_t rv = Mmap(env.kernel, sim::kHeapBase + 64 * kPageSize, kPageSize);
+  ASSERT_TRUE(sim::IsSysError(rv));
+  EXPECT_EQ(sim::SysErrnoOf(rv), sim::Errno::kEPERM);
+  EXPECT_EQ(env.policy.stats().refused_fixed, 1u);
+  // Kernel-chosen placement still works.
+  EXPECT_FALSE(sim::IsSysError(Mmap(env.kernel, 0, kPageSize)));
+}
+
+TEST(MmapPolicyTest, GuardPagesFlankSafeRegionsAndFaultOnTouch) {
+  PolicyEnv env(MmapPolicyConfig::Strict());
+  core::SafeRegionAllocator allocator(&env.process, core::TechniqueKind::kInfoHide,
+                                      /*seed=*/42);
+  auto region = allocator.Alloc("hidden", 4 * kPageSize);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(env.policy.InstallGuards().ok());
+  EXPECT_EQ(env.policy.stats().guard_pages_installed, 2u);
+
+  const VirtAddr below = PageAlignDown(region.value()->base) - kPageSize;
+  const VirtAddr above = PageAlignUp(region.value()->base + region.value()->size);
+  EXPECT_TRUE(env.policy.IsGuardPage(below));
+  EXPECT_TRUE(env.policy.IsGuardPage(above));
+  EXPECT_FALSE(env.policy.IsGuardPage(region.value()->base));
+  // The guards are reserved holes: any touch faults instead of landing.
+  EXPECT_FALSE(env.process.Peek64(below).ok());
+  EXPECT_FALSE(env.process.Peek64(above).ok());
+  // ...and the kernel refuses to unmap or re-protect them out of the way.
+  const uint64_t rv = Mprotect(env.kernel, below, sim::kProtRw);
+  ASSERT_TRUE(sim::IsSysError(rv));
+  EXPECT_EQ(sim::SysErrnoOf(rv), sim::Errno::kEPERM);
+  const uint64_t un = env.kernel.Dispatch(
+      static_cast<uint64_t>(sim::Sysno::kMunmap), below, kPageSize);
+  ASSERT_TRUE(sim::IsSysError(un));
+  EXPECT_EQ(sim::SysErrnoOf(un), sim::Errno::kEPERM);
+}
+
+TEST(MmapPolicyTest, GuardPagesBreakTheAllocationOracle) {
+  // The load-bearing experiment: the oracle pinpoints an unguarded hidden
+  // region, but the flanking guards skew its hole measurement and it rejects
+  // its own answer.
+  for (const bool guarded : {false, true}) {
+    sim::Machine machine;
+    sim::Process process(&machine);
+    core::SafeRegionAllocator allocator(&process, core::TechniqueKind::kInfoHide,
+                                        /*seed=*/77);
+    auto region = allocator.Alloc("hidden", 8 * kPageSize);
+    ASSERT_TRUE(region.ok());
+    MmapPolicy policy(&process, MmapPolicyConfig::Strict(), /*seed=*/77);
+    if (guarded) {
+      ASSERT_TRUE(policy.InstallGuards().ok());
+    }
+    auto located = attacks::AllocationOracleAttack(process, 8);
+    EXPECT_EQ(located.found, !guarded) << (guarded ? "guarded" : "unguarded");
+  }
+}
+
+TEST(MmapPolicyTest, PoisonVisibleBeforeInitialization) {
+  PolicyEnv env(MmapPolicyConfig::Strict());
+  const uint64_t va = Mmap(env.kernel, 0, 2 * kPageSize);
+  ASSERT_FALSE(sim::IsSysError(va));
+  auto value = env.process.Peek64(va);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 0xdedededededededeULL);
+  EXPECT_EQ(env.policy.stats().poisoned_pages, 2u);
+  // Off-policy control: fresh mappings read back zero, indistinguishable
+  // from legitimately initialized memory.
+  PolicyEnv off(MmapPolicyConfig::Off());
+  const uint64_t va2 = Mmap(off.kernel, 0, kPageSize);
+  ASSERT_FALSE(sim::IsSysError(va2));
+  auto zero = off.process.Peek64(va2);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0u);
+}
+
+TEST(MmapPolicyTest, RandomizedPlacementUsesSeededEntropy) {
+  PolicyEnv a(MmapPolicyConfig::Strict(), /*seed=*/1);
+  PolicyEnv b(MmapPolicyConfig::Strict(), /*seed=*/2);
+  PolicyEnv a2(MmapPolicyConfig::Strict(), /*seed=*/1);
+  const uint64_t va = Mmap(a.kernel, 0, kPageSize);
+  const uint64_t vb = Mmap(b.kernel, 0, kPageSize);
+  const uint64_t va_again = Mmap(a2.kernel, 0, kPageSize);
+  ASSERT_FALSE(sim::IsSysError(va));
+  ASSERT_FALSE(sim::IsSysError(vb));
+  EXPECT_NE(va, vb);        // different seeds, different placements
+  EXPECT_EQ(va, va_again);  // same seed, same placement: deterministic ASLR
+  EXPECT_GE(va, sim::kMmapAreaBase);
+  EXPECT_EQ(a.policy.stats().randomized_placements, 1u);
+  // Placement with randomization off is the kernel's sequential cursor.
+  PolicyEnv off(MmapPolicyConfig::Off());
+  const uint64_t fixed1 = Mmap(off.kernel, 0, kPageSize);
+  const uint64_t fixed2 = Mmap(off.kernel, 0, kPageSize);
+  ASSERT_FALSE(sim::IsSysError(fixed1));
+  EXPECT_EQ(fixed2, fixed1 + kPageSize);
+}
+
+TEST(MmapPolicyTest, PolicyOffControlEscapesGeneratedCampaign) {
+  // One hand-written campaign: map, write payload, flip executable, cash
+  // out. With the policy the flip is refused (detected); without it the
+  // attacker gains writable-then-executable memory — a full escape. The
+  // defense, not the grammar, is what stands between the two.
+  attacks::CampaignSpec spec;
+  spec.technique = core::TechniqueKind::kSfi;
+  spec.seed = 0xfeedULL;
+  spec.steps = {attacks::CampaignStep{attacks::StepKind::kWxTransition, 0, 0, 0}};
+
+  attacks::CampaignConfig strict;
+  strict.mmap_policy = true;
+  const attacks::CampaignResult held = attacks::RunCampaign(spec, strict);
+  EXPECT_EQ(held.outcome, attacks::CampaignOutcome::kDetected);
+  EXPECT_FALSE(held.exec_hijack);
+
+  attacks::CampaignConfig weakened;
+  weakened.mmap_policy = false;
+  const attacks::CampaignResult escaped = attacks::RunCampaign(spec, weakened);
+  EXPECT_EQ(escaped.outcome, attacks::CampaignOutcome::kEscaped);
+  EXPECT_TRUE(escaped.exec_hijack);
+}
+
+TEST(MmapPolicyTest, RegisteredAsRuntimeDefense) {
+  const auto* info = defenses::FindRuntimeDefense("MapGuard");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->header, "src/defenses/mmap_policy.h");
+  EXPECT_FALSE(defenses::RuntimeDefenses().empty());
+}
+
+}  // namespace
+}  // namespace memsentry

@@ -123,6 +123,7 @@ const SuiteEntry kSuite[] = {
     {"crypt_size_sweep"},
     {"safestack_casestudy"},
     {"attack_matrix"},
+    {"attack_campaigns", "--campaigns=160"},
     {"fault_matrix"},
     {"ablations"},
     {"server_workload", "--quick"},

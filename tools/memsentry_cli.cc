@@ -7,11 +7,14 @@
 //                                                  show instrumented IR
 //   memsentry replay <crash-bundle-dir>  deterministically re-execute the
 //                                        failing cell a crash bundle recorded
+//   memsentry replay-campaign <bundle-dir|spec.json>  re-execute a generated
+//                                        attack campaign bit-for-bit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/attacks/campaign_gen.h"
 #include "src/attacks/harness.h"
 #include "src/base/json.h"
 #include "src/core/advisor.h"
@@ -33,7 +36,9 @@ int Usage() {
                "  advise [--events F] [--bytes N] [--year Y] [--mpk] [--no-hypervisor]\n"
                "  dump [--benchmark NAME] [--technique sfi|mpx|mpk|vmfunc|crypt|sgx|mprotect]\n"
                "       [--defense shadowstack|none] [--lines N]\n"
-               "  replay BUNDLE_DIR   re-execute the cell a crash bundle recorded\n");
+               "  replay BUNDLE_DIR   re-execute the cell a crash bundle recorded\n"
+               "  replay-campaign BUNDLE_DIR   re-execute a generated attack campaign\n"
+               "                      from its bundle (or a bare campaign-spec JSON file)\n");
   return 2;
 }
 
@@ -191,6 +196,79 @@ int RunDump(int argc, char** argv) {
   return 0;
 }
 
+// `replay-campaign <bundle-or-spec>`: deterministically re-execute a
+// generated attack campaign. Campaigns are pure functions of their serialized
+// (spec, config), so the replay runs the exact step list — including shrunk
+// minimal reproducers — and compares the outcome against the bundle's
+// expectation: 0 when it reproduces, 1 when it diverges.
+int ReplayCampaignSpec(const json::Value& replay) {
+  auto parsed = attacks::CampaignFromJson(replay);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "replay-campaign: %s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("replay-campaign: %s seed 0x%llx, %zu steps (policy %s, audit %s, budget %llu)\n",
+              core::TechniqueKindName(parsed->spec.technique),
+              static_cast<unsigned long long>(parsed->spec.seed), parsed->spec.steps.size(),
+              parsed->config.mmap_policy ? "on" : "off",
+              parsed->config.runtime_audit ? "on" : "off",
+              static_cast<unsigned long long>(parsed->config.step_budget));
+  for (const auto& step : parsed->spec.steps) {
+    std::printf("  step %s a=0x%llx b=0x%llx c=0x%llx\n", attacks::StepKindName(step.kind),
+                static_cast<unsigned long long>(step.a),
+                static_cast<unsigned long long>(step.b),
+                static_cast<unsigned long long>(step.c));
+  }
+  const attacks::CampaignResult result = attacks::RunCampaign(parsed->spec, parsed->config);
+  std::printf("replay-campaign: outcome %s (steps %llu, budget %llu, probes %llu, "
+              "repairs %d, quarantines %d, downgrades %d)\n",
+              attacks::CampaignOutcomeName(result.outcome),
+              static_cast<unsigned long long>(result.steps_run),
+              static_cast<unsigned long long>(result.budget_used),
+              static_cast<unsigned long long>(result.probes), result.repairs,
+              result.quarantines, result.downgrades);
+  if (!result.note.empty()) {
+    std::printf("replay-campaign: detail: %s\n", result.note.c_str());
+  }
+  if (!replay.StringOr("expected", "").empty()) {
+    if (result.outcome == parsed->expected) {
+      std::printf("replay-campaign: reproduced the recorded outcome (%s)\n",
+                  attacks::CampaignOutcomeName(parsed->expected));
+      return 0;
+    }
+    std::fprintf(stderr, "replay-campaign: outcome diverged: bundle recorded %s, replay got %s\n",
+                 attacks::CampaignOutcomeName(parsed->expected),
+                 attacks::CampaignOutcomeName(result.outcome));
+    return 1;
+  }
+  return 0;
+}
+
+int RunReplayCampaign(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  const std::string path = argv[0];
+  // Accept a crash-bundle directory (manifest.json holds the replay spec)
+  // or a bare campaign-spec JSON file.
+  if (auto manifest = json::ParseFile(path + "/manifest.json"); manifest.ok()) {
+    const json::Value* replay = manifest->Find("replay");
+    if (replay == nullptr || !replay->is_object()) {
+      std::fprintf(stderr, "replay-campaign: bundle has no replay spec (cell \"%s\")\n",
+                   manifest->StringOr("cell", "?").c_str());
+      return 2;
+    }
+    return ReplayCampaignSpec(*replay);
+  }
+  auto spec = json::ParseFile(path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "replay-campaign: %s is neither a bundle dir nor a spec file (%s)\n",
+                 path.c_str(), spec.status().ToString().c_str());
+    return 2;
+  }
+  return ReplayCampaignSpec(*spec);
+}
+
 // `replay <bundle>`: parse the bundle's manifest.json and deterministically
 // re-execute the cell it recorded. Fault-campaign cells derive all their
 // randomness from (seed, technique, site), so the replay is bit-for-bit the
@@ -217,6 +295,9 @@ int RunReplay(int argc, char** argv) {
     return 2;
   }
   const std::string kind = replay->StringOr("kind", "");
+  if (kind == "attack_campaign") {
+    return ReplayCampaignSpec(*replay);
+  }
   if (kind != "fault_cell") {
     std::fprintf(stderr, "replay: unsupported replay kind \"%s\"\n", kind.c_str());
     return 2;
@@ -288,6 +369,9 @@ int main(int argc, char** argv) {
   }
   if (command == "replay") {
     return RunReplay(argc - 2, argv + 2);
+  }
+  if (command == "replay-campaign") {
+    return RunReplayCampaign(argc - 2, argv + 2);
   }
   return Usage();
 }
