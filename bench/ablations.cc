@@ -1,185 +1,9 @@
-// Ablation benches for the design choices DESIGN.md calls out:
-//   1. single-bound MPX check vs GCC-style double-sided checking,
-//   2. BNDPRESERVE on vs off (bound reloads at legacy branches),
-//   3. SFI mask hoisted vs rematerialized per access,
-//   4. MPK integrity-only (WD) vs confidentiality (AD) closing.
-#include "bench/bench_util.h"
-#include "src/core/memsentry.h"
-#include "src/ir/pointsto.h"
-#include "src/sim/executor.h"
-#include "src/sim/profiling.h"
-#include "src/workloads/synth.h"
-
-namespace memsentry {
-namespace {
-
-double Fig3Point(const workloads::SpecProfile& profile, core::TechniqueKind kind,
-                 core::InstrumentOptions instrument, eval::ExperimentOptions options) {
-  options.instrument = instrument;
-  return eval::RunAddressBasedExperiment(profile, kind, instrument.mode, options);
-}
-
-}  // namespace
-}  // namespace memsentry
+// Thin standalone entry point for the "ablations" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("ablations", argc, argv);
-  bench::PrintHeader("Ablations — the design choices behind MemSentry's numbers");
-
-  const auto& gcc = *workloads::FindProfile("403.gcc");
-  const auto& hmmer = *workloads::FindProfile("456.hmmer");
-
-  std::printf("\n[1] MPX: single upper-bound check (MemSentry) vs double-sided (GCC style)\n");
-  std::printf("%-16s %14s %14s\n", "benchmark", "single bndcu", "bndcl+bndcu");
-  for (const auto* profile : {&gcc, &hmmer}) {
-    core::InstrumentOptions single;
-    single.mode = core::ProtectMode::kReadWrite;
-    core::InstrumentOptions both = single;
-    both.mpx_double_bounds = true;
-    const double s = Fig3Point(*profile, core::TechniqueKind::kMpx, single, reporter.Options());
-    const double b = Fig3Point(*profile, core::TechniqueKind::kMpx, both, reporter.Options());
-    reporter.AddFidelity("ablate/mpx_single/" + profile->name, s, bench::kPerBenchmarkTol);
-    reporter.AddFidelity("ablate/mpx_double/" + profile->name, b, bench::kPerBenchmarkTol);
-    std::printf("%-16s %14.3f %14.3f\n", profile->name.c_str(), s, b);
-  }
-  std::printf("(the paper dismisses MPX-as-bounds-checker for its overhead; the single\n");
-  std::printf(" partition check is what makes it competitive — Section 5.4/6.1)\n");
-
-  std::printf("\n[2] SFI: hoisted mask vs rematerialized per access\n");
-  std::printf("%-16s %14s %14s\n", "benchmark", "hoisted", "rematerialized");
-  for (const auto* profile : {&gcc, &hmmer}) {
-    core::InstrumentOptions hoisted;
-    hoisted.mode = core::ProtectMode::kReadWrite;
-    core::InstrumentOptions remat = hoisted;
-    remat.sfi_rematerialize_mask = true;
-    const double h = Fig3Point(*profile, core::TechniqueKind::kSfi, hoisted, reporter.Options());
-    const double r = Fig3Point(*profile, core::TechniqueKind::kSfi, remat, reporter.Options());
-    reporter.AddFidelity("ablate/sfi_hoisted/" + profile->name, h, bench::kPerBenchmarkTol);
-    reporter.AddFidelity("ablate/sfi_remat/" + profile->name, r, bench::kPerBenchmarkTol);
-    std::printf("%-16s %14.3f %14.3f\n", profile->name.c_str(), h, r);
-  }
-
-  std::printf("\n[3] MPK closing policy: integrity-only (WD) vs confidentiality (AD+WD)\n");
-  std::printf("    Both policies cost the same wrpkru pair; what differs is protection:\n");
-  std::printf("    WD-only still lets the attacker *read* the region (shadow stacks only\n");
-  std::printf("    need integrity; private keys need AD) — Section 4.\n");
-  {
-    eval::ExperimentOptions options = reporter.Options();
-    options.instrument.mode = core::ProtectMode::kWriteOnly;
-    const double wd = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kMpk,
-                                                     eval::DomainScenario::kCallRet, options);
-    options.instrument.mode = core::ProtectMode::kReadWrite;
-    const double ad = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kMpk,
-                                                     eval::DomainScenario::kCallRet, options);
-    reporter.AddFidelity("ablate/mpk_wd_only", wd, bench::kPerBenchmarkTol);
-    reporter.AddFidelity("ablate/mpk_ad_wd", ad, bench::kPerBenchmarkTol);
-    std::printf("    403.gcc: WD-only %.3f vs AD+WD %.3f (identical switch cost)\n", wd, ad);
-  }
-
-  std::printf("\n[4] SGX as a domain technique (why the paper rules it out)\n");
-  {
-    eval::ExperimentOptions options = reporter.Options();
-    const double sgx = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kSgx,
-                                                      eval::DomainScenario::kSyscall, options);
-    const double mpk = eval::RunDomainBasedExperiment(gcc, core::TechniqueKind::kMpk,
-                                                      eval::DomainScenario::kSyscall, options);
-    reporter.AddFidelity("ablate/sgx_syscall", sgx, bench::kPerBenchmarkTol);
-    reporter.AddFidelity("ablate/mpk_syscall", mpk, bench::kPerBenchmarkTol);
-    std::printf("    403.gcc syscall scenario: SGX %.2f vs MPK %.3f\n", sgx, mpk);
-    std::printf("    (7664-cycle crossings: ~70x an MPK switch — Section 3.1)\n");
-  }
-
-  std::printf("\n[5] BNDPRESERVE on vs off\n");
-  {
-    // Without BNDPRESERVE every legacy branch resets the bound registers and
-    // the next check reloads bnd0 from the bound table (Section 5.4).
-    auto run = [&](bool preserve) {
-      eval::ExperimentOptions options = reporter.Options();
-      sim::Machine m1;
-      sim::Process base_proc(&m1);
-      (void)workloads::PrepareWorkloadProcess(base_proc, gcc);
-      workloads::SynthOptions synth;
-      synth.target_instructions = options.target_instructions;
-      ir::Module module = workloads::SynthesizeSpecProgram(gcc, synth);
-      sim::Executor base_exec(&base_proc, &module);
-      const double base = base_exec.Run().cycles;
-
-      sim::Machine m2;
-      sim::Process proc(&m2);
-      (void)workloads::PrepareWorkloadProcess(proc, gcc);
-      core::MemSentryConfig config;
-      config.technique = core::TechniqueKind::kMpx;
-      core::MemSentry ms(&proc, config);
-      (void)ms.allocator().Alloc("region", 4096);
-      ir::Module inst = workloads::SynthesizeSpecProgram(gcc, synth);
-      (void)ms.Protect(inst);
-      proc.regs().bnd_preserve = preserve;
-      sim::Executor exec(&proc, &inst);
-      return exec.Run().cycles / base;
-    };
-    const double on = run(true);
-    const double off = run(false);
-    reporter.AddFidelity("ablate/bndpreserve_on", on, bench::kPerBenchmarkTol);
-    reporter.AddFidelity("ablate/bndpreserve_off", off, bench::kPerBenchmarkTol);
-    std::printf("    403.gcc MPX-rw: BNDPRESERVE on %.3f vs off %.3f\n", on, off);
-    std::printf("    (off: every branch resets bnd0; checks pay bound-table reloads --\n");
-    std::printf("     and between reset and reload, checks pass vacuously: the flag is\n");
-    std::printf("     a correctness requirement, not just a performance one)\n");
-  }
-
-  std::printf("\n[6] Program-data protection: static (DSA) vs dynamic (PIN) points-to\n");
-  {
-    // A program with hidden safe-region accesses, half through memory-loaded
-    // pointers. Compare how many instructions each analysis hands MemSentry.
-    sim::Machine m1;
-    sim::Process process(&m1);
-    (void)workloads::PrepareWorkloadProcess(process, gcc);
-    core::MemSentryConfig config;
-    config.technique = core::TechniqueKind::kMpk;
-    core::MemSentry ms(&process, config);
-    auto region = ms.allocator().Alloc("program-data", 4096);
-    workloads::SynthOptions synth;
-    synth.target_instructions = 200'000;
-    synth.safe_accesses_per_ki = 4;
-    synth.safe_region_base = region.value()->base;
-    ir::Module base_module = workloads::SynthesizeSpecProgram(gcc, synth);
-    const uint64_t mem_ops =
-        base_module.CountIf([](const ir::Instr& i) { return i.IsMemoryAccess(); });
-
-    ir::Module dynamic_module = base_module;
-    {
-      sim::Machine m2;
-      sim::Process scratch(&m2);
-      (void)workloads::PrepareWorkloadProcess(scratch, gcc);
-      (void)scratch.MapRange(region.value()->base, 1, machine::PageFlags::Data());
-      scratch.AddSafeRegion("program-data", region.value()->base, 4096);
-      (void)sim::DynamicPointsTo(scratch, dynamic_module);
-    }
-    const uint64_t dynamic_count =
-        dynamic_module.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
-
-    ir::Module static_module = base_module;
-    const ir::SafeRange range{region.value()->base, 4096};
-    (void)ir::AnalyzePointsTo(static_module, std::span(&range, 1), /*conservative=*/true,
-                              /*annotate=*/true);
-    const uint64_t static_count =
-        static_module.CountIf([](const ir::Instr& i) { return i.IsSafeAccess(); });
-
-    reporter.AddFidelity("ablate/pointsto/memory_ops", static_cast<double>(mem_ops), 0.02);
-    reporter.AddFidelity("ablate/pointsto/dynamic_annotated",
-                         static_cast<double>(dynamic_count), 0.02);
-    reporter.AddFidelity("ablate/pointsto/static_annotated",
-                         static_cast<double>(static_count), 0.02);
-    std::printf("    memory ops in program:        %llu\n",
-                static_cast<unsigned long long>(mem_ops));
-    std::printf("    dynamic profile annotates:    %llu (exact for this input)\n",
-                static_cast<unsigned long long>(dynamic_count));
-    std::printf("    static conservative annotates:%llu (over-approximation: %.1fx)\n",
-                static_cast<unsigned long long>(static_count),
-                static_cast<double>(static_count) / static_cast<double>(dynamic_count));
-    std::printf("    (paper Section 5.5: DSA is overly conservative; the PIN-style run\n");
-    std::printf("     is exact but under-approximates across inputs)\n");
-  }
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("ablations", argc, argv);
 }

@@ -1,152 +1,9 @@
-// Generative attack campaigns at scale: RunCampaignSuite samples hundreds of
-// randomized multi-step campaigns per technique from the step grammar in
-// src/attacks/campaign_gen.h and pins every per-technique outcome tally as a
-// zero-tolerance fidelity metric. The headline gate is zero-tolerance on
-// escapes: under the default configuration (MapGuard mmap policy on, runtime
-// audit on) `campaign/<tech>/escaped` and `campaign/escaped_total` are pinned
-// at 0.
-//
-// Weakening knobs prove the defenses are load-bearing and the escape path
-// works end-to-end: `--policy=off` drops the mmap-policy layer,
-// `--skip-audit` disables the containment audit. Escapes (and budget
-// timeouts) are shrunk to minimal reproducers and written as crash bundles
-// whose replay spec `memsentry_cli replay-campaign` re-executes bit-for-bit.
-// `--allow-escapes` keeps the exit code clean for those deliberately
-// weakened runs so CI can harvest the bundles.
-#include <cstdio>
-#include <cstring>
-#include <string>
-
-#include "bench/bench_util.h"
-#include "src/attacks/campaign_gen.h"
-#include "src/base/crash_handler.h"
+// Thin standalone entry point for the "attack_campaigns" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("attack_campaigns", argc, argv);
-
-  attacks::CampaignSuiteOptions options;
-  options.jobs = reporter.Jobs();
-  bool allow_escapes = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      options.seed = std::strtoull(argv[i] + 7, nullptr, 0);
-    } else if (std::strncmp(argv[i], "--campaigns=", 12) == 0) {
-      // Total across techniques, rounded up to a per-technique count.
-      const uint64_t total = std::strtoull(argv[i] + 12, nullptr, 0);
-      options.campaigns_per_technique =
-          (total + core::kNumTechniques - 1) / core::kNumTechniques;
-    } else if (std::strcmp(argv[i], "--policy=off") == 0) {
-      options.config.mmap_policy = false;
-    } else if (std::strcmp(argv[i], "--skip-audit") == 0) {
-      options.config.runtime_audit = false;
-    } else if (std::strncmp(argv[i], "--step-budget=", 14) == 0) {
-      options.config.step_budget = std::strtoull(argv[i] + 14, nullptr, 0);
-    } else if (std::strcmp(argv[i], "--allow-escapes") == 0) {
-      allow_escapes = true;
-    }
-  }
-
-  bench::PrintHeader("Attack campaigns — seeded generative adversary vs every technique");
-  const uint64_t total_campaigns =
-      options.campaigns_per_technique * core::kNumTechniques;
-  std::printf("suite seed: 0x%llx   campaigns: %llu (%llu per technique)\n",
-              static_cast<unsigned long long>(options.seed),
-              static_cast<unsigned long long>(total_campaigns),
-              static_cast<unsigned long long>(options.campaigns_per_technique));
-  std::printf("mmap policy: %s   runtime audit: %s   step budget: %llu\n",
-              options.config.mmap_policy ? "strict (MapGuard)" : "OFF",
-              options.config.runtime_audit ? "on" : "OFF",
-              static_cast<unsigned long long>(options.config.step_budget));
-
-  const attacks::CampaignSuiteResult suite = attacks::RunCampaignSuite(options);
-
-  std::printf("\n%-10s %9s %9s %9s %10s %10s %10s\n", "technique", "detected",
-              "degraded", "ESCAPED", "timed-out", "steps", "probes");
-  for (int k = 0; k < core::kNumTechniques; ++k) {
-    const auto kind = static_cast<core::TechniqueKind>(k);
-    const attacks::CampaignTally& t = suite.per_technique[static_cast<size_t>(k)];
-    std::printf("%-10s %9llu %9llu %9llu %10llu %10llu %10llu\n",
-                core::TechniqueKindName(kind),
-                static_cast<unsigned long long>(t.detected),
-                static_cast<unsigned long long>(t.degraded),
-                static_cast<unsigned long long>(t.escaped),
-                static_cast<unsigned long long>(t.timed_out),
-                static_cast<unsigned long long>(t.steps_run),
-                static_cast<unsigned long long>(t.probes));
-    const std::string prefix =
-        std::string("campaign/") + core::TechniqueKindName(kind);
-    // Zero tolerance: any drift in the outcome distribution — one campaign
-    // flipping detected->degraded, or worse, anything->escaped — is a
-    // containment regression against the committed baseline.
-    reporter.AddFidelity(prefix + "/detected", static_cast<double>(t.detected), 0.0);
-    reporter.AddFidelity(prefix + "/degraded", static_cast<double>(t.degraded), 0.0);
-    reporter.AddFidelity(prefix + "/escaped", static_cast<double>(t.escaped), 0.0, NAN,
-                         "silent escapes; pinned at zero under the default config");
-    reporter.AddFidelity(prefix + "/timed_out", static_cast<double>(t.timed_out), 0.0);
-    reporter.AddFidelity(prefix + "/steps_run", static_cast<double>(t.steps_run), 0.0);
-    reporter.AddInfo(prefix + "/probes", static_cast<double>(t.probes));
-  }
-  reporter.AddFidelity("campaign/escaped_total",
-                       static_cast<double>(suite.total_escaped), 0.0, NAN,
-                       "escapes across all generated campaigns");
-  reporter.AddFidelity("campaign/timed_out_total",
-                       static_cast<double>(suite.total_timed_out), 0.0);
-  reporter.AddInfo("campaign/seed", static_cast<double>(options.seed));
-  reporter.AddInfo("campaign/total", static_cast<double>(total_campaigns));
-
-  // Every anomaly becomes a crash bundle: the shrunk (1-minimal) spec is the
-  // replay payload, the original spec rides along for forensics.
-  for (const attacks::CampaignAnomaly& anomaly : suite.anomalies) {
-    const std::string label = std::string(core::TechniqueKindName(anomaly.spec.technique)) +
-                              "/campaign-" + std::to_string(anomaly.spec.index);
-    json::Value replay =
-        attacks::CampaignToJson(anomaly.shrunk, options.config, anomaly.result.outcome);
-    replay.Set("original_steps", static_cast<double>(anomaly.spec.steps.size()));
-
-    base::CrashContext context;
-    context.binary = "attack_campaigns";
-    context.cell = label;
-    context.seed = anomaly.spec.seed;
-    context.config_json = reporter.ConfigJson();
-    context.replay_json = replay.Dump(0);
-    base::SetCrashContext(context);
-    const std::string bundle = base::WriteCrashBundle(
-        anomaly.result.outcome == attacks::CampaignOutcome::kEscaped
-            ? "attack-campaign-escape"
-            : "attack-campaign-timeout");
-    base::ClearCrashCell();
-
-    std::printf("%s: %s %s (%zu steps, shrunk to %zu) — %s\n",
-                attacks::CampaignOutcomeName(anomaly.result.outcome), label.c_str(),
-                bundle.empty() ? "(bundle write failed)" : bundle.c_str(),
-                anomaly.spec.steps.size(), anomaly.shrunk.steps.size(),
-                anomaly.result.note.c_str());
-  }
-
-  std::printf("\n%llu detected, %llu degraded, %llu ESCAPED, %llu timed out (of %llu)\n",
-              static_cast<unsigned long long>(
-                  [&] {
-                    uint64_t n = 0;
-                    for (const auto& t : suite.per_technique) n += t.detected;
-                    return n;
-                  }()),
-              static_cast<unsigned long long>(
-                  [&] {
-                    uint64_t n = 0;
-                    for (const auto& t : suite.per_technique) n += t.degraded;
-                    return n;
-                  }()),
-              static_cast<unsigned long long>(suite.total_escaped),
-              static_cast<unsigned long long>(suite.total_timed_out),
-              static_cast<unsigned long long>(total_campaigns));
-  std::printf("detected = faulted/refused/diverted; degraded = audit repaired state;\n");
-  std::printf("any escape under the default configuration is a test failure and is\n");
-  std::printf("written as a replayable crash bundle (memsentry_cli replay-campaign).\n");
-
-  const int report_status = reporter.Finish();
-  if (suite.total_escaped > 0 && !allow_escapes) {
-    return 1;
-  }
-  return report_status;
+  return memsentry::bench::SuiteMain("attack_campaigns", argc, argv);
 }

@@ -1,113 +1,9 @@
-// The threat-model experiment (paper Sections 1/2.3): an attacker with an
-// arbitrary read/write primitive against every isolation technique. The
-// titular result: deterministic isolation survives even when the region's
-// address is known; information hiding falls to an allocation oracle.
-#include <cstdio>
-#include <string>
-
-#include "bench/bench_util.h"
-#include "src/attacks/harness.h"
-#include "src/attacks/primitives.h"
-#include "src/attacks/strategies.h"
-#include "src/defenses/mmap_policy.h"
+// Thin standalone entry point for the "attack_matrix" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("attack_matrix", argc, argv);
-  std::printf("\n================================================================\n");
-  std::printf("Attack matrix — arbitrary R/W primitive vs every technique\n");
-  std::printf("================================================================\n");
-  std::printf("%-12s %-9s %-13s %-12s %-12s %s\n", "technique", "located", "oracle probes",
-              "read", "write", "notes");
-  for (const auto& r : attacks::RunAttackMatrix()) {
-    std::printf("%-12s %-9s %-13llu %-12s %-12s %s\n",
-                core::TechniqueKindName(r.technique),
-                r.region_located ? "yes" : "no",
-                static_cast<unsigned long long>(r.locate_probes),
-                attacks::OutcomeName(r.read_outcome), attacks::OutcomeName(r.write_outcome),
-                r.detail.c_str());
-    // The security results are the paper's headline claim; any change in an
-    // outcome (e.g. a technique suddenly leaking) is a hard fidelity break.
-    const std::string prefix = std::string("attack/") + core::TechniqueKindName(r.technique);
-    reporter.AddFidelity(prefix + "/located", r.region_located ? 1 : 0, 0.0);
-    reporter.AddFidelity(prefix + "/read_outcome",
-                         static_cast<double>(static_cast<int>(r.read_outcome)), 0.0, NAN,
-                         attacks::OutcomeName(r.read_outcome));
-    reporter.AddFidelity(prefix + "/write_outcome",
-                         static_cast<double>(static_cast<int>(r.write_outcome)), 0.0, NAN,
-                         attacks::OutcomeName(r.write_outcome));
-    reporter.AddPerf(prefix + "/locate_probes", static_cast<double>(r.locate_probes), 0.5);
-  }
-  std::printf("\nDeterministic techniques hand the attacker the region's address and still\n");
-  std::printf("hold; the information-hiding baseline is located in a few dozen probes and\n");
-  std::printf("fully compromised — no need to hide.\n");
-
-  // Per-strategy disclosure matrix: each published locate strategy against a
-  // fresh information-hiding victim, with found/probes pinned as fidelity
-  // metrics. The oracle also runs against a MapGuard-guarded victim — the
-  // guard pages skew the hole measurement, so the oracle must come up empty.
-  std::printf("\n%-22s %-7s %s\n", "locate strategy", "found", "probes");
-  struct StrategyRow {
-    const char* name;
-    bool found;
-    uint64_t probes;
-  };
-  std::vector<StrategyRow> rows;
-  {
-    // Allocation oracle vs a small hidden region: the headline break.
-    sim::Machine machine;
-    sim::Process process(&machine);
-    core::SafeRegionAllocator allocator(&process, core::TechniqueKind::kInfoHide, /*seed=*/77);
-    auto region = allocator.Alloc("hidden", 8 * kPageSize);
-    auto located = attacks::AllocationOracleAttack(process, 8);
-    rows.push_back({"alloc-oracle", region.ok() && located.found, located.probes});
-  }
-  {
-    // The same oracle with MapGuard guard pages flanking the region.
-    sim::Machine machine;
-    sim::Process process(&machine);
-    core::SafeRegionAllocator allocator(&process, core::TechniqueKind::kInfoHide, /*seed=*/77);
-    auto region = allocator.Alloc("hidden", 8 * kPageSize);
-    defenses::MmapPolicy policy(&process, defenses::MmapPolicyConfig::Strict(), /*seed=*/77);
-    (void)policy.InstallGuards();
-    auto located = attacks::AllocationOracleAttack(process, 8);
-    rows.push_back({"alloc-oracle-guarded", region.ok() && located.found, located.probes});
-  }
-  {
-    // Crash-resistant scan vs a CPI-style 4 GiB reservation: tractable.
-    sim::Machine machine;
-    sim::Process process(&machine);
-    core::SafeRegionAllocator allocator(&process, core::TechniqueKind::kInfoHide, /*seed=*/5);
-    auto region = allocator.Alloc("cpi-region", uint64_t{4} << 30);
-    auto technique = core::CreateTechnique(core::TechniqueKind::kInfoHide);
-    attacks::ArbitraryRw rw(&process, technique.get());
-    auto located = attacks::CrashResistantScan(rw, sim::kStackTop, kAddressSpaceEnd,
-                                               /*stride=*/uint64_t{1} << 30,
-                                               /*probe_budget=*/1 << 20);
-    rows.push_back({"crash-scan-4g", region.ok() && located.found, located.probes});
-  }
-  {
-    // Thread spraying vs a 256 KiB region: density makes scanning work.
-    sim::Machine machine;
-    sim::Process process(&machine);
-    core::SafeRegionAllocator allocator(&process, core::TechniqueKind::kInfoHide, /*seed=*/9);
-    const uint64_t kRegionBytes = 256 * 1024;
-    auto region = allocator.Alloc("original", kRegionBytes);
-    auto technique = core::CreateTechnique(core::TechniqueKind::kInfoHide);
-    attacks::ArbitraryRw rw(&process, technique.get());
-    auto located = attacks::ThreadSprayingAttack(process, rw, allocator, kRegionBytes,
-                                                 /*spray_count=*/512,
-                                                 /*probe_budget=*/3'000'000);
-    rows.push_back({"thread-spray", region.ok() && located.found, located.probes});
-  }
-  for (const auto& row : rows) {
-    std::printf("%-22s %-7s %llu\n", row.name, row.found ? "yes" : "no",
-                static_cast<unsigned long long>(row.probes));
-    const std::string prefix = std::string("attack/strategy/") + row.name;
-    reporter.AddFidelity(prefix + "/found", row.found ? 1 : 0, 0.0);
-    reporter.AddFidelity(prefix + "/probes", static_cast<double>(row.probes), 0.0);
-  }
-  std::printf("\nMapGuard's guard pages skew the oracle's hole measurement: the guarded\n");
-  std::printf("victim stays hidden while the unguarded one falls in the same probe budget.\n");
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("attack_matrix", argc, argv);
 }

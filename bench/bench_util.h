@@ -20,6 +20,7 @@
 #include "src/base/json.h"
 #include "src/eval/figures.h"
 #include "src/eval/regression_gate.h"
+#include "src/eval/report_builder.h"
 #include "src/workloads/spec_profiles.h"
 
 namespace memsentry::bench {
@@ -67,23 +68,19 @@ inline eval::ExperimentOptions DefaultOptions() {
   return options;
 }
 
-// Default per-metric relative tolerances baked into every report (and thus
-// into snapshots under bench/baselines/). Geomeans are tight; individual
-// benchmarks wobble more across instruction budgets and compilers; cycle
-// totals are perf-kind and warn-only until a second baseline exists.
-inline constexpr double kGeomeanTol = 0.05;
-inline constexpr double kPerBenchmarkTol = 0.15;
-inline constexpr double kCyclesTol = 0.15;
-inline constexpr double kMicroLatencyTol = 0.10;
-// Host-side throughput (sim instr/s) swings with machine load and CPU
-// generation; the wide band still catches order-of-magnitude interpreter
-// regressions while staying quiet across healthy hosts.
-inline constexpr double kHostThroughputTol = 0.60;
+// The tolerance constants live in src/eval/report_builder.h so the campaign
+// engine's workloads share them; these aliases keep the bench:: spellings.
+inline constexpr double kGeomeanTol = eval::kGeomeanTol;
+inline constexpr double kPerBenchmarkTol = eval::kPerBenchmarkTol;
+inline constexpr double kCyclesTol = eval::kCyclesTol;
+inline constexpr double kMicroLatencyTol = eval::kMicroLatencyTol;
+inline constexpr double kHostThroughputTol = eval::kHostThroughputTol;
 
-// Collects a benchmark binary's results as named metrics and writes the
-// machine-readable report when the binary was invoked with --json=<path>.
-// Metric names are slash-paths, unique across the whole suite because each
-// binary prefixes its own figure/table (e.g. "fig3/geomean/MPX-w").
+// Collects a benchmark binary's results as named metrics (through an
+// eval::ReportBuilder) and writes the machine-readable report when the
+// binary was invoked with --json=<path>. Metric names are slash-paths,
+// unique across the whole suite because each binary prefixes its own
+// figure/table (e.g. "fig3/geomean/MPX-w").
 class Reporter {
  public:
   Reporter(std::string binary, int argc, char** argv)
@@ -148,43 +145,29 @@ class Reporter {
   int Jobs() const { return jobs_; }
   bool enabled() const { return !json_path_.empty(); }
 
-  // One scalar metric. paper = NAN when the paper gives no reference value;
-  // note is free-form context carried into the report.
+  // The underlying metric collector, shared with the campaign engine's
+  // workload assembly path so standalone and in-process runs emit the exact
+  // same metric stream.
+  eval::ReportBuilder& builder() { return builder_; }
+
   void Add(const std::string& name, double value, eval::MetricKind kind, double tol,
            double paper = NAN, const std::string& note = "") {
-    json::Value entry = json::Value::Object();
-    entry.Set("value", value);
-    entry.Set("kind", eval::MetricKindName(kind));
-    entry.Set("tol", tol);
-    if (!std::isnan(paper)) {
-      entry.Set("paper", paper);
-    }
-    if (!note.empty()) {
-      entry.Set("note", note);
-    }
-    metrics_.Set(name, std::move(entry));
+    builder_.Add(name, value, kind, tol, paper, note);
   }
 
   void AddFidelity(const std::string& name, double value, double tol, double paper = NAN,
                    const std::string& note = "") {
-    Add(name, value, eval::MetricKind::kFidelity, tol, paper, note);
+    builder_.AddFidelity(name, value, tol, paper, note);
   }
 
   void AddPerf(const std::string& name, double value, double tol = kCyclesTol) {
-    Add(name, value, eval::MetricKind::kPerf, tol);
+    builder_.AddPerf(name, value, tol);
   }
 
-  void AddInfo(const std::string& name, double value) {
-    Add(name, value, eval::MetricKind::kInfo, 0.0);
-  }
+  void AddInfo(const std::string& name, double value) { builder_.AddInfo(name, value); }
 
-  // Host-dependent perf metric: tolerance-checked against the committed
-  // baseline (so sustained throughput regressions surface in the gate) but
-  // never a hard failure, and exempt from --check-determinism — its value
-  // depends on host wall-clock speed, not on simulation state.
   void AddHostPerf(const std::string& name, double value, double tol) {
-    Add(name, value, eval::MetricKind::kPerf, tol);
-    metrics_[name].Set("host", true);
+    builder_.AddHostPerf(name, value, tol);
   }
 
   // Accumulates simulated (retired) instructions executed by this binary.
@@ -192,25 +175,13 @@ class Reporter {
   // host-perf metric — the suite's wall-clock throughput gauge, checked
   // against the baseline with a generous tolerance (hosts vary) but
   // warn-only so a slow machine never hard-fails the gate.
-  void AddSimulatedInstructions(double instructions) { sim_instructions_ += instructions; }
+  void AddSimulatedInstructions(double instructions) {
+    builder_.AddSimulatedInstructions(instructions);
+  }
 
-  // A whole figure: per-config geomeans (fidelity, with the paper's
-  // reference), per-benchmark normalized runtimes (fidelity, looser), and
-  // suite-total protected cycles (perf).
   void AddFigure(const std::string& prefix, const std::vector<eval::FigureSeries>& series,
                  const std::vector<double>& paper_geomeans) {
-    const auto profiles = workloads::SpecCpu2006();
-    for (size_t i = 0; i < series.size(); ++i) {
-      const auto& s = series[i];
-      const double paper = i < paper_geomeans.size() ? paper_geomeans[i] : NAN;
-      AddFidelity(prefix + "/geomean/" + s.config, s.geomean, kGeomeanTol, paper);
-      for (size_t b = 0; b < s.normalized.size() && b < profiles.size(); ++b) {
-        AddFidelity(prefix + "/norm/" + s.config + "/" + profiles[b].name, s.normalized[b],
-                    kPerBenchmarkTol);
-      }
-      AddPerf(prefix + "/cycles/" + s.config, s.total_prot_cycles);
-      AddSimulatedInstructions(s.total_instructions);
-    }
+    builder_.AddFigure(prefix, series, paper_geomeans);
   }
 
   // Writes the report if --json= was given. Returns the binary's exit code
@@ -222,8 +193,8 @@ class Reporter {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
     AddInfo(binary_ + "/wall_seconds", wall);
-    if (sim_instructions_ > 0 && wall > 0) {
-      AddHostPerf(binary_ + "/sim_instr_per_second", sim_instructions_ / wall,
+    if (builder_.sim_instructions() > 0 && wall > 0) {
+      AddHostPerf(binary_ + "/sim_instr_per_second", builder_.sim_instructions() / wall,
                   kHostThroughputTol);
     }
     json::Value doc = json::Value::Object();
@@ -231,7 +202,7 @@ class Reporter {
     doc.Set("binary", binary_);
     doc.Set("instructions", TargetInstructions());
     doc.Set("wall_seconds", wall);
-    doc.Set("metrics", std::move(metrics_));
+    doc.Set("metrics", builder_.TakeMetrics());
     // Atomic write: a crash mid-report leaves no torn JSON for the runner's
     // salvage pass to misread.
     if (Status s = json::WriteFileAtomic(json_path_, doc); !s.ok()) {
@@ -247,10 +218,9 @@ class Reporter {
   std::string checkpoint_dir_;
   uint64_t checkpoint_interval_ = 0;
   uint64_t instructions_ = 0;
-  double sim_instructions_ = 0;
   int jobs_ = 0;  // 0 = hardware_concurrency (see eval::ExperimentOptions)
   std::chrono::steady_clock::time_point start_;
-  json::Value metrics_ = json::Value::Object();
+  eval::ReportBuilder builder_;
 };
 
 }  // namespace memsentry::bench

@@ -1,36 +1,9 @@
-// Section 6.2 sweep: crypt's switch cost grows linearly with the region size
-// ("encryption of larger sizes increases linearly on top of this initial
-// cost... approximately 15x overhead when protecting a region of 1024
-// bytes"). Uses the call/ret scenario on 401.bzip2 (a mid-call-density
-// benchmark).
-#include "bench/bench_util.h"
+// Thin standalone entry point for the "crypt_size_sweep" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("crypt_size_sweep", argc, argv);
-  bench::PrintHeader("crypt region-size sweep (call/ret scenario, 401.bzip2)");
-  const auto points = eval::RunCryptSizeSweep(
-      *workloads::FindProfile("401.bzip2"), {16, 32, 64, 128, 256, 512, 1024, 2048},
-      reporter.Options());
-  std::printf("%12s %14s %18s\n", "region bytes", "normalized", "overhead vs 16 B");
-  double base_overhead = 0;
-  for (const auto& p : points) {
-    if (p.region_bytes == 16) {
-      base_overhead = p.normalized - 1.0;
-    }
-    const double relative = base_overhead > 0 ? (p.normalized - 1.0) / base_overhead : 1.0;
-    const std::string bytes = std::to_string(p.region_bytes);
-    reporter.AddFidelity("crypt_sweep/norm/" + bytes, p.normalized, bench::kPerBenchmarkTol);
-    reporter.AddPerf("crypt_sweep/cycles/" + bytes, p.prot_cycles);
-    reporter.AddSimulatedInstructions(p.instructions);
-    if (p.region_bytes == 1024) {
-      reporter.AddFidelity("crypt_sweep/relative_overhead_1024", relative,
-                           bench::kPerBenchmarkTol, NAN,
-                           "paper: ~15x total overhead at 1024 bytes, linear growth");
-    }
-    std::printf("%12llu %14.2f %17.1fx\n",
-                static_cast<unsigned long long>(p.region_bytes), p.normalized, relative);
-  }
-  std::printf("(paper: linear growth; ~15x total at 1024 bytes)\n");
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("crypt_size_sweep", argc, argv);
 }

@@ -1,145 +1,9 @@
-// Fault-containment matrix: every isolation technique under every applicable
-// injected fault (src/sim/fault_injector.h), classified as detected /
-// degraded / ESCAPED by the containment verifier (src/eval/fault_campaign.h).
-// Every cell's outcome and the total escape count are pinned as zero-
-// tolerance fidelity metrics, so a silent-corruption escape anywhere in the
-// matrix fails the regression gate. Campaigns are seeded and replay
-// bit-for-bit: --seed=N picks the campaign seed (reported as info).
-//
-// Crash bundles: each cell runs with the crash handler's context staged, so
-// a crash mid-cell — or --force-crash=<Technique>/<site>, the deterministic
-// crash-injection hook — produces a bundle `memsentry_cli replay` can
-// re-execute. An ESCAPED cell writes a bundle programmatically too, with the
-// expected outcome recorded, so escapes are replayable even though the
-// process survives them.
-#include <cstdio>
-#include <cstring>
-#include <string>
-
-#include "bench/bench_util.h"
-#include "src/base/crash_handler.h"
-#include "src/eval/fault_campaign.h"
-
-namespace {
-
-// The machine-readable replay spec memsentry_cli consumes. `expected` is
-// empty for crashes (replay reproduces the abort) and the containment name
-// for escape bundles (replay compares outcomes).
-std::string ReplaySpec(const memsentry::eval::FaultCampaignOptions& options,
-                       const char* technique, const char* site, const char* expected) {
-  using memsentry::json::Value;
-  Value spec = Value::Object();
-  spec.Set("kind", "fault_cell");
-  spec.Set("technique", technique);
-  spec.Set("site", site);
-  spec.Set("seed", options.seed);
-  if (!options.force_crash.empty()) {
-    spec.Set("force_crash", options.force_crash);
-  }
-  if (expected[0] != '\0') {
-    spec.Set("expected", expected);
-  }
-  return spec.Dump(0);
-}
-
-}  // namespace
+// Thin standalone entry point for the "fault_matrix" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("fault_matrix", argc, argv);
-
-  eval::FaultCampaignOptions options;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      options.seed = std::strtoull(argv[i] + 7, nullptr, 0);
-    } else if (std::strncmp(argv[i], "--force-crash=", 14) == 0) {
-      options.force_crash = argv[i] + 14;
-    }
-  }
-
-  bench::PrintHeader("Fault matrix — injected faults vs every technique");
-  std::printf("campaign seed: 0x%llx\n", static_cast<unsigned long long>(options.seed));
-  std::printf("%-10s %-26s %-9s %7s %11s %10s  %s\n", "technique", "fault site", "outcome",
-              "repairs", "quarantines", "downgrades", "detail");
-
-  // Per-cell loop (rather than RunFaultCampaign) so the crash handler's
-  // context names the cell in flight: a crash anywhere inside RunFaultCell
-  // produces a bundle that replays exactly that cell.
-  eval::FaultCampaignResult campaign;
-  for (const auto& [kind, site] : eval::FaultMatrixCells()) {
-    const char* technique_name = core::TechniqueKindName(kind);
-    const char* site_name = sim::FaultSiteName(site);
-    const std::string label = std::string(technique_name) + "/" + site_name;
-
-    base::CrashContext context;
-    context.binary = "fault_matrix";
-    context.cell = label;
-    context.seed = options.seed;
-    context.config_json = reporter.ConfigJson();
-    context.replay_json = ReplaySpec(options, technique_name, site_name, "");
-    base::SetCrashContext(context);
-
-    eval::FaultCellResult cell = eval::RunFaultCell(kind, site, options);
-
-    if (cell.outcome == eval::Containment::kEscaped) {
-      // The process survives an escape, so trap-style bundles never fire;
-      // write one programmatically with the outcome pinned for replay.
-      context.replay_json = ReplaySpec(options, technique_name, site_name, "ESCAPED");
-      base::SetCrashContext(context);
-      const std::string bundle = base::WriteCrashBundle("fault-matrix-escape");
-      if (!bundle.empty()) {
-        std::fprintf(stderr, "fault_matrix: escape bundle at %s\n", bundle.c_str());
-      }
-    }
-    base::ClearCrashCell();
-
-    switch (cell.outcome) {
-      case eval::Containment::kDetected:
-        ++campaign.detected;
-        break;
-      case eval::Containment::kDegraded:
-        ++campaign.degraded;
-        break;
-      case eval::Containment::kEscaped:
-        ++campaign.escaped;
-        break;
-    }
-    campaign.repairs += cell.repairs;
-    campaign.downgrades += cell.downgrades;
-    campaign.cells.push_back(std::move(cell));
-  }
-
-  for (const auto& cell : campaign.cells) {
-    std::printf("%-10s %-26s %-9s %7d %11d %10d  %s\n",
-                core::TechniqueKindName(cell.technique), sim::FaultSiteName(cell.site),
-                eval::ContainmentName(cell.outcome), cell.repairs, cell.quarantines,
-                cell.downgrades, cell.detail.c_str());
-    const std::string prefix = std::string("fault/") +
-                               core::TechniqueKindName(cell.technique) + "/" +
-                               sim::FaultSiteName(cell.site);
-    // Zero tolerance: an outcome shift in any cell (detected->degraded, or
-    // worse, anything->escaped) is a containment regression.
-    reporter.AddFidelity(prefix + "/outcome",
-                         static_cast<double>(static_cast<int>(cell.outcome)), 0.0, NAN,
-                         eval::ContainmentName(cell.outcome));
-    reporter.AddInfo(prefix + "/repairs", cell.repairs);
-    reporter.AddInfo(prefix + "/downgrades", cell.downgrades);
-  }
-
-  reporter.AddFidelity("fault/escaped_total", campaign.escaped, 0.0, NAN,
-                       "silent-corruption escapes across the whole matrix");
-  reporter.AddInfo("fault/detected_total", campaign.detected);
-  reporter.AddInfo("fault/degraded_total", campaign.degraded);
-  reporter.AddInfo("fault/repairs_total", campaign.repairs);
-  reporter.AddInfo("fault/downgrades_total", campaign.downgrades);
-  reporter.AddInfo("fault/seed", static_cast<double>(options.seed));
-
-  std::printf("\n%d detected, %d degraded, %d ESCAPED (of %zu cells)\n", campaign.detected,
-              campaign.degraded, campaign.escaped, campaign.cells.size());
-  std::printf("detected = correct architectural fault or clean errno refusal;\n");
-  std::printf("degraded = containment audit repaired/quarantined state or the technique\n");
-  std::printf("fell back along its configured chain; any escape is a test failure.\n");
-
-  const int report_status = reporter.Finish();
-  return campaign.escaped > 0 ? 1 : report_status;
+  return memsentry::bench::SuiteMain("fault_matrix", argc, argv);
 }

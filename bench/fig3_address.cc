@@ -1,16 +1,9 @@
-// Figure 3 reproduction: SPEC overhead for instrumenting all stores (-w),
-// loads (-r) and both (-rw) with SFI and MPX. Paper: MPX introduces less
-// overhead than SFI in (almost) all cases; geomeans 2.8/4/12/17.1/14.7/19.6%.
-#include "bench/bench_util.h"
+// Thin standalone entry point for the "fig3_address" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("fig3_address", argc, argv);
-  bench::PrintHeader(
-      "Figure 3 — address-based isolation (MPX vs SFI), all loads/stores instrumented");
-  const std::vector<double> paper = {1.028, 1.040, 1.120, 1.171, 1.147, 1.196};
-  const auto series = eval::RunFigure3(reporter.Options());
-  bench::PrintFigure(series, paper);
-  reporter.AddFigure("fig3", series, paper);
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("fig3_address", argc, argv);
 }

@@ -1,16 +1,9 @@
-// Figure 4 reproduction: domain switches at every call and ret — the shadow
-// stack scenario, using the real ShadowStackPass as the defense. Paper
-// geomeans: MPK 130%, VMFUNC 357%, crypt 217%; peaks 20.79x / 28.27x for
-// VMFUNC on the call-dense C++ benchmarks (povray, xalancbmk).
-#include "bench/bench_util.h"
+// Thin standalone entry point for the "fig4_callret" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("fig4_callret", argc, argv);
-  bench::PrintHeader("Figure 4 — domain-based isolation at every call+ret (shadow stack)");
-  const std::vector<double> paper = {2.30, 4.57, 3.17};
-  const auto series = eval::RunFigure4(reporter.Options());
-  bench::PrintFigure(series, paper);
-  reporter.AddFigure("fig4", series, paper);
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("fig4_callret", argc, argv);
 }

@@ -1,15 +1,9 @@
-// Figure 5 reproduction: domain switches at every indirect branch — CFI and
-// layout-randomization defenses. Paper geomeans: MPK 34%, VMFUNC 82%,
-// crypt 60%; peak 10.61x.
-#include "bench/bench_util.h"
+// Thin standalone entry point for the "fig5_indirect" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("fig5_indirect", argc, argv);
-  bench::PrintHeader("Figure 5 — domain-based isolation at every indirect branch (CFI)");
-  const std::vector<double> paper = {1.34, 1.82, 1.60};
-  const auto series = eval::RunFigure5(reporter.Options());
-  bench::PrintFigure(series, paper);
-  reporter.AddFigure("fig5", series, paper);
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("fig5_indirect", argc, argv);
 }

@@ -1,16 +1,9 @@
-// Figure 6 reproduction: domain switches at every system call (TASR-style
-// defenses; the paper observed similar results for allocator calls). Paper
-// geomeans: MPK 1.1%, VMFUNC 5.5%, crypt 22% — crypt's cost here is the ymm
-// reservation tax on FP benchmarks, not the switches themselves.
-#include "bench/bench_util.h"
+// Thin standalone entry point for the "fig6_syscall" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("fig6_syscall", argc, argv);
-  bench::PrintHeader("Figure 6 — domain-based isolation at every system call");
-  const std::vector<double> paper = {1.011, 1.055, 1.22};
-  const auto series = eval::RunFigure6(reporter.Options());
-  bench::PrintFigure(series, paper);
-  reporter.AddFigure("fig6", series, paper);
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("fig6_syscall", argc, argv);
 }

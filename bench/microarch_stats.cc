@@ -1,75 +1,9 @@
-// Microarchitectural profile of the SPEC stand-ins: CPI, TLB hit rate and
-// cache-level distribution per benchmark, plus the instrumented-instruction
-// share under MPX-rw. Validates that the synthetic workloads reproduce the
-// *reasons* behind the figures (memory-bound benchmarks hide checks, hot
-// benchmarks expose them), not just the outcomes.
-#include "bench/bench_util.h"
-#include "src/core/memsentry.h"
-#include "src/sim/executor.h"
-#include "src/workloads/synth.h"
+// Thin standalone entry point for the "microarch_stats" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("microarch_stats", argc, argv);
-  bench::PrintHeader("Workload microarchitecture — why the figures look the way they do");
-  std::printf("%-16s %6s %8s %7s %7s %7s %7s %9s\n", "benchmark", "CPI", "TLB-hit", "L1%",
-              "L2%", "L3%", "DRAM%", "instr.share");
-  // Suite-wide microarchitectural hit rates, reported as info metrics: they
-  // explain the modeled cycle counts (and the translation fast path's
-  // effectiveness) without gating — the fidelity/perf metrics above already
-  // pin the numbers that matter.
-  double tlb_hits = 0, tlb_total = 0;
-  double l1_hits = 0, cache_total = 0;
-  double grant_hits = 0, grant_total = 0;
-  for (const auto& profile : workloads::SpecCpu2006()) {
-    sim::Machine machine;
-    sim::Process process(&machine);
-    (void)workloads::PrepareWorkloadProcess(process, profile);
-    core::MemSentryConfig config;
-    config.technique = core::TechniqueKind::kMpx;
-    core::MemSentry ms(&process, config);
-    (void)ms.allocator().Alloc("region", 4096);
-    workloads::SynthOptions synth;
-    synth.target_instructions = 300'000;
-    ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
-    (void)ms.Protect(module);
-    process.mmu().ResetStats();
-    sim::Executor executor(&process, &module);
-    auto result = executor.Run();
-    if (!result.halted) {
-      std::printf("%-16s  !! faulted\n", profile.name.c_str());
-      continue;
-    }
-    const auto& tlb = process.mmu().tlb().stats();
-    const auto& cache = process.mmu().dcache().stats();
-    const auto& grants = process.mmu().grant_stats();
-    const double accesses = static_cast<double>(cache.accesses);
-    tlb_hits += static_cast<double>(tlb.hits);
-    tlb_total += static_cast<double>(tlb.hits + tlb.misses);
-    l1_hits += static_cast<double>(cache.l1_hits);
-    cache_total += accesses;
-    grant_hits += static_cast<double>(grants.hits);
-    grant_total += static_cast<double>(grants.hits + grants.misses);
-    const double instr_share = 100.0 * static_cast<double>(result.instrumentation_instrs) /
-                               static_cast<double>(result.instructions);
-    reporter.AddFidelity("microarch/cpi/" + profile.name, result.Cpi(),
-                         bench::kMicroLatencyTol);
-    reporter.AddFidelity("microarch/instr_share/" + profile.name, instr_share,
-                         bench::kPerBenchmarkTol);
-    reporter.AddPerf("microarch/cycles/" + profile.name, result.cycles);
-    reporter.AddSimulatedInstructions(static_cast<double>(result.instructions));
-    std::printf("%-16s %6.2f %7.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %8.1f%%\n",
-                profile.name.c_str(), result.Cpi(), 100.0 * tlb.HitRate(),
-                100.0 * static_cast<double>(cache.l1_hits) / accesses,
-                100.0 * static_cast<double>(cache.l2_hits) / accesses,
-                100.0 * static_cast<double>(cache.l3_hits) / accesses,
-                100.0 * static_cast<double>(cache.dram_accesses) / accesses, instr_share);
-  }
-  reporter.AddInfo("microarch/tlb_hit_rate", tlb_total > 0 ? tlb_hits / tlb_total : 0.0);
-  reporter.AddInfo("microarch/l1_hit_rate", cache_total > 0 ? l1_hits / cache_total : 0.0);
-  reporter.AddInfo("microarch/grant_cache_hit_rate",
-                   grant_total > 0 ? grant_hits / grant_total : 0.0);
-  std::printf("\n(MPX-rw build; instr.share = fraction of executed instructions that are\n");
-  std::printf(" MemSentry-inserted; memory-bound rows show how DRAM time hides them)\n");
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("microarch_stats", argc, argv);
 }

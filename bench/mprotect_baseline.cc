@@ -1,29 +1,9 @@
-// The POSIX mprotect baseline (paper Section 1: "20-50x in our experiments"):
-// toggling the safe region's protection with a syscall at every call/ret is
-// the traditional alternative MemSentry's hardware techniques replace.
-#include "bench/bench_util.h"
-#include "src/base/stats_util.h"
+// Thin standalone entry point for the "mprotect_baseline" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("mprotect_baseline", argc, argv);
-  bench::PrintHeader("mprotect baseline — page-protection toggling at every call+ret");
-  std::printf("%-16s %12s\n", "benchmark", "normalized");
-  std::vector<double> values;
-  double total_cycles = 0;
-  for (const auto& profile : workloads::SpecCpu2006()) {
-    const auto r = eval::RunDomainBasedExperimentFull(
-        profile, core::TechniqueKind::kMprotect, eval::DomainScenario::kCallRet,
-        reporter.Options());
-    values.push_back(r.normalized);
-    total_cycles += r.prot_cycles;
-    reporter.AddFidelity("mprotect/norm/" + profile.name, r.normalized,
-                         bench::kPerBenchmarkTol);
-    std::printf("%-16s %12.1f\n", profile.name.c_str(), r.normalized);
-  }
-  std::printf("%-16s %12.1f   (paper: 20-50x)\n", "geomean", GeoMean(values));
-  reporter.AddFidelity("mprotect/geomean", GeoMean(values), bench::kGeomeanTol, NAN,
-                       "paper: 20-50x on call-dense benchmarks");
-  reporter.AddPerf("mprotect/cycles/total", total_cycles);
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("mprotect_baseline", argc, argv);
 }

@@ -1,75 +1,9 @@
-// The SafeStack case study (paper Section 6.2): SafeStack relocates the safe
-// stack and adds no overhead of its own; hardening it with MemSentry's
-// address-based write instrumentation reproduces the Figure 3 -w columns.
-#include "bench/bench_util.h"
-#include "src/base/stats_util.h"
-#include "src/core/memsentry.h"
-#include "src/defenses/safestack.h"
-#include "src/sim/executor.h"
-#include "src/workloads/synth.h"
-
-namespace memsentry {
-namespace {
-
-double RunSafeStack(const workloads::SpecProfile& profile, core::TechniqueKind kind,
-                    const eval::ExperimentOptions& options) {
-  // Baseline: plain program, ordinary stack.
-  double base_cycles = 0;
-  {
-    sim::Machine machine;
-    sim::Process process(&machine);
-    (void)workloads::PrepareWorkloadProcess(process, profile);
-    workloads::SynthOptions synth;
-    synth.target_instructions = options.target_instructions;
-    ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
-    sim::Executor executor(&process, &module);
-    auto result = executor.Run();
-    if (!result.halted) return -1;
-    base_cycles = result.cycles;
-  }
-  // SafeStack + MemSentry: stack relocated above the split, all explicit
-  // stores instrumented; implicit call/ret pushes stay exempt.
-  sim::Machine machine;
-  sim::Process process(&machine);
-  (void)workloads::PrepareWorkloadProcess(process, profile);
-  core::MemSentryConfig config;
-  config.technique = kind;
-  config.options.mode = core::ProtectMode::kWriteOnly;
-  core::MemSentry ms(&process, config);
-  auto base = defenses::SafeStackDefense::Install(process, ms.allocator());
-  if (!base.ok()) return -1;
-  workloads::SynthOptions synth;
-  synth.target_instructions = options.target_instructions;
-  ir::Module module = workloads::SynthesizeSpecProgram(profile, synth);
-  if (!ms.Protect(module).ok()) return -1;
-  sim::Executor executor(&process, &module);
-  auto result = executor.Run();
-  if (!result.halted) return -1;
-  return result.cycles / base_cycles;
-}
-
-}  // namespace
-}  // namespace memsentry
+// Thin standalone entry point for the "safestack_casestudy" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("safestack_casestudy", argc, argv);
-  bench::PrintHeader("SafeStack case study — MemSentry-hardened production shadow stack");
-  std::printf("%-16s %10s %10s\n", "benchmark", "MPX-w", "SFI-w");
-  std::vector<double> mpx, sfi;
-  for (const auto& profile : workloads::SpecCpu2006()) {
-    const double m = RunSafeStack(profile, core::TechniqueKind::kMpx, reporter.Options());
-    const double s = RunSafeStack(profile, core::TechniqueKind::kSfi, reporter.Options());
-    mpx.push_back(m);
-    sfi.push_back(s);
-    reporter.AddFidelity("safestack/norm/MPX-w/" + profile.name, m, bench::kPerBenchmarkTol);
-    reporter.AddFidelity("safestack/norm/SFI-w/" + profile.name, s, bench::kPerBenchmarkTol);
-    std::printf("%-16s %10.2f %10.2f\n", profile.name.c_str(), m, s);
-  }
-  std::printf("%-16s %10.3f %10.3f\n", "geomean", GeoMean(mpx), GeoMean(sfi));
-  std::printf("(paper: identical to Figure 3 -w: MPX 1.028, SFI 1.040 — SafeStack itself\n");
-  std::printf(" introduces no additional overhead)\n");
-  reporter.AddFidelity("safestack/geomean/MPX-w", GeoMean(mpx), bench::kGeomeanTol, 1.028);
-  reporter.AddFidelity("safestack/geomean/SFI-w", GeoMean(sfi), bench::kGeomeanTol, 1.040);
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("safestack_casestudy", argc, argv);
 }

@@ -1,80 +1,9 @@
-// Multi-tenant server scalability: N protected tenants (1 -> 10,000) served
-// under open-loop load, per technique. The deployment the paper sketches —
-// a long-lived server guarding per-client session secrets (ERIM's
-// nginx/OpenSSL scenario) — measured end to end: requests/sec and
-// p50/p99/p999 latency in modeled cycles, with per-ASID TLB and grant-cache
-// behavior under real context switching. --quick caps the sweep at 1k
-// tenants for the CI gate; the full run adds the 10k point.
-#include "bench/bench_util.h"
-
-#include "src/sim/decode_cache.h"
-#include "src/workloads/server.h"
+// Thin standalone entry point for the "server_workload" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  bench::Reporter reporter("server_workload", argc, argv);
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    }
-  }
-  bench::PrintHeader("multi-tenant server workload (open-loop, per-technique scaling)");
-
-  std::vector<int> tenant_counts = {1, 10, 100, 1000};
-  if (!quick) {
-    tenant_counts.push_back(10000);
-  }
-  const auto techniques = workloads::AllServerTechniques();
-  workloads::ServerConfig base;
-  // Scoped to the sweep so the hit-rate metric below reflects exactly this
-  // binary's lowering traffic: one decode per technique, every tenant in
-  // every cell a hit.
-  sim::DecodeCache::Global().ResetStats();
-  const auto cells =
-      workloads::RunServerSweep(tenant_counts, techniques, base, reporter.Jobs());
-  const sim::DecodeCacheStats decode_stats = sim::DecodeCache::Global().stats();
-
-  std::printf("%-10s %8s %14s %12s %12s %12s %8s %8s\n", "technique", "tenants", "req/s",
-              "p50 cyc", "p99 cyc", "p999 cyc", "tlb-hit", "switches");
-  for (const auto& cell : cells) {
-    const workloads::ServerResult& r = cell.result;
-    const std::string prefix = std::string("server/") +
-                               workloads::ServerTechniqueName(cell.technique) + "/t" +
-                               std::to_string(cell.tenants);
-    // Everything here is modeled (deterministic) cycles, so throughput and
-    // tail latency are fidelity-kind: a perturbation is a real behavioral
-    // change, not host noise — exactly what the CI gate must catch.
-    reporter.AddFidelity(prefix + "/requests_per_sec", r.requests_per_sec, bench::kGeomeanTol);
-    reporter.AddFidelity(prefix + "/p50_cycles", r.p50_latency, bench::kGeomeanTol);
-    reporter.AddFidelity(prefix + "/p99_cycles", r.p99_latency, bench::kGeomeanTol);
-    reporter.AddFidelity(prefix + "/p999_cycles", r.p999_latency, bench::kGeomeanTol);
-    reporter.AddFidelity(prefix + "/faults", static_cast<double>(r.faults), 0.0);
-    reporter.AddPerf(prefix + "/total_cycles", r.total_cycles);
-    reporter.AddInfo(prefix + "/tlb_hit_rate", r.tlb_hit_rate);
-    reporter.AddInfo(prefix + "/grant_hit_rate", r.grant_hit_rate);
-    reporter.AddInfo(prefix + "/context_switches", static_cast<double>(r.context_switches));
-    reporter.AddInfo(prefix + "/preemptions", static_cast<double>(r.preemptions));
-    reporter.AddInfo(prefix + "/resident_vpids", static_cast<double>(r.resident_vpids));
-    // Low 53 bits of the per-tenant digest (exactly representable in a
-    // double). Info-kind: run-to-run bit-identity is enforced by the
-    // determinism tests, not by the baseline gate.
-    reporter.AddInfo(prefix + "/digest53",
-                     static_cast<double>(r.digest & ((uint64_t{1} << 53) - 1)));
-    std::printf("%-10s %8d %14.0f %12.0f %12.0f %12.0f %7.1f%% %8llu\n",
-                workloads::ServerTechniqueName(cell.technique), cell.tenants,
-                r.requests_per_sec, r.p50_latency, r.p99_latency, r.p999_latency,
-                100.0 * r.tlb_hit_rate, static_cast<unsigned long long>(r.context_switches));
-  }
-  std::printf("(modeled cycles at the calibrated 4 GHz clock; open-loop load %.0f%%;\n"
-              " VMFUNC omitted: one EPT per tenant exceeds the 512-entry EPTP list)\n",
-              100.0 * base.offered_load);
-  // Shared decoded-module cache behavior across the whole sweep: tenants of
-  // one technique share a single lowering, so misses == #techniques.
-  reporter.AddInfo("microarch/decode_cache_hit_rate", decode_stats.HitRate());
-  reporter.AddInfo("microarch/decode_cache_lowerings",
-                   static_cast<double>(decode_stats.misses));
-  std::printf("decode cache: %.4f hit rate, %llu lowerings\n", decode_stats.HitRate(),
-              static_cast<unsigned long long>(decode_stats.misses));
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("server_workload", argc, argv);
 }

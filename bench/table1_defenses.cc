@@ -1,32 +1,9 @@
-// Table 1 reproduction: the survey of defense systems that depend on memory
-// isolation — protections, isolation type, instrumentation points.
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "src/defenses/registry.h"
+// Thin standalone entry point for the "table1_defenses" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  using namespace memsentry::defenses;
-  bench::Reporter reporter("table1_defenses", argc, argv);
-  std::printf("\n================================================================\n");
-  std::printf("Table 1 — defense systems based on memory isolation\n");
-  std::printf("================================================================\n");
-  std::printf("%-14s %4s %4s %6s %5s  %s\n", "defense", "r", "w", "prob.", "det.",
-              "instrumentation points");
-  int probabilistic = 0;
-  for (const auto& d : SurveyedDefenses()) {
-    std::printf("%-14s %4s %4s %6s %5s  %s\n", d.name.c_str(), d.vuln_read ? "x" : "",
-                d.vuln_write ? "x" : "", d.probabilistic ? "x" : "",
-                d.deterministic ? "x" : "", d.instrumentation_points.c_str());
-    probabilistic += d.probabilistic ? 1 : 0;
-  }
-  std::printf("\n%d of %zu surveyed defenses rely on probabilistic isolation\n",
-              probabilistic, SurveyedDefenses().size());
-  std::printf("(information hiding) for their safe regions — the paper's motivation.\n");
-  // Structural fidelity: the survey must keep matching the paper row counts.
-  reporter.AddFidelity("table1/surveyed_defenses",
-                       static_cast<double>(SurveyedDefenses().size()), 0.0, 13);
-  reporter.AddFidelity("table1/probabilistic", probabilistic, 0.0, 10);
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("table1_defenses", argc, argv);
 }

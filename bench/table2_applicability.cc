@@ -1,59 +1,9 @@
-// Table 2 reproduction: the applicability matrix, plus the advisor's
-// recommendation (Section 6.3 logic) for each representative scenario.
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "src/core/advisor.h"
+// Thin standalone entry point for the "table2_applicability" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  using namespace memsentry::core;
-  bench::Reporter reporter("table2_applicability", argc, argv);
-  std::printf("\n================================================================\n");
-  std::printf("Table 2 — instrumentation points and applications per isolation type\n");
-  std::printf("================================================================\n");
-  std::printf("%-15s %-26s %s\n", "isolation", "instrumentation points", "application");
-  for (const auto& row : ApplicabilityTable()) {
-    std::printf("%-15s %-26s %s\n",
-                row.category == Category::kAddressBased ? "Address-based" : "Domain-based",
-                row.instrumentation_points.c_str(), row.application.c_str());
-  }
-  reporter.AddFidelity("table2/rows", static_cast<double>(ApplicabilityTable().size()), 0.0);
-
-  std::printf("\nAdvisor recommendations (Section 6.3 discussion as executable logic):\n");
-  struct Named {
-    const char* scenario;
-    const char* key;
-    ScenarioSpec spec;
-  };
-  const Named scenarios[] = {
-      {"shadow stack (every call/ret)", "shadow_stack",
-       {.point = InstrumentationPoint::kCallRet, .events_per_kinstr = 25}},
-      {"CFI metadata (indirect branches)", "cfi_metadata",
-       {.point = InstrumentationPoint::kIndirectBranch, .events_per_kinstr = 3,
-        .region_bytes = 4096}},
-      {"heap metadata (allocator calls)", "heap_metadata",
-       {.point = InstrumentationPoint::kAllocatorCall, .events_per_kinstr = 0.3}},
-      {"TASR pointer list (system calls)", "tasr_pointers",
-       {.point = InstrumentationPoint::kSyscall, .events_per_kinstr = 0.05}},
-      {"private key (16 bytes, rare use)", "private_key",
-       {.point = InstrumentationPoint::kMemAccess, .events_per_kinstr = 0.1,
-        .region_bytes = 16, .needs_confidentiality = true}},
-      {"old CPU (2012), shadow stack", "old_cpu_shadow_stack",
-       {.point = InstrumentationPoint::kCallRet, .events_per_kinstr = 25, .cpu_year = 2012}},
-      {"future CPU with MPK, CFI metadata", "mpk_cfi_metadata",
-       {.point = InstrumentationPoint::kIndirectBranch, .events_per_kinstr = 3,
-        .mpk_available = true}},
-  };
-  for (const auto& [name, key, spec] : scenarios) {
-    const Recommendation rec = Advise(spec);
-    std::printf("  %-36s -> %-8s (%s)\n", name, TechniqueKindName(rec.primary),
-                rec.rationale.substr(0, 80).c_str());
-    // The recommended technique, as its enum index: a change in the advisor's
-    // Section 6.3 mapping shifts the value and trips the fidelity gate.
-    reporter.AddFidelity(std::string("table2/advise/") + key,
-                         static_cast<double>(static_cast<int>(rec.primary)), 0.0, NAN,
-                         TechniqueKindName(rec.primary));
-  }
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("table2_applicability", argc, argv);
 }

@@ -1,42 +1,9 @@
-// Table 3 reproduction: architectural limits of each isolation technique —
-// maximum domains and minimum granularity.
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "src/core/technique.h"
+// Thin standalone entry point for the "table3_limits" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  using namespace memsentry;
-  using namespace memsentry::core;
-  bench::Reporter reporter("table3_limits", argc, argv);
-  std::printf("\n================================================================\n");
-  std::printf("Table 3 — limitations of memory isolation techniques\n");
-  std::printf("================================================================\n");
-  std::printf("%-12s %-12s %-12s %-6s %s\n", "technique", "max domains", "granularity",
-              "since", "notes");
-  for (int k = 0; k < kNumTechniques; ++k) {
-    const auto kind = static_cast<TechniqueKind>(k);
-    auto technique = CreateTechnique(kind);
-    const TechniqueLimits limits = technique->limits();
-    char domains[16];
-    if (limits.max_domains == 0) {
-      std::snprintf(domains, sizeof(domains), "unbounded");
-    } else {
-      std::snprintf(domains, sizeof(domains), "%d", limits.max_domains);
-    }
-    char gran[16];
-    if (limits.granularity >= 4096) {
-      std::snprintf(gran, sizeof(gran), "page");
-    } else {
-      std::snprintf(gran, sizeof(gran), "%llu bytes",
-                    static_cast<unsigned long long>(limits.granularity));
-    }
-    std::printf("%-12s %-12s %-12s %-6d %s\n", TechniqueKindName(kind), domains, gran,
-                limits.hw_since_year, limits.notes.c_str());
-    const std::string prefix = std::string("table3/") + TechniqueKindName(kind);
-    reporter.AddFidelity(prefix + "/max_domains", limits.max_domains, 0.0);
-    reporter.AddFidelity(prefix + "/granularity",
-                         static_cast<double>(limits.granularity), 0.0);
-  }
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("table3_limits", argc, argv);
 }

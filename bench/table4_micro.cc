@@ -1,228 +1,9 @@
-// Table 4 reproduction: microbenchmark latencies of the hardware protection
-// features and related operations, measured by timing tight loops of many
-// iterations in the simulator (the paper's methodology) and compared with
-// the paper's values measured on an i7-6700K.
-//
-// Note on the sub-cycle rows: the paper measures *marginal latency* on an
-// out-of-order core, where an instruction's issue slot is hidden unless it
-// lengthens the dependence chain. Our cost model is additive (slot +
-// dependency latency), so the measured values include the issue slot the
-// paper's hardware hides; the dependency component matches Table 4.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "bench/bench_util.h"
-#include "src/core/memsentry.h"
-#include "src/ir/builder.h"
-#include "src/mpx/mpx.h"
-#include "src/sim/executor.h"
-#include "src/workloads/synth.h"
-
-namespace memsentry {
-namespace {
-
-bench::Reporter* g_reporter = nullptr;
-
-using ir::Instr;
-using ir::Opcode;
-using machine::Gpr;
-using workloads::BuildLoop;
-
-constexpr uint64_t kIters = 10'000;
-
-struct Env {
-  sim::Machine machine;
-  sim::Process process{&machine};
-};
-
-// Runs `body` as a loop and returns cycles per iteration.
-double PerIteration(sim::Process& process, const std::vector<Instr>& body) {
-  ir::Module module = BuildLoop(body, kIters);
-  sim::Executor executor(&process, &module);
-  auto result = executor.Run();
-  if (!result.halted) {
-    std::printf("  !! loop faulted: %s\n",
-                result.fault ? result.fault->ToString().c_str() : "?");
-    return -1;
-  }
-  return result.cycles / static_cast<double>(kIters);
-}
-
-double Delta(sim::Process& process, const std::vector<Instr>& with_op,
-             const std::vector<Instr>& reference) {
-  // Warm the TLB and caches first so cold walks don't pollute the delta.
-  (void)PerIteration(process, with_op);
-  (void)PerIteration(process, reference);
-  return PerIteration(process, with_op) - PerIteration(process, reference);
-}
-
-// key: slash-path suffix for the JSON report ("table4/<key>"). The paper
-// column stays a string for display ("<0.1"); the numeric reference for the
-// gate comes from the recorded measured value in the committed baseline.
-void Row(const char* key, const char* name, const char* paper, double measured,
-         const char* note = "") {
-  std::printf("%-46s %10s %12.2f  %s\n", name, paper, measured, note);
-  if (g_reporter != nullptr) {
-    g_reporter->AddFidelity(std::string("table4/") + key, measured,
-                            bench::kMicroLatencyTol, NAN, std::string("paper: ") + paper);
-  }
-}
-
-void RowModel(const char* key, const char* name, const char* paper, double model) {
-  std::printf("%-46s %10s %12.2f  (machine description)\n", name, paper, model);
-  if (g_reporter != nullptr) {
-    g_reporter->AddFidelity(std::string("table4/") + key, model, 0.0, NAN,
-                            std::string("machine description; paper: ") + paper);
-  }
-}
-
-Instr Critical(Instr instr) {
-  instr.flags |= ir::kFlagCritical | ir::kFlagInstrumentation;
-  return instr;
-}
-Instr Plain(Instr instr) {
-  instr.flags |= ir::kFlagInstrumentation;
-  return instr;
-}
-
-}  // namespace
-
-int RunTable4(bench::Reporter* reporter) {
-  g_reporter = reporter;
-  std::printf("\n================================================================\n");
-  std::printf("Table 4 — microbenchmark latencies (cycles)\n");
-  std::printf("================================================================\n");
-  std::printf("%-46s %10s %12s\n", "instruction/operation", "paper", "measured");
-
-  const machine::CostModel cost;  // defaults = the calibrated machine
-
-  // --- memory hierarchy: machine description, from the paper's table ---
-  RowModel("l1_access", "L1 cache access", "4", cost.lat_l1);
-  RowModel("l2_access", "L2 cache access", "12", cost.lat_l2);
-  RowModel("l3_access", "L3 cache access", "44", cost.lat_l3);
-  RowModel("dram_access", "DRAM access", "251", cost.lat_dram);
-
-  // --- SFI and MPX sequences ---
-  {
-    Env env;
-    (void)env.process.SetupStack();
-    (void)env.process.MapRange(sim::kWorkingSetBase, 4, machine::PageFlags::Data());
-    const std::vector<Instr> lea_load = {
-        Instr{.op = Opcode::kLea, .dst = Gpr::kR9, .src = Gpr::kR8},
-        Instr{.op = Opcode::kLoad, .dst = Gpr::kRbx, .src = Gpr::kR9},
-    };
-    const std::vector<Instr> lea_store = {
-        Instr{.op = Opcode::kLea, .dst = Gpr::kR9, .src = Gpr::kR8},
-        Instr{.op = Opcode::kStore, .dst = Gpr::kR9, .src = Gpr::kRbx},
-    };
-    auto with = [](std::vector<Instr> seq, Instr op, size_t at = 1) {
-      seq.insert(seq.begin() + static_cast<long>(at), op);
-      return seq;
-    };
-    Row("sfi_and_load", "SFI (and, result used by load)", "0.22",
-        Delta(env.process,
-              with(lea_load, Critical({.op = Opcode::kAndImm, .dst = Gpr::kR9, .imm = kSfiMask})),
-              lea_load),
-        "(0.22 dep + 0.25 slot)");
-    Row("sfi_and_store", "SFI (and, result used by store)", "0",
-        Delta(env.process,
-              with(lea_store, Plain({.op = Opcode::kAndImm, .dst = Gpr::kR9, .imm = kSfiMask})),
-              lea_store),
-        "(slot only; store buffer hides dep)");
-    env.process.regs().bnd[0] = mpx::MakeBounds(0, kPartitionSplit);
-    Row("mpx_single_bndcu", "MPX (single bndcu)", "<0.1",
-        Delta(env.process,
-              with(lea_load, Plain({.op = Opcode::kBndcu, .src = Gpr::kR9, .imm = 0})),
-              lea_load),
-        "(no pointer modification -> no dep)");
-    auto both = with(lea_load, Plain({.op = Opcode::kBndcu, .src = Gpr::kR9, .imm = 0}));
-    both = with(both, Critical({.op = Opcode::kBndcl, .src = Gpr::kR9, .imm = 0}), 2);
-    Row("mpx_both_bounds", "MPX (both bndcl and bndcu)", "0.50", Delta(env.process, both, lea_load),
-        "(second check serializes: +0.42)");
-  }
-
-  // --- MPK ---
-  {
-    Env env;
-    (void)env.process.SetupStack();
-    (void)env.process.MapRange(sim::kWorkingSetBase, 4, machine::PageFlags::Data());
-    const std::vector<Instr> wrpkru = {Instr{.op = Opcode::kWrpkru, .imm = 0}};
-    Row("mpk_wrpkru", "MPK (wrpkru, simulated)", "42", PerIteration(env.process, wrpkru),
-        "(the paper's xmm-moves + mfence approximation)");
-  }
-
-  // --- virtualization ---
-  {
-    Env env;
-    (void)env.process.EnableDune();
-    (void)env.process.SetupStack();
-    (void)env.process.MapRange(sim::kWorkingSetBase, 4, machine::PageFlags::Data());
-    (void)env.process.dune()->CreateEpt();
-    const std::vector<Instr> vmfunc_pair = {
-        Instr{.op = Opcode::kVmFunc, .imm = 1},
-        Instr{.op = Opcode::kVmFunc, .imm = 0},
-    };
-    Row("vmfunc_ept_switch", "vmfunc (EPT switch)", "147", PerIteration(env.process, vmfunc_pair) / 2.0);
-    const std::vector<Instr> vmcall = {Instr{.op = Opcode::kVmCall, .imm = 0}};
-    Row("vmcall", "vmcall", "613", PerIteration(env.process, vmcall));
-  }
-  {
-    Env env;
-    (void)env.process.SetupStack();
-    (void)env.process.MapRange(sim::kWorkingSetBase, 4, machine::PageFlags::Data());
-    const std::vector<Instr> syscall = {Instr{.op = Opcode::kSyscall, .imm = 0}};
-    Row("syscall", "syscall", "108", PerIteration(env.process, syscall));
-  }
-
-  // --- SGX ---
-  {
-    Env env;
-    (void)env.process.SetupStack();
-    core::MemSentryConfig config;
-    config.technique = core::TechniqueKind::kSgx;
-    core::MemSentry ms(&env.process, config);
-    (void)ms.allocator().Alloc("enclave-data", 4096);
-    (void)ms.PrepareRuntime();
-    const std::vector<Instr> crossing = {
-        Instr{.op = Opcode::kEnclaveEnter, .imm = 0},
-        Instr{.op = Opcode::kEnclaveExit},
-    };
-    Row("sgx_ecall_roundtrip", "SGX enter + exit enclave (empty ECALL)", "7664", PerIteration(env.process, crossing));
-  }
-
-  // --- AES-NI ---
-  {
-    Env env;
-    (void)env.process.SetupStack();
-    core::MemSentryConfig config;
-    config.technique = core::TechniqueKind::kCrypt;
-    core::MemSentry ms(&env.process, config);
-    auto region = ms.allocator().Alloc("chunk", 16);
-    (void)ms.PrepareRuntime();
-    const std::vector<Instr> encdec = {
-        Instr{.op = Opcode::kMovImm, .dst = Gpr::kRax, .imm = region.value()->base},
-        Instr{.op = Opcode::kAesCryptRegion, .src = Gpr::kRax, .target = 0},
-        Instr{.op = Opcode::kMovImm, .dst = Gpr::kRax, .imm = region.value()->base},
-        Instr{.op = Opcode::kAesCryptRegion, .src = Gpr::kRax, .target = 0},
-    };
-    const machine::CostModel& cm = env.machine.cost;
-    Row("aes_encdec_block", "AES encryption and decryption (11 rounds)", "41",
-        PerIteration(env.process, encdec) - 2 * cm.ymm_to_xmm_all_keys - 2 * cm.mov_imm_slot,
-        "(one 128-bit chunk, keys already in xmm)");
-    RowModel("aes_keygen10", "AES keygen (10 rounds)", "121", cm.aes_keygen10);
-    RowModel("aes_imc9", "AES imc (9 rounds)", "71", cm.aes_imc9);
-    RowModel("ymm_to_xmm_keys", "Loading ymm into xmm (11 times)", "10", cm.ymm_to_xmm_all_keys);
-  }
-  return 0;
-}
-
-}  // namespace memsentry
+// Thin standalone entry point for the "table4_micro" suite workload. The
+// workload body lives in src/suite (registered with the campaign engine);
+// this binary runs it with printing and crash-context staging on, exactly
+// like the historical monolithic binary.
+#include "bench/suite_main.h"
 
 int main(int argc, char** argv) {
-  memsentry::bench::Reporter reporter("table4_micro", argc, argv);
-  if (const int rc = memsentry::RunTable4(&reporter); rc != 0) {
-    return rc;
-  }
-  return reporter.Finish();
+  return memsentry::bench::SuiteMain("table4_micro", argc, argv);
 }

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "src/base/stats_util.h"
 #include "src/base/thread_pool.h"
 #include "src/core/memsentry.h"
 #include "src/defenses/event_annotator.h"
 #include "src/defenses/shadow_stack.h"
+#include "src/eval/run_memo.h"
 #include "src/sim/executor.h"
 #include "src/sim/snapshot.h"
 #include "src/workloads/synth.h"
@@ -88,6 +91,8 @@ Run Execute(sim::Process& process, const ir::Module& module,
   }
 }
 
+ir::Module CachedSynthesize(const SpecProfile& profile, const SynthOptions& synth);
+
 // Baseline: the synthesized program plus (for domain scenarios) the defense
 // pass, but no isolation. The paper's SafeStack observation holds here too:
 // the defense's own cost appears in both numerator and denominator.
@@ -123,7 +128,8 @@ struct Pipeline {
     SynthOptions synth;
     synth.target_instructions = options.target_instructions;
     synth.seed = options.seed;
-    module = SynthesizeSpecProgram(profile, synth);
+    module = RunMemo::Enabled() ? CachedSynthesize(profile, synth)
+                                : SynthesizeSpecProgram(profile, synth);
   }
 
   Status Protect() { return memsentry->Protect(module); }
@@ -147,6 +153,89 @@ Status ApplyDefense(Pipeline& p, DomainScenario scenario) {
   return OkStatus();
 }
 
+// Recipe key for a baseline (with_isolation == false) pipeline. A baseline
+// never calls Protect(), so of the technique under evaluation it observes
+// only what SafeRegionAllocator::Alloc reads: the requested region size
+// (16 bytes for crypt, one page otherwise), the technique's granularity
+// rounding, and whether placement is InfoHide's probabilistic mmap. Keying
+// on that effective geometry — rather than the raw kind — is what lets the
+// MPK and VMFUNC columns of a domain figure, and cross-workload repeats
+// like the mprotect baseline sweep, share one baseline per profile.
+// Everything else the pipeline constructor, the defense pass, and the
+// executor read is hashed explicitly: all profile fields, the synthesis
+// seed and budget, the scenario, and the run budget. instrument options are
+// deliberately absent — only Protect() reads them.
+RunMemo::Key BaselineRecipeKey(const SpecProfile& profile, core::TechniqueKind kind,
+                               int scenario_tag, const ExperimentOptions& options,
+                               uint64_t region_size_override) {
+  const uint64_t region_bytes = kind == core::TechniqueKind::kCrypt ? 16 : 4096;
+  const uint64_t granularity = core::CreateTechnique(kind)->limits().granularity;
+  const uint64_t rounded = (region_bytes + granularity - 1) / granularity * granularity;
+  RunKeyHasher h;
+  HashSpecProfile(h, profile);
+  h.U64(static_cast<uint64_t>(scenario_tag) + 1);  // -1 == address-based
+  h.U64(options.target_instructions);
+  h.U64(options.seed);
+  h.U64(rounded);
+  h.U64(kind == core::TechniqueKind::kInfoHide);
+  h.U64(region_size_override);
+  h.U64(sim::RunConfig{}.max_instructions);
+  return h.Finish();
+}
+
+// One synthesized program per (profile, synthesis options): synthesis reads
+// neither the technique nor the isolation flag, so the engine's cells
+// re-derive byte-identical modules dozens of times per profile. Entries are
+// returned by value — every pipeline rewrites its own copy through defense
+// and MemSentry passes. Content-keyed, so entries stay valid across engine
+// runs in one process (serve mode reuses them); only enabled alongside the
+// run memo so fork-mode binaries keep their historical cost profile.
+ir::Module CachedSynthesize(const SpecProfile& profile, const SynthOptions& synth) {
+  struct KeyHash {
+    size_t operator()(const RunMemo::Key& k) const {
+      return static_cast<size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  static std::mutex* mutex = new std::mutex();
+  static auto* cache = new std::unordered_map<RunMemo::Key, ir::Module, KeyHash>();
+  RunKeyHasher h;
+  HashSpecProfile(h, profile);
+  h.U64(synth.target_instructions);
+  h.U64(synth.seed);
+  h.U64(static_cast<uint64_t>(synth.num_callees));
+  h.F64(synth.safe_accesses_per_ki);
+  h.U64(synth.safe_region_base);
+  h.U64(synth.safe_region_size);
+  const RunMemo::Key key = h.Finish();
+  std::lock_guard<std::mutex> lock(*mutex);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, SynthesizeSpecProgram(profile, synth)).first;
+  }
+  return it->second;
+}
+
+// Consults the run memo before any pipeline work: a hit replays the
+// recorded outcome without synthesizing, preparing, or interpreting
+// anything. Checkpointed runs bypass the memo — their value is the
+// durability side effect, which a replay would skip.
+template <typename MakeRun>
+Run MemoizedBaseline(const ExperimentOptions& options, const RunMemo::Key& key,
+                     MakeRun&& make) {
+  const bool checkpointing =
+      options.checkpoint_interval != 0 && !options.checkpoint_dir.empty();
+  if (!RunMemo::Enabled() || checkpointing) {
+    return make();
+  }
+  RunMemo& memo = RunMemo::Global();
+  if (const auto hit = memo.Lookup(key)) {
+    return Run{hit->ok, hit->cycles, hit->instructions};
+  }
+  const Run run = make();
+  memo.Insert(key, RunMemo::Result{run.ok, run.cycles, run.instructions});
+  return run;
+}
+
 }  // namespace
 
 const char* DomainScenarioName(DomainScenario scenario) {
@@ -167,8 +256,11 @@ ExperimentResult RunAddressBasedExperimentFull(const SpecProfile& profile,
   const std::string label = std::string(profile.name) + "/" + core::TechniqueKindName(kind) +
                             "/mode" + std::to_string(static_cast<int>(mode));
   // Baseline: plain program on a fresh machine.
-  Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
-  const Run base = Execute(*baseline.process, baseline.module, options, label + "/base");
+  const Run base = MemoizedBaseline(
+      options, BaselineRecipeKey(profile, kind, /*scenario_tag=*/-1, options, 0), [&] {
+        Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
+        return Execute(*baseline.process, baseline.module, options, label + "/base");
+      });
   if (!base.ok) {
     return {};
   }
@@ -200,11 +292,15 @@ ExperimentResult RunDomainBasedExperimentFull(const SpecProfile& profile,
   const std::string label = std::string(profile.name) + "/" + core::TechniqueKindName(kind) +
                             "/" + DomainScenarioName(scenario);
   // Baseline: program + defense pass, no isolation.
-  Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
-  if (!ApplyDefense(baseline, scenario).ok()) {
-    return {};
-  }
-  const Run base = Execute(*baseline.process, baseline.module, options, label + "/base");
+  const Run base = MemoizedBaseline(
+      options,
+      BaselineRecipeKey(profile, kind, static_cast<int>(scenario), options, 0), [&] {
+        Pipeline baseline(profile, kind, options, /*with_isolation=*/false);
+        if (!ApplyDefense(baseline, scenario).ok()) {
+          return Run{};
+        }
+        return Execute(*baseline.process, baseline.module, options, label + "/base");
+      });
   if (!base.ok) {
     return {};
   }
@@ -231,20 +327,37 @@ double RunDomainBasedExperiment(const SpecProfile& profile, core::TechniqueKind 
   return RunDomainBasedExperimentFull(profile, kind, scenario, options).normalized;
 }
 
-namespace {
+const std::vector<AddressSweepConfig>& AddressSweepConfigs() {
+  using core::ProtectMode;
+  using core::TechniqueKind;
+  static const std::vector<AddressSweepConfig>* configs = new std::vector<AddressSweepConfig>{
+      {"MPX-w", TechniqueKind::kMpx, ProtectMode::kWriteOnly},
+      {"SFI-w", TechniqueKind::kSfi, ProtectMode::kWriteOnly},
+      {"MPX-r", TechniqueKind::kMpx, ProtectMode::kReadOnly},
+      {"SFI-r", TechniqueKind::kSfi, ProtectMode::kReadOnly},
+      {"MPX-rw", TechniqueKind::kMpx, ProtectMode::kReadWrite},
+      {"SFI-rw", TechniqueKind::kSfi, ProtectMode::kReadWrite},
+  };
+  return *configs;
+}
 
-// The sweeps fan every (config, profile) cell out as an independent task:
-// each cell constructs its own Machine/Process/Module pair from the
-// deterministic seed (inside the Run*ExperimentFull pipelines), so tasks
-// share no mutable state and the cell results are bit-identical for any
-// jobs value. Assembly back into FigureSeries happens serially in suite
-// order, so sums and geomeans see operands in the same order as a serial
-// run — floating point stays byte-stable.
-template <typename Cell>
-std::vector<FigureSeries> AssembleSeries(const std::vector<const char*>& config_names,
-                                         int jobs, size_t profiles, Cell cell) {
-  const std::vector<ExperimentResult> cells =
-      ParallelMap(jobs, config_names.size() * profiles, cell);
+const std::vector<DomainSweepConfig>& DomainSweepConfigs() {
+  using core::TechniqueKind;
+  static const std::vector<DomainSweepConfig>* configs = new std::vector<DomainSweepConfig>{
+      {"MPK", TechniqueKind::kMpk},
+      {"VMFUNC", TechniqueKind::kVmfunc},
+      {"crypt", TechniqueKind::kCrypt},
+  };
+  return *configs;
+}
+
+// Serial config-major assembly (cells[c * profiles + p]): sums and geomeans
+// see operands in the same order as a serial sweep — floating point stays
+// byte-stable no matter how the cells were scheduled. Shared by the sweeps
+// below and the campaign engine's per-cell figure workloads.
+std::vector<FigureSeries> AssembleFigureSeries(const std::vector<const char*>& config_names,
+                                               size_t profiles,
+                                               const std::vector<ExperimentResult>& cells) {
   std::vector<FigureSeries> series;
   for (size_t c = 0; c < config_names.size(); ++c) {
     FigureSeries s;
@@ -262,52 +375,44 @@ std::vector<FigureSeries> AssembleSeries(const std::vector<const char*>& config_
   return series;
 }
 
+namespace {
+
+// The sweeps fan every (config, profile) cell out as an independent task:
+// each cell constructs its own Machine/Process/Module pair from the
+// deterministic seed (inside the Run*ExperimentFull pipelines), so tasks
+// share no mutable state and the cell results are bit-identical for any
+// jobs value.
 std::vector<FigureSeries> SweepAddress(const ExperimentOptions& options) {
-  using core::ProtectMode;
-  using core::TechniqueKind;
-  struct Config {
-    const char* name;
-    TechniqueKind kind;
-    ProtectMode mode;
-  };
-  const Config configs[] = {
-      {"MPX-w", TechniqueKind::kMpx, ProtectMode::kWriteOnly},
-      {"SFI-w", TechniqueKind::kSfi, ProtectMode::kWriteOnly},
-      {"MPX-r", TechniqueKind::kMpx, ProtectMode::kReadOnly},
-      {"SFI-r", TechniqueKind::kSfi, ProtectMode::kReadOnly},
-      {"MPX-rw", TechniqueKind::kMpx, ProtectMode::kReadWrite},
-      {"SFI-rw", TechniqueKind::kSfi, ProtectMode::kReadWrite},
-  };
+  const auto& configs = AddressSweepConfigs();
   const auto profiles = SpecCpu2006();
   std::vector<const char*> names;
-  for (const Config& config : configs) {
+  for (const AddressSweepConfig& config : configs) {
     names.push_back(config.name);
   }
-  return AssembleSeries(names, options.jobs, profiles.size(), [&](size_t i) {
-    const Config& config = configs[i / profiles.size()];
-    const SpecProfile& profile = profiles[i % profiles.size()];
-    return RunAddressBasedExperimentFull(profile, config.kind, config.mode, options);
-  });
+  const std::vector<ExperimentResult> cells =
+      ParallelMap(options.jobs, configs.size() * profiles.size(), [&](size_t i) {
+        const AddressSweepConfig& config = configs[i / profiles.size()];
+        const SpecProfile& profile = profiles[i % profiles.size()];
+        return RunAddressBasedExperimentFull(profile, config.kind, config.mode, options);
+      });
+  return AssembleFigureSeries(names, profiles.size(), cells);
 }
 
 std::vector<FigureSeries> SweepDomain(DomainScenario scenario,
                                       const ExperimentOptions& options) {
-  using core::TechniqueKind;
-  const std::pair<const char*, TechniqueKind> configs[] = {
-      {"MPK", TechniqueKind::kMpk},
-      {"VMFUNC", TechniqueKind::kVmfunc},
-      {"crypt", TechniqueKind::kCrypt},
-  };
+  const auto& configs = DomainSweepConfigs();
   const auto profiles = SpecCpu2006();
   std::vector<const char*> names;
-  for (const auto& [name, kind] : configs) {
-    names.push_back(name);
+  for (const DomainSweepConfig& config : configs) {
+    names.push_back(config.name);
   }
-  return AssembleSeries(names, options.jobs, profiles.size(), [&](size_t i) {
-    const auto& [name, kind] = configs[i / profiles.size()];
-    const SpecProfile& profile = profiles[i % profiles.size()];
-    return RunDomainBasedExperimentFull(profile, kind, scenario, options);
-  });
+  const std::vector<ExperimentResult> cells =
+      ParallelMap(options.jobs, configs.size() * profiles.size(), [&](size_t i) {
+        const DomainSweepConfig& config = configs[i / profiles.size()];
+        const SpecProfile& profile = profiles[i % profiles.size()];
+        return RunDomainBasedExperimentFull(profile, config.kind, scenario, options);
+      });
+  return AssembleFigureSeries(names, profiles.size(), cells);
 }
 
 }  // namespace
@@ -336,14 +441,21 @@ std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
         const uint64_t size = sizes[i];
         const std::string label =
             std::string(profile.name) + "/crypt-size-" + std::to_string(size);
-        // Baseline: defense only; the region size is irrelevant without crypt.
-        Pipeline base_pipeline(profile, core::TechniqueKind::kCrypt, options, false);
-        base_pipeline.process->safe_regions()[0].size = size;
-        if (!ApplyDefense(base_pipeline, DomainScenario::kCallRet).ok()) {
-          return {};
-        }
-        const Run base =
-            Execute(*base_pipeline.process, base_pipeline.module, options, label + "/base");
+        // Baseline: defense only; the region size is irrelevant without crypt
+        // but is part of the recorded state, so it keys the memo.
+        const Run base = MemoizedBaseline(
+            options,
+            BaselineRecipeKey(profile, core::TechniqueKind::kCrypt,
+                              static_cast<int>(DomainScenario::kCallRet), options, size),
+            [&]() -> Run {
+              Pipeline base_pipeline(profile, core::TechniqueKind::kCrypt, options, false);
+              base_pipeline.process->safe_regions()[0].size = size;
+              if (!ApplyDefense(base_pipeline, DomainScenario::kCallRet).ok()) {
+                return {};
+              }
+              return Execute(*base_pipeline.process, base_pipeline.module, options,
+                             label + "/base");
+            });
         // Protected with the resized region.
         Pipeline prot(profile, core::TechniqueKind::kCrypt, options, true);
         auto& region = prot.process->safe_regions()[0];
@@ -380,6 +492,26 @@ std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
 double RunMprotectBaseline(const SpecProfile& profile, const ExperimentOptions& options) {
   return RunDomainBasedExperiment(profile, core::TechniqueKind::kMprotect,
                                   DomainScenario::kCallRet, options);
+}
+
+void HashSpecProfile(RunKeyHasher& h, const SpecProfile& profile) {
+  h.Str(profile.name);
+  h.U64(profile.is_cpp);
+  h.F64(profile.loads_per_ki);
+  h.F64(profile.stores_per_ki);
+  h.F64(profile.calls_per_ki);
+  h.F64(profile.indirect_frac);
+  h.F64(profile.syscalls_per_ki);
+  h.F64(profile.vec_frac);
+  h.U64(static_cast<uint64_t>(profile.vec_pressure));
+  h.U64(profile.ws_kb);
+  h.F64(profile.cold_frac);
+  h.F64(profile.mem_exposure);
+}
+
+ir::Module SynthesizeSpecProgramCached(const SpecProfile& profile, const SynthOptions& synth) {
+  return RunMemo::Enabled() ? CachedSynthesize(profile, synth)
+                            : SynthesizeSpecProgram(profile, synth);
 }
 
 }  // namespace memsentry::eval

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "src/core/technique.h"
+#include "src/eval/run_memo.h"
 #include "src/workloads/spec_profiles.h"
+#include "src/workloads/synth.h"
 
 namespace memsentry::eval {
 
@@ -86,6 +88,29 @@ struct FigureSeries {
   double total_instructions = 0;      // baseline + protected retired instrs
 };
 
+// The figure sweeps' configuration columns, exposed so the campaign engine
+// can enumerate and run single (config, profile) cells that are
+// bit-identical to the full sweeps below.
+struct AddressSweepConfig {
+  const char* name;  // Figure 3 column, e.g. "MPX-w"
+  core::TechniqueKind kind;
+  core::ProtectMode mode;
+};
+const std::vector<AddressSweepConfig>& AddressSweepConfigs();
+
+struct DomainSweepConfig {
+  const char* name;  // Figures 4-6 column: "MPK", "VMFUNC", "crypt"
+  core::TechniqueKind kind;
+};
+const std::vector<DomainSweepConfig>& DomainSweepConfigs();
+
+// Serial assembly of config-major per-cell results (cells[c * profiles + p])
+// into FigureSeries — the exact floating-point accumulation order of the
+// sweeps, shared with the campaign engine.
+std::vector<FigureSeries> AssembleFigureSeries(const std::vector<const char*>& config_names,
+                                               size_t profiles,
+                                               const std::vector<ExperimentResult>& cells);
+
 // Convenience sweeps over the whole SPEC suite.
 std::vector<FigureSeries> RunFigure3(const ExperimentOptions& options = {});
 std::vector<FigureSeries> RunFigure4(const ExperimentOptions& options = {});
@@ -107,6 +132,18 @@ std::vector<CryptSizePoint> RunCryptSizeSweep(const SpecProfile& profile,
 // The mprotect baseline (Section 1: "20-50x in our experiments") on the
 // call/ret scenario.
 double RunMprotectBaseline(const SpecProfile& profile, const ExperimentOptions& options = {});
+
+// Synthesis is independent of the technique and the isolation flag, so the
+// campaign engine's cells re-derive byte-identical modules dozens of times
+// per profile. When the run memo is enabled this returns a copy of a cached
+// module; otherwise it synthesizes fresh, preserving fork-mode cost
+// profiles. Shared with the suite workloads (e.g. the SafeStack case study).
+ir::Module SynthesizeSpecProgramCached(const SpecProfile& profile,
+                                       const workloads::SynthOptions& synth);
+
+// Feeds every SpecProfile field into a recipe hasher, for memo keys built
+// outside figures.cc.
+void HashSpecProfile(RunKeyHasher& h, const SpecProfile& profile);
 
 }  // namespace memsentry::eval
 

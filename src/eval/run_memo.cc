@@ -1,0 +1,80 @@
+#include "src/eval/run_memo.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace memsentry::eval {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Each 8-byte word is xor-folded and multiplied by a stream-specific odd
+// constant with an extra shift-xor for diffusion (the plain FNV step
+// diffuses one byte per multiply; folding 8 bytes needs the wider mix).
+// Different constants per stream give the independence a 128-bit combined
+// key needs over structured input.
+uint64_t Mix(uint64_t h, uint64_t v, uint64_t prime) {
+  h ^= v;
+  h *= prime;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
+
+void RunKeyHasher::Bytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t v;
+    std::memcpy(&v, p + i, sizeof(v));
+    a_ = Mix(a_, v, 0x100000001b3ULL);
+    b_ = Mix(b_, v, 0x9E3779B97F4A7C15ULL);
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p + i, n - i);
+    // The length folds into the tail word so "abc" and "abc\0" differ.
+    a_ = Mix(a_, tail ^ static_cast<uint64_t>(n - i), 0x100000001b3ULL);
+    b_ = Mix(b_, tail ^ (static_cast<uint64_t>(n - i) << 8), 0x9E3779B97F4A7C15ULL);
+  }
+}
+
+RunMemo& RunMemo::Global() {
+  static RunMemo* memo = new RunMemo();
+  return *memo;
+}
+
+void RunMemo::Enable(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool RunMemo::Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::optional<RunMemo::Result> RunMemo::Lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void RunMemo::Insert(const Key& key, const Result& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(key, result);
+}
+
+RunMemo::Stats RunMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void RunMemo::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace memsentry::eval

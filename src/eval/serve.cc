@@ -1,0 +1,275 @@
+#include "src/eval/serve.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace memsentry::eval {
+namespace {
+
+// One request/response line per connection round; both halves share the
+// framing so the protocol stays symmetric.
+Status SendLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return InternalError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> RecvLine(int fd) {
+  std::string line;
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (line.empty()) {
+        return InternalError("connection closed before a full request line");
+      }
+      return line;  // peer closed after the payload; treat as the line end
+    }
+    if (c == '\n') {
+      return line;
+    }
+    line.push_back(c);
+  }
+}
+
+json::Value ErrorResponse(const std::string& message) {
+  json::Value response = json::Value::Object();
+  response.Set("ok", false);
+  response.Set("error", message);
+  return response;
+}
+
+json::Value JobReportJson(const JobReport& report) {
+  json::Value out = json::Value::Object();
+  out.Set("workload", report.workload);
+  out.Set("state", JobStateName(report.state));
+  out.Set("status", report.status);
+  out.Set("wall_seconds", report.wall_seconds);
+  json::Value cells = json::Value::Array();
+  for (size_t i = 0; i < report.cell_names.size(); ++i) {
+    json::Value cell = json::Value::Object();
+    cell.Set("name", report.cell_names[i]);
+    cell.Set("seconds", report.cell_seconds[i]);
+    cell.Set("restored", static_cast<bool>(report.cell_restored[i]));
+    cells.Append(std::move(cell));
+  }
+  out.Set("cells", std::move(cells));
+  return out;
+}
+
+// Dispatches one parsed request. Sets *shutdown when the client asked the
+// loop to exit (acknowledged before the loop tears down).
+json::Value Dispatch(const ServeOptions& options, CampaignEngine& engine,
+                     const json::Value& request, bool* shutdown) {
+  const std::string cmd = request.StringOr("cmd", "");
+  json::Value response = json::Value::Object();
+  if (cmd == "ping") {
+    response.Set("ok", true);
+    return response;
+  }
+  if (cmd == "shutdown") {
+    *shutdown = true;
+    response.Set("ok", true);
+    return response;
+  }
+  if (cmd == "workloads") {
+    response.Set("ok", true);
+    json::Value names = json::Value::Array();
+    for (const Workload& workload : options.registry->workloads()) {
+      names.Append(workload.name);
+    }
+    response.Set("workloads", std::move(names));
+    return response;
+  }
+  if (cmd == "submit") {
+    const std::string name = request.StringOr("workload", "");
+    WorkloadOptions wo;
+    wo.quick = request.BoolOr("quick", false);
+    wo.experiment.target_instructions =
+        static_cast<uint64_t>(request.NumberOr("instructions", 400'000));
+    wo.experiment.seed = static_cast<uint64_t>(
+        request.NumberOr("seed", static_cast<double>(wo.experiment.seed)));
+    if (const json::Value* extra = request.Find("extra"); extra != nullptr && extra->is_object()) {
+      for (const auto& [key, value] : extra->members()) {
+        wo.extra[key] = value.is_string() ? value.string_value() : value.Dump();
+      }
+    }
+    const uint64_t id = engine.Submit(name, wo);
+    if (id == 0) {
+      return ErrorResponse("unknown workload: " + name);
+    }
+    response.Set("ok", true);
+    response.Set("job", id);
+    return response;
+  }
+  if (cmd == "status") {
+    if (const json::Value* job = request.Find("job")) {
+      json::Value status = engine.JobStatus(static_cast<uint64_t>(job->number_value()));
+      if (status.is_null()) {
+        return ErrorResponse("unknown job");
+      }
+      response.Set("ok", true);
+      response.Set("job", std::move(status));
+    } else {
+      response.Set("ok", true);
+      response.Set("jobs", engine.AllJobStatus());
+    }
+    return response;
+  }
+  if (cmd == "cancel") {
+    const json::Value* job = request.Find("job");
+    if (job == nullptr) {
+      return ErrorResponse("cancel needs a job id");
+    }
+    response.Set("ok", true);
+    response.Set("cancelled", engine.Cancel(static_cast<uint64_t>(job->number_value())));
+    return response;
+  }
+  if (cmd == "wait") {
+    const json::Value* job = request.Find("job");
+    if (job == nullptr) {
+      return ErrorResponse("wait needs a job id");
+    }
+    const JobReport* report = engine.Wait(static_cast<uint64_t>(job->number_value()));
+    if (report == nullptr) {
+      return ErrorResponse("unknown job");
+    }
+    response.Set("ok", true);
+    response.Set("job", JobReportJson(*report));
+    response.Set("metrics", report->report.metrics());
+    return response;
+  }
+  return ErrorResponse("unknown cmd: " + cmd);
+}
+
+}  // namespace
+
+int ServeLoop(const ServeOptions& options) {
+  if (options.registry == nullptr || options.socket_path.empty()) {
+    std::fprintf(stderr, "serve: registry and socket path are required\n");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "serve: socket path too long: %s\n", options.socket_path.c_str());
+    return 1;
+  }
+  std::strncpy(addr.sun_path, options.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "serve: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  ::unlink(options.socket_path.c_str());  // stale socket from a crashed server
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::fprintf(stderr, "serve: bind/listen %s: %s\n", options.socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(listener);
+    return 1;
+  }
+
+  EngineOptions engine_options;
+  engine_options.jobs = options.jobs;
+  CampaignEngine engine(options.registry, engine_options);
+  if (!options.quiet) {
+    std::fprintf(stderr, "serve: listening on %s (%d workers, %zu workloads)\n",
+                 options.socket_path.c_str(), engine.jobs(),
+                 options.registry->workloads().size());
+  }
+
+  bool shutdown = false;
+  int exit_status = 0;
+  while (!shutdown) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::fprintf(stderr, "serve: accept: %s\n", std::strerror(errno));
+      exit_status = 1;
+      break;
+    }
+    // Serve request lines until the client closes; each connection may carry
+    // several rounds (submit, poll status, wait).
+    for (;;) {
+      StatusOr<std::string> line = RecvLine(conn);
+      if (!line.ok()) {
+        break;
+      }
+      json::Value response;
+      StatusOr<json::Value> request = json::Parse(*line);
+      if (!request.ok()) {
+        response = ErrorResponse("bad request: " + request.status().message());
+      } else {
+        if (!options.quiet) {
+          std::fprintf(stderr, "serve: %s\n", request->StringOr("cmd", "?").c_str());
+        }
+        response = Dispatch(options, engine, *request, &shutdown);
+      }
+      if (!SendLine(conn, response.Dump()).ok() || shutdown) {
+        break;
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(options.socket_path.c_str());
+  return exit_status;
+}
+
+StatusOr<json::Value> ServeRequest(const std::string& socket_path, const json::Value& request) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("connect " + socket_path + ": " + err);
+  }
+  Status sent = SendLine(fd, request.Dump());
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  StatusOr<std::string> line = RecvLine(fd);
+  ::close(fd);
+  if (!line.ok()) {
+    return line.status();
+  }
+  return json::Parse(*line);
+}
+
+}  // namespace memsentry::eval

@@ -1,0 +1,50 @@
+// `memsentry_cli serve` — a resident CampaignEngine behind a local UNIX
+// socket, so the server workload and campaign sweeps can be driven without
+// paying one batch process per run. Newline-delimited JSON request/response
+// protocol, one object per line:
+//
+//   {"cmd":"ping"}                         -> {"ok":true}
+//   {"cmd":"workloads"}                    -> {"ok":true,"workloads":[...]}
+//   {"cmd":"submit","workload":"fig4_callret",
+//    "quick":true,"instructions":100000,   -> {"ok":true,"job":1}
+//    "extra":{"campaigns":"160"}}
+//   {"cmd":"status"}                       -> {"ok":true,"jobs":[...]}
+//   {"cmd":"status","job":1}               -> {"ok":true,"job":{...}}
+//   {"cmd":"cancel","job":1}               -> {"ok":true,"cancelled":true}
+//   {"cmd":"wait","job":1}                 -> {"ok":true,"job":{...},"metrics":{...}}
+//   {"cmd":"shutdown"}                     -> {"ok":true}   (loop exits)
+//
+// The loop serves connections one at a time (submit returns immediately —
+// the engine runs jobs on its own workers — but `wait` blocks the loop, so
+// clients issue it last). Anything not a local trusted caller is out of
+// scope: the socket is a filesystem path with default permissions.
+#ifndef MEMSENTRY_SRC_EVAL_SERVE_H_
+#define MEMSENTRY_SRC_EVAL_SERVE_H_
+
+#include <string>
+
+#include "src/base/json.h"
+#include "src/base/status.h"
+#include "src/eval/campaign_engine.h"
+
+namespace memsentry::eval {
+
+struct ServeOptions {
+  std::string socket_path;
+  const WorkloadRegistry* registry = nullptr;
+  int jobs = 0;      // engine workers; <= 0 = hardware_concurrency
+  bool quiet = false;  // suppress the per-request log lines
+};
+
+// Binds the socket and serves requests until a shutdown command (returns 0)
+// or a socket-level failure (returns 1). The socket file is unlinked on the
+// way out.
+int ServeLoop(const ServeOptions& options);
+
+// Client half: connect, send `request` as one line, read one response line.
+StatusOr<json::Value> ServeRequest(const std::string& socket_path,
+                                   const json::Value& request);
+
+}  // namespace memsentry::eval
+
+#endif  // MEMSENTRY_SRC_EVAL_SERVE_H_

@@ -1,0 +1,74 @@
+#include "src/suite/workloads.h"
+
+#include "src/suite/suite_internal.h"
+#include "src/workloads/spec_profiles.h"
+
+namespace memsentry::suite {
+
+void PrintFigure(const std::vector<eval::FigureSeries>& series,
+                 const std::vector<double>& paper_geomeans) {
+  std::printf("%-16s", "benchmark");
+  for (const auto& s : series) {
+    std::printf("%10s", s.config.c_str());
+  }
+  std::printf("\n");
+  const auto profiles = workloads::SpecCpu2006();
+  for (size_t b = 0; b < profiles.size(); ++b) {
+    std::printf("%-16s", profiles[b].name.c_str());
+    for (const auto& s : series) {
+      std::printf("%10.2f", s.normalized[b]);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s", "geomean");
+  for (const auto& s : series) {
+    std::printf("%10.3f", s.geomean);
+  }
+  std::printf("\n%-16s", "paper geomean");
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i < paper_geomeans.size()) {
+      std::printf("%10.3f", paper_geomeans[i]);
+    } else {
+      std::printf("%10s", "-");
+    }
+  }
+  std::printf("\n(normalized runtime; 1.00 = uninstrumented baseline)\n");
+}
+
+json::Value ExperimentToJson(const eval::ExperimentResult& result) {
+  json::Value v = json::Value::Object();
+  v.Set("normalized", result.normalized);
+  v.Set("base_cycles", result.base_cycles);
+  v.Set("prot_cycles", result.prot_cycles);
+  v.Set("base_instructions", result.base_instructions);
+  v.Set("prot_instructions", result.prot_instructions);
+  return v;
+}
+
+eval::ExperimentResult ExperimentFromJson(const json::Value& value) {
+  eval::ExperimentResult result;
+  result.normalized = value.NumberOr("normalized", -1);
+  result.base_cycles = value.NumberOr("base_cycles", 0);
+  result.prot_cycles = value.NumberOr("prot_cycles", 0);
+  result.base_instructions = value.NumberOr("base_instructions", 0);
+  result.prot_instructions = value.NumberOr("prot_instructions", 0);
+  return result;
+}
+
+const eval::WorkloadRegistry& SuiteRegistry() {
+  static const eval::WorkloadRegistry* registry = [] {
+    auto* r = new eval::WorkloadRegistry();
+    RegisterTableWorkloads(*r);
+    RegisterFigureWorkloads(*r);
+    RegisterAblationWorkloads(*r);
+    RegisterAdversaryWorkloads(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+const eval::Workload* FindSuiteWorkload(std::string_view name) {
+  return SuiteRegistry().Find(name);
+}
+
+}  // namespace memsentry::suite

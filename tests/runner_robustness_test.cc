@@ -49,9 +49,13 @@ RunnerRun RunSuite(const std::string& dir, const std::string& only,
                    const std::string& extra_flags) {
   RunnerRun run;
   const std::string out = dir + "/BENCH_RESULTS.json";
+  // These scenarios exercise the forked-child machinery (timeouts, signal
+  // retries, report salvage), so they pin --engine=fork: the default
+  // in-process engine would run the registered workload bodies instead of
+  // the stand-in scripts. tests/campaign_engine_test.cc covers inproc.
   const std::string command = std::string("\"") + MEMSENTRY_BENCH_RUNNER +
                               "\" --bench-dir=\"" + dir + "\" --only=" + only +
-                              " --out=\"" + out + "\" --no-gate " + extra_flags +
+                              " --engine=fork --out=\"" + out + "\" --no-gate " + extra_flags +
                               " > \"" + dir + "/runner.log\" 2>&1";
   const int raw = std::system(command.c_str());
   run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;

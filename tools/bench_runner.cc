@@ -65,6 +65,22 @@
 //                                     instructions (under
 //                                     bench_reports/checkpoints/<binary>), so
 //                                     --resume also resumes mid-cell.
+//   bench_runner --engine=inproc|fork
+//                                     inproc (the default) runs every
+//                                     registered suite workload inside this
+//                                     process through one warm
+//                                     eval::CampaignEngine: cells scheduled
+//                                     onto a persistent work-stealing pool,
+//                                     one shared decode cache, and the suite
+//                                     journal extended with per-cell events so
+//                                     --resume restarts at cell — not binary —
+//                                     granularity. Only bench_substrate still
+//                                     forks (it measures host time and wants
+//                                     an unshared process). fork keeps the
+//                                     historical one-process-per-binary
+//                                     isolation (CI crash-resume, --verbose
+//                                     implies it). Fidelity/perf metrics are
+//                                     bit-identical between the two engines.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -87,7 +103,12 @@
 #include "src/base/fastpath.h"
 #include "src/base/json.h"
 #include "src/base/thread_pool.h"
+#include "src/eval/campaign_engine.h"
 #include "src/eval/regression_gate.h"
+#include "src/eval/report_builder.h"
+#include "src/eval/run_memo.h"
+#include "src/sim/decode_cache.h"
+#include "src/suite/workloads.h"
 
 #ifndef MEMSENTRY_SOURCE_DIR
 #define MEMSENTRY_SOURCE_DIR "."
@@ -128,7 +149,10 @@ const SuiteEntry kSuite[] = {
     {"ablations"},
     {"server_workload", "--quick"},
     {"microarch_stats"},
-    {"bench_substrate", "--benchmark_min_time=0.01s"},
+    // No "s" suffix: google-benchmark releases before 1.7 reject the suffixed
+    // spelling and silently fall back to the 0.5s default per benchmark,
+    // which quietly cost the quick suite several seconds of wall-clock.
+    {"bench_substrate", "--benchmark_min_time=0.01"},
 };
 
 struct Options {
@@ -147,8 +171,9 @@ struct Options {
   std::string compare_existing;
   std::string write_baseline;
   std::string check_determinism;
-  std::string fastpath;  // empty = inherit the environment
-  std::string journal;   // empty = BENCH_JOURNAL.jsonl next to --out
+  std::string engine = "inproc";  // inproc | fork
+  std::string fastpath;           // empty = inherit the environment
+  std::string journal;            // empty = BENCH_JOURNAL.jsonl next to --out
   std::vector<std::string> only;
   std::vector<std::string> skip;
 };
@@ -311,52 +336,82 @@ bool Contains(const std::vector<std::string>& list, const std::string& name) {
 }
 
 // Write-ahead suite journal: one JSON object per line — a header describing
-// the run configuration, then {"event":"start"|"done",...} per binary. Every
-// append rewrites the whole file through the temp-file+rename path, so the
-// on-disk journal is always a complete prefix of the run: a kill -9 at any
-// instant loses at most the event being appended, never corrupts one.
+// the run configuration, then {"event":"start"|"done",...} per binary and,
+// under the in-process engine, one {"event":"cell",...} per finished cell.
+// The header (and a resumed run's replayed prefix) goes through the
+// temp-file+rename path; every event after that is appended with a single
+// buffered write + flush. An engine run appends hundreds of cell events, so
+// rewriting the whole file per event — the scheme binary-granular journaling
+// used — would make journaling quadratic in suite size. The append can tear
+// at most the line in flight under a kill -9; LoadJournal drops a torn tail
+// and resumes from the last complete event.
 class Journal {
  public:
   explicit Journal(std::string path) : path_(std::move(path)) {}
+  ~Journal() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+  }
 
   const std::string& path() const { return path_; }
 
   // Starts a fresh journal (overwrites any previous run's).
   void Start(const json::Value& header) {
     std::lock_guard<std::mutex> lock(mutex_);
-    content_ = header.Dump(0) + "\n";
-    Flush();
+    Reset(header.Dump(0) + "\n");
   }
 
-  // Continues an existing journal (the --resume path).
+  // Continues an existing journal (the --resume path). `existing` is the
+  // complete-line prefix LoadJournal recovered, so a torn tail from the
+  // killed run is dropped rather than appended after.
   void Continue(std::string existing) {
     std::lock_guard<std::mutex> lock(mutex_);
-    content_ = std::move(existing);
+    Reset(existing);
   }
 
   void Append(const json::Value& event) {
     std::lock_guard<std::mutex> lock(mutex_);
-    content_ += event.Dump(0) + "\n";
-    Flush();
+    if (file_ == nullptr) {
+      return;
+    }
+    const std::string line = event.Dump(0) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+      std::fprintf(stderr, "bench_runner: journal write failed: %s\n", path_.c_str());
+    }
   }
 
  private:
-  void Flush() {
-    if (Status s = json::WriteTextFileAtomic(path_, content_); !s.ok()) {
+  void Reset(const std::string& prefix) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    if (Status s = json::WriteTextFileAtomic(path_, prefix); !s.ok()) {
       std::fprintf(stderr, "bench_runner: journal write failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "bench_runner: cannot append to journal %s\n", path_.c_str());
     }
   }
 
   std::string path_;
-  std::string content_;
+  std::FILE* file_ = nullptr;
   std::mutex mutex_;
 };
 
 // What a previous run's journal says about the suite: the run-configuration
-// header and, per binary, the last completion event.
+// header, per binary the last completion event, and — engine runs — every
+// completed cell's payload, keyed (workload, cell). Cell payloads are what
+// make --resume cell-granular under --engine=inproc: a restored cell skips
+// execution entirely and feeds its journaled payload straight to assembly.
 struct JournalState {
   json::Value header;
   std::map<std::string, json::Value> done;  // binary name -> "done" event
+  std::map<std::string, std::map<std::string, json::Value>> cells;  // workload -> cell -> payload
   std::string raw;                          // full text, continued on resume
 };
 
@@ -378,6 +433,7 @@ StatusOr<JournalState> LoadJournal(const std::string& path) {
   size_t start = 0;
   bool first = true;
   while (start < text.size()) {
+    const size_t line_start = start;
     size_t end = text.find('\n', start);
     if (end == std::string::npos) {
       end = text.size();
@@ -389,8 +445,10 @@ StatusOr<JournalState> LoadJournal(const std::string& path) {
     }
     auto parsed = json::Parse(line);
     if (!parsed.ok()) {
-      // A torn trailing line should be impossible (appends are atomic); be
-      // lenient anyway and treat the rest as absent.
+      // A kill -9 can tear the event that was mid-append. Drop the torn tail
+      // from the replayed prefix so Continue() never writes after a partial
+      // line, and treat the rest as absent.
+      state.raw = text.substr(0, line_start);
       break;
     }
     if (first) {
@@ -401,14 +459,190 @@ StatusOr<JournalState> LoadJournal(const std::string& path) {
       first = false;
       continue;
     }
-    if (parsed->StringOr("event", "") == "done") {
+    const std::string event = parsed->StringOr("event", "");
+    if (event == "done") {
       state.done[parsed->StringOr("binary", "")] = std::move(parsed).value();
+    } else if (event == "cell") {
+      if (const json::Value* payload = parsed->Find("payload"); payload != nullptr) {
+        state.cells[parsed->StringOr("binary", "")][parsed->StringOr("cell", "")] = *payload;
+      }
     }
   }
   if (first) {
     return InvalidArgument(path + " is empty");
   }
   return state;
+}
+
+json::Value InfoMetric(double value) {
+  json::Value entry = json::Value::Object();
+  entry.Set("value", value);
+  entry.Set("kind", "info");
+  entry.Set("tol", 0.0);
+  return entry;
+}
+
+// One binary's execution record, whether it ran as a child process or as an
+// engine job.
+struct BinaryRun {
+  CommandStatus status;
+  int retries = 0;            // signal deaths retried (at most once)
+  double runner_seconds = 0;  // host wall-clock around the child process
+  bool from_journal = false;  // completion taken from a resumed journal
+  // Every attempt's report path; retries get stamped paths
+  // (<name>.retry1.json) so no attempt ever overwrites another's output.
+  std::vector<std::string> report_paths;
+};
+
+// Forks one bench binary the way the historical runner always has: journal
+// start/done events, per-attempt report paths, one retry after an organic
+// signal death. Used for every binary under --engine=fork, and for
+// bench_substrate (never a registered workload — it measures host time and
+// wants an unshared process) under --engine=inproc.
+BinaryRun ExecuteForked(const SuiteEntry& entry, const Options& opts, uint64_t instructions,
+                        int inner_jobs, const fs::path& report_dir, Journal& journal,
+                        std::mutex& print_mutex) {
+  const std::string name = entry.name;
+  const fs::path binary = fs::path(opts.bench_dir) / name;
+  const fs::path log_path = report_dir / (name + ".log");
+  {
+    std::lock_guard<std::mutex> lock(print_mutex);
+    std::printf("[bench_runner] %s ...\n", name.c_str());
+    std::fflush(stdout);
+  }
+  json::Value started = json::Value::Object();
+  started.Set("event", "start");
+  started.Set("binary", name);
+  journal.Append(started);
+
+  BinaryRun run;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const fs::path report_path =
+        report_dir / (run.retries == 0
+                          ? name + ".json"
+                          : name + ".retry" + std::to_string(run.retries) + ".json");
+    run.report_paths.push_back(report_path.string());
+    std::vector<std::string> args = {
+        binary.string(), "--json=" + report_path.string(),
+        "--instructions=" + std::to_string(instructions),
+        "--jobs=" + std::to_string(inner_jobs)};
+    if (opts.checkpoint_interval > 0) {
+      args.push_back("--checkpoint-dir=" + (report_dir / "checkpoints" / name).string());
+      args.push_back("--checkpoint-interval=" + std::to_string(opts.checkpoint_interval));
+    }
+    if (opts.quick && entry.quick_extra[0] != '\0') {
+      args.push_back(entry.quick_extra);
+    }
+    // A stale report from a previous attempt (or run) must never be
+    // salvaged as this attempt's output.
+    std::error_code remove_ec;
+    fs::remove(report_path, remove_ec);
+    run.status = RunProcess(args, opts.verbose ? "" : log_path.string(), opts.timeout_seconds);
+    // Signal deaths (SIGSEGV, OOM-kill, ...) get one retry after a
+    // short backoff: transient host pressure is common in CI, and a
+    // deterministic crash still fails identically on the retry.
+    // Timeouts are not retried — a second attempt would double the
+    // wall-clock damage of a hung binary.
+    if (!run.status.signaled || run.status.timed_out || run.retries >= 1) {
+      break;
+    }
+    ++run.retries;
+    {
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("[bench_runner] %s %s; retrying once\n", name.c_str(),
+                  run.status.Describe().c_str());
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+  run.runner_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  json::Value done = json::Value::Object();
+  done.Set("event", "done");
+  done.Set("binary", name);
+  done.Set("exit", run.status.spawn_failed ? -1 : run.status.exit_code);
+  if (run.status.signaled) {
+    done.Set("signal", run.status.signal);
+  }
+  done.Set("timed_out", run.status.timed_out);
+  done.Set("retries", run.retries);
+  done.Set("runner_seconds", run.runner_seconds);
+  json::Value reports = json::Value::Array();
+  for (const std::string& p : run.report_paths) {
+    reports.Append(p);
+  }
+  done.Set("reports", std::move(reports));
+  journal.Append(done);
+  return run;
+}
+
+// Folds one forked binary's outcome into the merged document: the header
+// entry, runner/seconds, and the report's metrics — salvaging whatever a
+// dead binary managed to write before it died.
+void MergeForkedRun(const std::string& name, const BinaryRun& run, const fs::path& report_dir,
+                    json::Value& binaries, json::Value& metrics, int& exit_code) {
+  const fs::path report_path = run.report_paths.empty()
+                                   ? report_dir / (name + ".json")
+                                   : fs::path(run.report_paths.back());
+  const fs::path log_path = report_dir / (name + ".log");
+  json::Value info = json::Value::Object();
+  info.Set("exit", run.status.spawn_failed ? -1 : run.status.exit_code);
+  if (run.status.signaled) {
+    info.Set("signal", run.status.signal);
+  }
+  info.Set("timed_out", run.status.timed_out);
+  info.Set("retries", run.retries);
+  info.Set("runner_seconds", run.runner_seconds);
+  if (run.from_journal) {
+    info.Set("resumed", true);
+  }
+  // Every attempt's report path (retries write to stamped paths), so the
+  // merged header records exactly which file each metric came from.
+  json::Value report_list = json::Value::Array();
+  for (const std::string& p : run.report_paths) {
+    report_list.Append(p);
+  }
+  info.Set("reports", std::move(report_list));
+  auto report = json::ParseFile(report_path.string());
+  if (!run.status.ok()) {
+    std::fprintf(stderr, "bench_runner: %s %s (log: %s)\n", name.c_str(),
+                 run.status.Describe().c_str(), log_path.c_str());
+    exit_code = 1;
+    // Salvage: a binary that died after writing its report (a crash in
+    // teardown, a timeout during a later phase) still contributes every
+    // metric it produced — the gate then reports precisely what is
+    // missing instead of failing the whole binary's coverage blind.
+    if (!report.ok()) {
+      info.Set("salvaged", false);
+      binaries.Set(name, std::move(info));
+      return;
+    }
+    std::fprintf(stderr, "bench_runner: %s left a parseable report; salvaging %zu metrics\n",
+                 name.c_str(),
+                 report->Find("metrics") != nullptr ? report->Find("metrics")->size() : 0);
+    info.Set("salvaged", true);
+  } else if (!report.ok()) {
+    std::fprintf(stderr, "bench_runner: %s\n", report.status().ToString().c_str());
+    exit_code = 1;
+    binaries.Set(name, std::move(info));
+    return;
+  }
+  info.Set("wall_seconds", report->NumberOr("wall_seconds", 0.0));
+  binaries.Set(name, std::move(info));
+  metrics.Set("runner/seconds/" + name, InfoMetric(run.runner_seconds));
+  if (const json::Value* m = report->Find("metrics"); m != nullptr && m->is_object()) {
+    for (const auto& [metric_name, metric] : m->members()) {
+      if (metrics.Find(metric_name) != nullptr) {
+        std::fprintf(stderr, "bench_runner: duplicate metric %s from %s\n", metric_name.c_str(),
+                     name.c_str());
+        exit_code = 1;
+        continue;
+      }
+      metrics.Set(metric_name, metric);
+    }
+  }
 }
 
 int Usage() {
@@ -419,7 +653,8 @@ int Usage() {
                "                    [--instructions=N] [--jobs=N] [--timeout=SECONDS]\n"
                "                    [--verbose] [--check-determinism=OTHER.json]\n"
                "                    [--fastpath=on|off|check] [--journal=PATH]\n"
-               "                    [--resume] [--checkpoint-interval=N]\n");
+               "                    [--resume] [--checkpoint-interval=N]\n"
+               "                    [--engine=inproc|fork]\n");
   return 2;
 }
 
@@ -471,6 +706,8 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.check_determinism = v;
     } else if (const char* v = value("--fastpath")) {
       opts.fastpath = v;
+    } else if (const char* v = value("--engine")) {
+      opts.engine = v;
     } else {
       std::fprintf(stderr, "bench_runner: unknown argument %s\n", arg.c_str());
       return false;
@@ -487,14 +724,6 @@ std::string DefaultBenchDir(const char* argv0) {
     self = fs::path(argv0);
   }
   return (self.parent_path().parent_path() / "bench").string();
-}
-
-json::Value InfoMetric(double value) {
-  json::Value entry = json::Value::Object();
-  entry.Set("value", value);
-  entry.Set("kind", "info");
-  entry.Set("tol", 0.0);
-  return entry;
 }
 
 const char* CompilerString() {
@@ -579,6 +808,11 @@ int Run(int argc, char** argv) {
   if (!ParseArgs(argc, argv, opts)) {
     return Usage();
   }
+  if (opts.engine != "inproc" && opts.engine != "fork") {
+    std::fprintf(stderr, "bench_runner: bad --engine value '%s' (want inproc|fork)\n",
+                 opts.engine.c_str());
+    return 2;
+  }
   if (!opts.fastpath.empty()) {
     base::FastPathMode mode;
     if (!base::ParseFastPathMode(opts.fastpath.c_str(), &mode)) {
@@ -652,10 +886,15 @@ int Run(int argc, char** argv) {
     json::Value binaries = json::Value::Object();
     json::Value metrics = json::Value::Object();
 
+    // --verbose streams child stdout, which only exists with child
+    // processes, so it implies the fork engine.
+    const bool inproc = opts.engine == "inproc" && !opts.verbose;
+
     // The suite journal. A fresh run writes a new header; --resume validates
     // the existing header against this invocation's configuration (merging
     // two differently-configured runs would silently gate garbage) and
-    // collects the binaries already journaled as done.
+    // collects the binaries already journaled as done — plus, under the
+    // inproc engine, every cell already journaled with its payload.
     const std::string journal_path =
         opts.journal.empty() ? (fs::path(opts.out).parent_path() / "BENCH_JOURNAL.jsonl").string()
                              : opts.journal;
@@ -665,8 +904,10 @@ int Run(int argc, char** argv) {
     journal_header.Set("mode", opts.quick ? "quick" : "full");
     journal_header.Set("instructions", instructions);
     journal_header.Set("fastpath", opts.fastpath.empty() ? "default" : opts.fastpath);
+    journal_header.Set("engine", inproc ? "inproc" : "fork");
     journal_header.Set("out", opts.out);
     std::map<std::string, json::Value> journaled_done;
+    std::map<std::string, std::map<std::string, json::Value>> journal_cells;
     bool resuming = false;
     if (opts.resume) {
       auto previous = LoadJournal(journal_path);
@@ -682,6 +923,7 @@ int Run(int argc, char** argv) {
         return 2;
       } else {
         journaled_done = std::move(previous->done);
+        journal_cells = std::move(previous->cells);
         journal.Continue(std::move(previous->raw));
         resuming = true;
       }
@@ -718,25 +960,19 @@ int Run(int argc, char** argv) {
       to_run.push_back(&entry);
     }
 
-    // The parallelism budget splits between scheduling binaries concurrently
-    // (bounded job slots) and each binary's own sweep fan-out: with more
-    // binaries than budget every binary runs its sweeps serially; a lone
-    // binary (--only=fig3_address) gets the whole budget for its cells.
-    // --verbose streams child stdout, so it forces a fully serial run.
+    // The parallelism budget. Under --engine=inproc the whole budget goes to
+    // the engine's work-stealing pool (cell granularity beats binary
+    // granularity, so there is no slot split) and forked stragglers run
+    // serially alongside it. Under --engine=fork it splits between
+    // scheduling binaries concurrently (bounded job slots) and each binary's
+    // own sweep fan-out: with more binaries than budget every binary runs
+    // its sweeps serially; a lone binary (--only=fig3_address) gets the
+    // whole budget for its cells. --verbose streams child stdout, so it
+    // forces a fully serial fork run.
     const int total_jobs = opts.verbose ? 1 : ResolveJobs(opts.jobs);
     const int slots = static_cast<int>(
         std::min<size_t>(static_cast<size_t>(total_jobs), std::max<size_t>(to_run.size(), 1)));
-    const int inner_jobs = std::max(1, total_jobs / slots);
-
-    struct BinaryRun {
-      CommandStatus status;
-      int retries = 0;            // signal deaths retried (at most once)
-      double runner_seconds = 0;  // host wall-clock around the child process
-      bool from_journal = false;  // completion taken from a resumed journal
-      // Every attempt's report path; retries get stamped paths
-      // (<name>.retry1.json) so no attempt ever overwrites another's output.
-      std::vector<std::string> report_paths;
-    };
+    const int inner_jobs = inproc ? 1 : std::max(1, total_jobs / slots);
 
     // Resumable completions: journaled as done with a clean exit and a
     // parseable final report still on disk. Anything else (in-flight at the
@@ -769,93 +1005,147 @@ int Run(int argc, char** argv) {
 
     std::mutex print_mutex;
     const auto suite_start = std::chrono::steady_clock::now();
-    const std::vector<BinaryRun> runs =
-        ParallelMap(slots, to_run.size(), [&](size_t i) -> BinaryRun {
-          const SuiteEntry& entry = *to_run[i];
-          const std::string name = entry.name;
-          if (const auto it = resumable.find(name); it != resumable.end()) {
-            std::lock_guard<std::mutex> lock(print_mutex);
-            std::printf("[bench_runner] %s (done; resumed from journal)\n", name.c_str());
-            std::fflush(stdout);
-            return it->second;
-          }
-          const fs::path binary = fs::path(opts.bench_dir) / name;
-          const fs::path log_path = report_dir / (name + ".log");
-          {
-            std::lock_guard<std::mutex> lock(print_mutex);
-            std::printf("[bench_runner] %s ...\n", name.c_str());
-            std::fflush(stdout);
-          }
-          json::Value started = json::Value::Object();
-          started.Set("event", "start");
-          started.Set("binary", name);
-          journal.Append(started);
+    std::vector<BinaryRun> runs(to_run.size());
+    // Per-entry engine results (nullptr = the entry was forked). The engine
+    // object must outlive these pointers, hence the optional below.
+    std::vector<const eval::JobReport*> engine_reports(to_run.size(), nullptr);
+    eval::EngineStats engine_stats;
+    sim::DecodeCacheStats decode_stats;
+    int engine_workers = 0;
+    std::unique_ptr<eval::CampaignEngine> engine;
 
-          BinaryRun run;
-          const auto start = std::chrono::steady_clock::now();
-          for (;;) {
-            const fs::path report_path =
-                report_dir / (run.retries == 0
-                                  ? name + ".json"
-                                  : name + ".retry" + std::to_string(run.retries) + ".json");
-            run.report_paths.push_back(report_path.string());
-            std::vector<std::string> args = {
-                binary.string(), "--json=" + report_path.string(),
-                "--instructions=" + std::to_string(instructions),
-                "--jobs=" + std::to_string(inner_jobs)};
-            if (opts.checkpoint_interval > 0) {
-              args.push_back("--checkpoint-dir=" +
-                             (report_dir / "checkpoints" / name).string());
-              args.push_back("--checkpoint-interval=" +
-                             std::to_string(opts.checkpoint_interval));
-            }
-            if (opts.quick && entry.quick_extra[0] != '\0') {
-              args.push_back(entry.quick_extra);
-            }
-            // A stale report from a previous attempt (or run) must never be
-            // salvaged as this attempt's output.
-            std::error_code remove_ec;
-            fs::remove(report_path, remove_ec);
-            run.status = RunProcess(args, opts.verbose ? "" : log_path.string(),
-                                    opts.timeout_seconds);
-            // Signal deaths (SIGSEGV, OOM-kill, ...) get one retry after a
-            // short backoff: transient host pressure is common in CI, and a
-            // deterministic crash still fails identically on the retry.
-            // Timeouts are not retried — a second attempt would double the
-            // wall-clock damage of a hung binary.
-            if (!run.status.signaled || run.status.timed_out || run.retries >= 1) {
-              break;
-            }
-            ++run.retries;
-            {
-              std::lock_guard<std::mutex> lock(print_mutex);
-              std::printf("[bench_runner] %s %s; retrying once\n", name.c_str(),
-                          run.status.Describe().c_str());
-              std::fflush(stdout);
-            }
-            std::this_thread::sleep_for(std::chrono::milliseconds(500));
-          }
-          run.runner_seconds =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (inproc) {
+      eval::EngineOptions engine_options;
+      // Escape hatch for memo bisection: MEMSENTRY_NO_RUN_MEMO=1 runs every
+      // cell from scratch. Results must not change (the determinism check
+      // passes either way) — only the wall-clock does.
+      engine_options.run_memo = std::getenv("MEMSENTRY_NO_RUN_MEMO") == nullptr;
+      engine_options.jobs = total_jobs;
+      // Cell-granular durability: every finished cell's payload is journaled
+      // (Journal::Append serializes), and on --resume the journaled payloads
+      // mark their cells done at submit time — a kill -9 mid-suite costs at
+      // most the cells that were in flight.
+      engine_options.restore = [&journal_cells](
+                                   const std::string& workload,
+                                   const std::string& cell) -> const json::Value* {
+        const auto wit = journal_cells.find(workload);
+        if (wit == journal_cells.end()) {
+          return nullptr;
+        }
+        const auto cit = wit->second.find(cell);
+        return cit == wit->second.end() ? nullptr : &cit->second;
+      };
+      engine_options.on_cell_done = [&journal](const std::string& workload,
+                                               const std::string& cell,
+                                               const json::Value& payload) {
+        json::Value event = json::Value::Object();
+        event.Set("event", "cell");
+        event.Set("binary", workload);
+        event.Set("cell", cell);
+        event.Set("payload", payload);
+        journal.Append(event);
+      };
+      // Engine-wide decode statistics start from zero so the merged report's
+      // engine/decode_cache_* metrics describe exactly this suite run.
+      sim::DecodeCache::Global().ResetStats();
+      engine = std::make_unique<eval::CampaignEngine>(&suite::SuiteRegistry(), engine_options);
+      engine_workers = engine->jobs();
 
-          json::Value done = json::Value::Object();
-          done.Set("event", "done");
-          done.Set("binary", name);
-          done.Set("exit", run.status.spawn_failed ? -1 : run.status.exit_code);
-          if (run.status.signaled) {
-            done.Set("signal", run.status.signal);
-          }
-          done.Set("timed_out", run.status.timed_out);
-          done.Set("retries", run.retries);
-          done.Set("runner_seconds", run.runner_seconds);
-          json::Value reports = json::Value::Array();
-          for (const std::string& p : run.report_paths) {
-            reports.Append(p);
-          }
-          done.Set("reports", std::move(reports));
-          journal.Append(done);
-          return run;
-        });
+      // Submit every registered workload up front: the engine interleaves
+      // all of their cells across its workers, so a straggler workload soaks
+      // up the whole pool instead of serializing behind a slot schedule.
+      std::vector<uint64_t> job_ids(to_run.size(), 0);
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        const SuiteEntry& entry = *to_run[i];
+        if (suite::FindSuiteWorkload(entry.name) == nullptr) {
+          continue;  // forked below, concurrently with the engine's drain
+        }
+        eval::WorkloadOptions woptions;
+        woptions.experiment.target_instructions = instructions;
+        if (opts.checkpoint_interval > 0) {
+          woptions.experiment.checkpoint_dir =
+              (report_dir / "checkpoints" / entry.name).string();
+          std::error_code checkpoint_ec;
+          fs::create_directories(woptions.experiment.checkpoint_dir, checkpoint_ec);
+          woptions.experiment.checkpoint_interval = opts.checkpoint_interval;
+        }
+        if (opts.quick && entry.quick_extra[0] != '\0') {
+          // The same token the forked binary would receive on its argv.
+          const char* extra_argv[] = {"bench_runner", entry.quick_extra};
+          eval::ParseWorkloadArgs(2, const_cast<char**>(extra_argv), woptions);
+        }
+        {
+          std::lock_guard<std::mutex> lock(print_mutex);
+          std::printf("[bench_runner] %s (engine) ...\n", entry.name);
+          std::fflush(stdout);
+        }
+        json::Value started = json::Value::Object();
+        started.Set("event", "start");
+        started.Set("binary", entry.name);
+        journal.Append(started);
+        job_ids[i] = engine->Submit(entry.name, woptions);
+      }
+
+      // bench_substrate (and anything else unregistered) forks on this
+      // thread while the engine's workers chew through the cell queues.
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        if (job_ids[i] != 0) {
+          continue;
+        }
+        const std::string name = to_run[i]->name;
+        if (const auto it = resumable.find(name); it != resumable.end()) {
+          std::printf("[bench_runner] %s (done; resumed from journal)\n", name.c_str());
+          std::fflush(stdout);
+          runs[i] = it->second;
+          continue;
+        }
+        runs[i] = ExecuteForked(*to_run[i], opts, instructions, inner_jobs, report_dir,
+                                journal, print_mutex);
+      }
+
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        if (job_ids[i] == 0) {
+          continue;
+        }
+        const eval::JobReport* job = engine->Wait(job_ids[i]);
+        engine_reports[i] = job;
+        size_t restored = 0;
+        for (size_t c = 0; c < job->cell_restored.size(); ++c) {
+          restored += job->cell_restored[c] ? 1 : 0;
+        }
+        {
+          std::lock_guard<std::mutex> lock(print_mutex);
+          std::printf("[bench_runner] %s done: %zu cells (%zu restored) in %.2fs\n",
+                      job->workload.c_str(), job->cell_names.size(), restored,
+                      job->wall_seconds);
+          std::fflush(stdout);
+        }
+        json::Value done = json::Value::Object();
+        done.Set("event", "done");
+        done.Set("binary", job->workload);
+        done.Set("exit", job->status);
+        done.Set("timed_out", false);
+        done.Set("retries", 0);
+        done.Set("runner_seconds", job->wall_seconds);
+        done.Set("cells", static_cast<uint64_t>(job->cell_names.size()));
+        done.Set("reports", json::Value::Array());
+        journal.Append(done);
+      }
+      engine_stats = engine->stats();
+      decode_stats = sim::DecodeCache::Global().stats();
+    } else {
+      runs = ParallelMap(slots, to_run.size(), [&](size_t i) -> BinaryRun {
+        const SuiteEntry& entry = *to_run[i];
+        if (const auto it = resumable.find(entry.name); it != resumable.end()) {
+          std::lock_guard<std::mutex> lock(print_mutex);
+          std::printf("[bench_runner] %s (done; resumed from journal)\n", entry.name);
+          std::fflush(stdout);
+          return it->second;
+        }
+        return ExecuteForked(entry, opts, instructions, inner_jobs, report_dir, journal,
+                             print_mutex);
+      });
+    }
     const double suite_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - suite_start).count();
 
@@ -863,72 +1153,102 @@ int Run(int argc, char** argv) {
     // output) is identical no matter how the parallel schedule interleaved.
     for (size_t i = 0; i < to_run.size(); ++i) {
       const std::string name = to_run[i]->name;
-      const BinaryRun& run = runs[i];
-      const fs::path report_path = run.report_paths.empty()
-                                       ? report_dir / (name + ".json")
-                                       : fs::path(run.report_paths.back());
-      const fs::path log_path = report_dir / (name + ".log");
-      json::Value info = json::Value::Object();
-      info.Set("exit", run.status.spawn_failed ? -1 : run.status.exit_code);
-      if (run.status.signaled) {
-        info.Set("signal", run.status.signal);
-      }
-      info.Set("timed_out", run.status.timed_out);
-      info.Set("retries", run.retries);
-      info.Set("runner_seconds", run.runner_seconds);
-      if (run.from_journal) {
-        info.Set("resumed", true);
-      }
-      // Every attempt's report path (retries write to stamped paths), so the
-      // merged header records exactly which file each metric came from.
-      json::Value report_list = json::Value::Array();
-      for (const std::string& p : run.report_paths) {
-        report_list.Append(p);
-      }
-      info.Set("reports", std::move(report_list));
-      auto report = json::ParseFile(report_path.string());
-      if (!run.status.ok()) {
-        std::fprintf(stderr, "bench_runner: %s %s (log: %s)\n", name.c_str(),
-                     run.status.Describe().c_str(), log_path.c_str());
-        exit_code = 1;
-        // Salvage: a binary that died after writing its report (a crash in
-        // teardown, a timeout during a later phase) still contributes every
-        // metric it produced — the gate then reports precisely what is
-        // missing instead of failing the whole binary's coverage blind.
-        if (!report.ok()) {
-          info.Set("salvaged", false);
-          binaries.Set(name, std::move(info));
-          continue;
-        }
-        std::fprintf(stderr, "bench_runner: %s left a parseable report; salvaging %zu metrics\n",
-                     name.c_str(),
-                     report->Find("metrics") != nullptr ? report->Find("metrics")->size() : 0);
-        info.Set("salvaged", true);
-      } else if (!report.ok()) {
-        std::fprintf(stderr, "bench_runner: %s\n", report.status().ToString().c_str());
-        exit_code = 1;
-        binaries.Set(name, std::move(info));
+      if (engine_reports[i] == nullptr) {
+        MergeForkedRun(name, runs[i], report_dir, binaries, metrics, exit_code);
         continue;
       }
-      info.Set("wall_seconds", report->NumberOr("wall_seconds", 0.0));
+      const eval::JobReport& job = *engine_reports[i];
+      size_t restored = 0;
+      for (size_t c = 0; c < job.cell_restored.size(); ++c) {
+        restored += job.cell_restored[c] ? 1 : 0;
+      }
+      json::Value info = json::Value::Object();
+      info.Set("exit", job.status);
+      info.Set("timed_out", false);
+      info.Set("retries", 0);
+      info.Set("runner_seconds", job.wall_seconds);
+      info.Set("engine", "inproc");
+      info.Set("cells", static_cast<uint64_t>(job.cell_names.size()));
+      if (restored > 0) {
+        info.Set("cells_restored", static_cast<uint64_t>(restored));
+        info.Set("resumed", true);
+      }
+      info.Set("reports", json::Value::Array());
+      info.Set("wall_seconds", job.wall_seconds);
+      if (job.state != eval::JobState::kDone || job.status != 0) {
+        std::fprintf(stderr, "bench_runner: %s (engine) finished %s with status %d\n",
+                     name.c_str(), eval::JobStateName(job.state), job.status);
+        exit_code = 1;
+      }
       binaries.Set(name, std::move(info));
-      metrics.Set("runner/seconds/" + name, InfoMetric(run.runner_seconds));
-      if (const json::Value* m = report->Find("metrics"); m != nullptr && m->is_object()) {
-        for (const auto& [metric_name, metric] : m->members()) {
-          if (metrics.Find(metric_name) != nullptr) {
-            std::fprintf(stderr, "bench_runner: duplicate metric %s from %s\n",
-                         metric_name.c_str(), name.c_str());
-            exit_code = 1;
-            continue;
-          }
-          metrics.Set(metric_name, metric);
+      metrics.Set("runner/seconds/" + name, InfoMetric(job.wall_seconds));
+      for (const auto& [metric_name, metric] : job.report.metrics().members()) {
+        if (metrics.Find(metric_name) != nullptr) {
+          std::fprintf(stderr, "bench_runner: duplicate metric %s from %s\n",
+                       metric_name.c_str(), name.c_str());
+          exit_code = 1;
+          continue;
+        }
+        metrics.Set(metric_name, metric);
+      }
+      // The trailer bench::Reporter::Finish appends after a standalone run's
+      // metric stream, so the merged document keeps the same shape in both
+      // engines (both are host wall-clock derived, info / host-perf kinds —
+      // never part of the determinism contract).
+      metrics.Set(name + "/wall_seconds", InfoMetric(job.wall_seconds));
+      if (job.report.sim_instructions() > 0 && job.wall_seconds > 0) {
+        json::Value throughput = json::Value::Object();
+        throughput.Set("value", job.report.sim_instructions() / job.wall_seconds);
+        throughput.Set("kind", "perf");
+        throughput.Set("tol", eval::kHostThroughputTol);
+        throughput.Set("host", true);
+        metrics.Set(name + "/sim_instr_per_second", std::move(throughput));
+      }
+    }
+    if (inproc) {
+      // Where the suite's wall-clock actually went, at the engine's
+      // scheduling granularity. tools/ci/check_gate.sh wall-summary surfaces
+      // the slowest cells from these; all info-kind, never gated.
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        if (engine_reports[i] == nullptr) {
+          continue;
+        }
+        const eval::JobReport& job = *engine_reports[i];
+        for (size_t c = 0; c < job.cell_names.size(); ++c) {
+          metrics.Set("engine/seconds/" + job.workload + "/" + job.cell_names[c],
+                      InfoMetric(job.cell_seconds[c]));
         }
       }
+      metrics.Set("engine/cells_run", InfoMetric(static_cast<double>(engine_stats.cells_run)));
+      metrics.Set("engine/cells_restored",
+                  InfoMetric(static_cast<double>(engine_stats.cells_restored)));
+      metrics.Set("engine/steals", InfoMetric(static_cast<double>(engine_stats.steals)));
+      metrics.Set("engine/decode_cache_hit_rate", InfoMetric(decode_stats.HitRate()));
+      metrics.Set("engine/decode_cache_lowerings",
+                  InfoMetric(static_cast<double>(decode_stats.misses)));
+      const eval::RunMemo::Stats memo_stats = eval::RunMemo::Global().stats();
+      metrics.Set("engine/run_memo_hit_rate", InfoMetric(memo_stats.HitRate()));
+      metrics.Set("engine/run_memo_hits", InfoMetric(static_cast<double>(memo_stats.hits)));
     }
     // The wall-clock trajectory of the suite itself: info metrics, recorded
     // in every snapshot but never gated (they are host-dependent).
     metrics.Set("runner/wall_seconds", InfoMetric(suite_seconds));
     metrics.Set("runner/jobs", InfoMetric(total_jobs));
+
+    // Which engine produced the document, plus — inproc — the engine-wide
+    // aggregates (work-stealing traffic and the shared decode cache's
+    // efficacy across every workload in this one warm process).
+    json::Value engine_header = json::Value::Object();
+    engine_header.Set("engine", inproc ? "inproc" : "fork");
+    if (inproc) {
+      engine_header.Set("jobs", engine_workers);
+      engine_header.Set("cells_run", engine_stats.cells_run);
+      engine_header.Set("cells_restored", engine_stats.cells_restored);
+      engine_header.Set("steals", engine_stats.steals);
+      engine_header.Set("decode_cache_hit_rate", decode_stats.HitRate());
+      engine_header.Set("decode_cache_lowerings", decode_stats.misses);
+    }
+    merged.Set("engine", std::move(engine_header));
 
     // Host metadata, so future baseline snapshots are attributable.
     json::Value host = json::Value::Object();
@@ -939,8 +1259,19 @@ int Run(int argc, char** argv) {
     merged.Set("host", std::move(host));
     merged.Set("binaries", std::move(binaries));
     merged.Set("metrics", std::move(metrics));
-    std::printf("[bench_runner] suite wall-clock %.2fs (jobs=%d, per-binary jobs=%d)\n",
-                suite_seconds, total_jobs, inner_jobs);
+    if (inproc) {
+      std::printf(
+          "[bench_runner] suite wall-clock %.2fs (engine=inproc, workers=%d, cells=%llu "
+          "run + %llu restored, steals=%llu, decode-cache hit rate %.3f)\n",
+          suite_seconds, engine_workers,
+          static_cast<unsigned long long>(engine_stats.cells_run),
+          static_cast<unsigned long long>(engine_stats.cells_restored),
+          static_cast<unsigned long long>(engine_stats.steals), decode_stats.HitRate());
+    } else {
+      std::printf(
+          "[bench_runner] suite wall-clock %.2fs (engine=fork, jobs=%d, per-binary jobs=%d)\n",
+          suite_seconds, total_jobs, inner_jobs);
+    }
 
     if (Status s = json::WriteFileAtomic(opts.out, merged); !s.ok()) {
       std::fprintf(stderr, "bench_runner: %s\n", s.ToString().c_str());

@@ -13,7 +13,10 @@
 #       silently-renamed key must not pass the gate).
 #   wall-summary TITLE FILE...
 #       Markdown table of .host.jobs and runner/wall_seconds per FILE, for
-#       $GITHUB_STEP_SUMMARY. Missing files are skipped.
+#       $GITHUB_STEP_SUMMARY. Missing files are skipped. Reports produced by
+#       the in-process engine carry per-cell timings (engine/seconds/...);
+#       for those, the five slowest cells follow so a perf regression names
+#       its cell instead of hiding in a suite total.
 #   wall-budget REPORT REFERENCE
 #       Fail if REPORT's runner/wall_seconds exceeds the quick-suite budget
 #       recorded in REFERENCE (a BENCH_PR7.json-style trajectory file with
@@ -95,6 +98,21 @@ case "$cmd" in
       jobs=$(jq -r '.host.jobs // "?"' "$f")
       wall=$(metric runner/wall_seconds "$f")
       echo "| $f | $jobs | $wall |"
+    done
+    for f in "$@"; do
+      [ -f "$f" ] || continue
+      slowest=$(jq -r '.metrics | to_entries[]
+          | select(.key | startswith("engine/seconds/"))
+          | "\(.value.value)\t\(.key)"' "$f" | sort -gr | head -5)
+      [ -n "$slowest" ] || continue
+      echo ""
+      echo "#### $f — five slowest engine cells"
+      echo ""
+      echo "| cell | seconds |"
+      echo "|---|---|"
+      while IFS=$'\t' read -r secs key; do
+        echo "| ${key#engine/seconds/} | $secs |"
+      done <<< "$slowest"
     done
     ;;
 

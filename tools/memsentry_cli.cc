@@ -9,6 +9,13 @@
 //                                        failing cell a crash bundle recorded
 //   memsentry replay-campaign <bundle-dir|spec.json>  re-execute a generated
 //                                        attack campaign bit-for-bit
+//   memsentry serve --socket PATH [--jobs N] [--quiet]
+//                                        resident CampaignEngine behind a
+//                                        local UNIX socket: submit/status/
+//                                        cancel/wait any suite workload
+//                                        without paying a process per run
+//   memsentry request --socket PATH 'JSON'  client half of serve: one
+//                                        request line in, the response out
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +29,9 @@
 #include "src/defenses/shadow_stack.h"
 #include "src/eval/fault_campaign.h"
 #include "src/eval/figures.h"
+#include "src/eval/serve.h"
 #include "src/ir/printer.h"
+#include "src/suite/workloads.h"
 #include "src/workloads/synth.h"
 
 namespace memsentry {
@@ -38,7 +47,12 @@ int Usage() {
                "       [--defense shadowstack|none] [--lines N]\n"
                "  replay BUNDLE_DIR   re-execute the cell a crash bundle recorded\n"
                "  replay-campaign BUNDLE_DIR   re-execute a generated attack campaign\n"
-               "                      from its bundle (or a bare campaign-spec JSON file)\n");
+               "                      from its bundle (or a bare campaign-spec JSON file)\n"
+               "  serve --socket PATH [--jobs N] [--quiet]   resident campaign engine\n"
+               "                      behind a local UNIX socket (newline-delimited JSON:\n"
+               "                      ping|workloads|submit|status|cancel|wait|shutdown)\n"
+               "  request --socket PATH 'JSON'   send one request to a running serve\n"
+               "                      instance and print the response (exit 0 iff ok)\n");
   return 2;
 }
 
@@ -244,6 +258,53 @@ int ReplayCampaignSpec(const json::Value& replay) {
   return 0;
 }
 
+// `serve` — bind the suite registry's workloads behind a local UNIX socket.
+// The engine outlives every request, so repeated submissions share one warm
+// decode cache and run memo; src/eval/serve.h documents the wire protocol.
+int RunServe(int argc, char** argv) {
+  eval::ServeOptions options;
+  options.socket_path = Arg(argc, argv, "--socket", "");
+  options.jobs = std::atoi(Arg(argc, argv, "--jobs", "0"));
+  options.quiet = HasFlag(argc, argv, "--quiet");
+  options.registry = &suite::SuiteRegistry();
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "serve: --socket PATH is required\n");
+    return Usage();
+  }
+  return eval::ServeLoop(options);
+}
+
+// `request` — the client half of `serve`: send one JSON request line to a
+// running server and print the response line. Exit 0 only when the server
+// answered {"ok":true}, so shell smoke tests can chain requests with `&&`.
+int RunRequest(int argc, char** argv) {
+  const std::string socket_path = Arg(argc, argv, "--socket", "");
+  std::string raw;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      ++i;  // skip the path value
+      continue;
+    }
+    raw = argv[i];
+  }
+  if (socket_path.empty() || raw.empty()) {
+    std::fprintf(stderr, "request: usage: request --socket PATH 'JSON'\n");
+    return Usage();
+  }
+  auto request = json::Parse(raw);
+  if (!request.ok()) {
+    std::fprintf(stderr, "request: not valid JSON: %s\n", request.status().ToString().c_str());
+    return 2;
+  }
+  auto response = eval::ServeRequest(socket_path, request.value());
+  if (!response.ok()) {
+    std::fprintf(stderr, "request: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->Dump(0).c_str());
+  return response->BoolOr("ok", false) ? 0 : 1;
+}
+
 int RunReplayCampaign(int argc, char** argv) {
   if (argc < 1) {
     return Usage();
@@ -372,6 +433,12 @@ int main(int argc, char** argv) {
   }
   if (command == "replay-campaign") {
     return RunReplayCampaign(argc - 2, argv + 2);
+  }
+  if (command == "serve") {
+    return RunServe(argc - 2, argv + 2);
+  }
+  if (command == "request") {
+    return RunRequest(argc - 2, argv + 2);
   }
   return Usage();
 }
