@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -107,7 +108,16 @@ class Reporter {
       std::filesystem::create_directories(checkpoint_dir_, ec);
     }
     // Any crash from here on produces a replayable bundle tagged with this
-    // binary's run configuration.
+    // binary's run configuration. Retention first: bundles from earlier runs
+    // are trimmed to the caps, anything stamped from this instant on is
+    // protected.
+    const base::CrashGcStats gc = base::CollectCrashBundles(
+        bundle_root, base::CrashBundleCaps{}, static_cast<int64_t>(std::time(nullptr)));
+    if (gc.bundles_removed > 0) {
+      std::fprintf(stderr, "[%s] crash-bundle gc: removed %zu stale bundle(s) (%llu bytes)\n",
+                   binary_.c_str(), gc.bundles_removed,
+                   static_cast<unsigned long long>(gc.bytes_removed));
+    }
     base::InstallCrashHandler(bundle_root);
     base::CrashContext context;
     context.binary = binary_;

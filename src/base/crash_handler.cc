@@ -1,12 +1,16 @@
 #include "src/base/crash_handler.h"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <exception>
+#include <filesystem>
 #include <mutex>
+#include <system_error>
+#include <vector>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -304,5 +308,105 @@ std::string WriteCrashBundle(const char* reason) {
 }
 
 std::string_view CrashJournalPath() { return g_journal_path; }
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct BundleEntry {
+  fs::path path;
+  int64_t stamp = 0;       // parsed leading unixtime, or mtime fallback
+  uint64_t bytes = 0;
+};
+
+// Parses the leading `<unixtime>-` of a bundle directory name. Returns -1
+// when the name does not start with digits followed by '-'.
+int64_t ParseBundleStamp(const std::string& name) {
+  size_t pos = 0;
+  while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') {
+    ++pos;
+  }
+  if (pos == 0 || pos >= name.size() || name[pos] != '-') {
+    return -1;
+  }
+  return static_cast<int64_t>(std::strtoll(name.c_str(), nullptr, 10));
+}
+
+uint64_t DirectoryBytes(const fs::path& dir) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    std::error_code sec;
+    if (it->is_regular_file(sec) && !sec) {
+      total += it->file_size(sec);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+CrashGcStats CollectCrashBundles(const std::string& bundle_root, const CrashBundleCaps& caps,
+                                 int64_t protect_after) {
+  CrashGcStats stats;
+  std::error_code ec;
+  std::vector<BundleEntry> bundles;
+  for (fs::directory_iterator it(bundle_root, ec), end; !ec && it != end; it.increment(ec)) {
+    std::error_code sec;
+    if (!it->is_directory(sec) || sec) {
+      continue;
+    }
+    BundleEntry entry;
+    entry.path = it->path();
+    entry.stamp = ParseBundleStamp(entry.path.filename().string());
+    if (entry.stamp < 0) {
+      const auto mtime = fs::last_write_time(entry.path, sec);
+      entry.stamp =
+          sec ? 0
+              : std::chrono::duration_cast<std::chrono::seconds>(
+                    mtime.time_since_epoch() -
+                    (fs::file_time_type::clock::now().time_since_epoch() -
+                     std::chrono::system_clock::now().time_since_epoch()))
+                    .count();
+    }
+    entry.bytes = DirectoryBytes(entry.path);
+    bundles.push_back(std::move(entry));
+  }
+  if (bundles.empty()) {
+    return stats;
+  }
+
+  std::sort(bundles.begin(), bundles.end(), [](const BundleEntry& a, const BundleEntry& b) {
+    return a.stamp != b.stamp ? a.stamp < b.stamp : a.path < b.path;
+  });
+
+  uint64_t total_bytes = 0;
+  for (const BundleEntry& entry : bundles) {
+    total_bytes += entry.bytes;
+  }
+  size_t remaining = bundles.size();
+  for (const BundleEntry& entry : bundles) {
+    if (remaining <= caps.max_bundles && total_bytes <= caps.max_bytes) {
+      break;
+    }
+    if (entry.stamp >= protect_after) {
+      // Bundles are sorted oldest-first, so everything from here on is
+      // protected too; the caps simply cannot be met this run.
+      break;
+    }
+    std::error_code rec;
+    fs::remove_all(entry.path, rec);
+    if (!rec) {
+      ++stats.bundles_removed;
+      stats.bytes_removed += entry.bytes;
+    }
+    // A sibling process may have beaten us to the removal; either way the
+    // bundle no longer counts against the caps.
+    --remaining;
+    total_bytes -= entry.bytes;
+  }
+  stats.bundles_kept = remaining;
+  return stats;
+}
 
 }  // namespace memsentry::base

@@ -60,6 +60,37 @@ std::string WriteCrashBundle(const char* reason);
 // (exposed for tests).
 std::string_view CrashJournalPath();
 
+// --- bundle retention ---
+//
+// Bundles accumulate across suite runs (every chaos campaign leaves a
+// trail); without a cap a long-lived checkout fills its disk with stale
+// replay state. CollectCrashBundles enforces a size/count budget by
+// deleting the oldest bundles first. It runs at process startup (normal
+// context, not the signal handler) and never touches bundles stamped at or
+// after `protect_after` — the current run's output is sacrosanct even when
+// it alone exceeds the caps.
+
+struct CrashBundleCaps {
+  size_t max_bundles = 32;           // keep at most this many bundle dirs
+  uint64_t max_bytes = 256u << 20;   // ...totalling at most this many bytes
+};
+
+struct CrashGcStats {
+  size_t bundles_kept = 0;
+  size_t bundles_removed = 0;
+  uint64_t bytes_removed = 0;
+};
+
+// Scans `bundle_root` for bundle directories (named
+// `<unixtime>-<pid>-<binary>-<cell>`; the leading timestamp orders them,
+// directory mtime is the fallback for foreign names), then removes the
+// oldest until both caps hold. Bundles whose timestamp is >= `protect_after`
+// are never deleted and do not count toward `bundles_removed`. A missing
+// root is a no-op. Safe to call from any number of concurrent processes —
+// removal failures (e.g. a sibling already deleted the dir) are ignored.
+CrashGcStats CollectCrashBundles(const std::string& bundle_root, const CrashBundleCaps& caps,
+                                 int64_t protect_after);
+
 }  // namespace memsentry::base
 
 #endif  // MEMSENTRY_SRC_BASE_CRASH_HANDLER_H_

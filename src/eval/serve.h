@@ -1,7 +1,8 @@
 // `memsentry_cli serve` — a resident CampaignEngine behind a local UNIX
-// socket, so the server workload and campaign sweeps can be driven without
-// paying one batch process per run. Newline-delimited JSON request/response
-// protocol, one object per line:
+// socket, so the server workload, campaign sweeps, and the shard
+// coordinator (src/eval/coordinator.h) can be driven without paying one
+// batch process per run. Newline-delimited JSON request/response protocol,
+// one object per line:
 //
 //   {"cmd":"ping"}                         -> {"ok":true}
 //   {"cmd":"workloads"}                    -> {"ok":true,"workloads":[...]}
@@ -12,15 +13,34 @@
 //   {"cmd":"status","job":1}               -> {"ok":true,"job":{...}}
 //   {"cmd":"cancel","job":1}               -> {"ok":true,"cancelled":true}
 //   {"cmd":"wait","job":1}                 -> {"ok":true,"job":{...},"metrics":{...}}
+//   {"cmd":"run_cell","workload":"fig3_address","cell":"mpk/hot",
+//    "quick":true,"instructions":100000,   -> {"ok":true,"payload":...,
+//    "seed":123,"extra":{},"attempt":1}        "crc":"<fnv1a hex of payload>"}
 //   {"cmd":"shutdown"}                     -> {"ok":true}   (loop exits)
+//
+// Error replies are typed: {"ok":false,"code":"bad_json","error":"..."} with
+// codes bad_json / oversized_line / unknown_cmd / unknown_workload /
+// unknown_cell / unknown_job / missing_field / cell_failed. Malformed JSON
+// and unknown commands get a typed reply on the same connection; frames the
+// server cannot resynchronize after (oversized lines, truncated frames cut
+// off by a client disconnect) get a clean connection drop. Neither ever
+// crashes or wedges the loop — the coordinator leans on this to retry.
+//
+// `run_cell` executes one workload cell synchronously on the serving thread
+// (cells are pure functions of their recipe — see campaign_engine.h — so a
+// re-run after a torn attempt is safe and bit-identical). The reply carries
+// an FNV-1a digest of the compact payload dump so the caller can reject
+// corrupted-but-parseable frames.
 //
 // The loop serves connections one at a time (submit returns immediately —
 // the engine runs jobs on its own workers — but `wait` blocks the loop, so
-// clients issue it last). Anything not a local trusted caller is out of
-// scope: the socket is a filesystem path with default permissions.
+// clients issue it last). The socket inode is created with mode 0600; a
+// bind collision against a live server fails fast, while a stale socket
+// left by a crashed server is unlinked and rebound.
 #ifndef MEMSENTRY_SRC_EVAL_SERVE_H_
 #define MEMSENTRY_SRC_EVAL_SERVE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/base/json.h"
@@ -29,11 +49,47 @@
 
 namespace memsentry::eval {
 
+// Deterministic fault injection for the chaos harness (ISSUE: --chaos=...).
+// Whether a given run_cell request misbehaves is a pure function of
+// (seed, workload, cell, attempt): the coordinator bumps `attempt` on every
+// re-dispatch and attempts >= 2 are never chaosed, so every cell terminates
+// and the whole chaos schedule replays bit-identically from the seed.
+struct ServeChaos {
+  bool kill = false;    // SIGKILL the worker after running the cell, before the reply
+  bool hang = false;    // stall hang_ms before replying (coordinator sees a dead lease)
+  bool garble = false;  // corrupt the serialized reply frame, then drop the connection
+  uint64_t seed = 0;
+  uint32_t one_in = 3;       // a first-attempt cell draws chaos with probability 1/one_in
+  uint32_t hang_ms = 30000;  // must exceed the coordinator's lease to be observable
+
+  bool any() const { return kill || hang || garble; }
+  // Round-trips through ParseChaosSpec; empty when !any().
+  std::string Format() const;
+};
+
+// Parses "kill,hang,garble:seed=S[:one_in=N][:hang_ms=N]" (any non-empty
+// subset of modes, options in any order after the mode list).
+StatusOr<ServeChaos> ParseChaosSpec(const std::string& spec);
+
+// Which chaos mode (if any) fires for this request. "" = run clean.
+// Exposed so tests can pin the schedule without a live server.
+std::string ChaosDecision(const ServeChaos& chaos, const std::string& workload,
+                          const std::string& cell, uint64_t attempt);
+
+// FNV-1a over the bytes — the digest run_cell replies carry (as %016llx hex,
+// since JSON numbers are doubles and cannot round-trip 64 bits).
+uint64_t ServeFrameDigest(const std::string& bytes);
+
+// Request lines beyond this are rejected ("oversized_line" + connection
+// drop); generous enough for any legitimate payload in the suite.
+inline constexpr size_t kServeMaxLineBytes = 64u << 20;
+
 struct ServeOptions {
   std::string socket_path;
   const WorkloadRegistry* registry = nullptr;
-  int jobs = 0;      // engine workers; <= 0 = hardware_concurrency
+  int jobs = 0;        // engine workers; <= 0 = hardware_concurrency
   bool quiet = false;  // suppress the per-request log lines
+  ServeChaos chaos;    // inert by default
 };
 
 // Binds the socket and serves requests until a shutdown command (returns 0)

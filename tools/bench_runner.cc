@@ -81,6 +81,22 @@
 //                                     isolation (CI crash-resume, --verbose
 //                                     implies it). Fidelity/perf metrics are
 //                                     bit-identical between the two engines.
+//   bench_runner --engine=shard       fault-tolerant multi-process run: an
+//                                     eval::ShardCoordinator dispatches every
+//                                     registered workload's cells to
+//                                     --workers=N `memsentry_cli serve`
+//                                     subprocesses under time-bounded leases
+//                                     (--lease=SECONDS), re-dispatching on
+//                                     worker death/hang/garbage, quarantining
+//                                     repeat offenders, and degrading to
+//                                     in-process execution if the whole fleet
+//                                     dies. --chaos=kill,hang,garble:seed=S
+//                                     arms the workers' deterministic fault
+//                                     harness. Fidelity/perf metrics stay
+//                                     bit-identical to the other engines at
+//                                     any worker count and chaos schedule;
+//                                     coordinator/* info metrics record the
+//                                     failure traffic.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -104,6 +120,7 @@
 #include "src/base/json.h"
 #include "src/base/thread_pool.h"
 #include "src/eval/campaign_engine.h"
+#include "src/eval/coordinator.h"
 #include "src/eval/regression_gate.h"
 #include "src/eval/report_builder.h"
 #include "src/eval/run_memo.h"
@@ -171,9 +188,13 @@ struct Options {
   std::string compare_existing;
   std::string write_baseline;
   std::string check_determinism;
-  std::string engine = "inproc";  // inproc | fork
+  std::string engine = "inproc";  // inproc | fork | shard
   std::string fastpath;           // empty = inherit the environment
   std::string journal;            // empty = BENCH_JOURNAL.jsonl next to --out
+  int workers = 3;                // --engine=shard: serve subprocess count
+  double lease_seconds = 20;      // --engine=shard: per-cell reply deadline
+  std::string chaos;              // --engine=shard: worker chaos spec ("" = off)
+  std::string worker_cli;         // --engine=shard: memsentry_cli path ("" = sibling)
   std::vector<std::string> only;
   std::vector<std::string> skip;
 };
@@ -654,7 +675,8 @@ int Usage() {
                "                    [--verbose] [--check-determinism=OTHER.json]\n"
                "                    [--fastpath=on|off|check] [--journal=PATH]\n"
                "                    [--resume] [--checkpoint-interval=N]\n"
-               "                    [--engine=inproc|fork]\n");
+               "                    [--engine=inproc|fork|shard] [--workers=N]\n"
+               "                    [--lease=SECONDS] [--chaos=SPEC] [--worker-cli=PATH]\n");
   return 2;
 }
 
@@ -708,6 +730,14 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.fastpath = v;
     } else if (const char* v = value("--engine")) {
       opts.engine = v;
+    } else if (const char* v = value("--workers")) {
+      opts.workers = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--lease")) {
+      opts.lease_seconds = std::strtod(v, nullptr);
+    } else if (const char* v = value("--chaos")) {
+      opts.chaos = v;
+    } else if (const char* v = value("--worker-cli")) {
+      opts.worker_cli = v;
     } else {
       std::fprintf(stderr, "bench_runner: unknown argument %s\n", arg.c_str());
       return false;
@@ -808,8 +838,8 @@ int Run(int argc, char** argv) {
   if (!ParseArgs(argc, argv, opts)) {
     return Usage();
   }
-  if (opts.engine != "inproc" && opts.engine != "fork") {
-    std::fprintf(stderr, "bench_runner: bad --engine value '%s' (want inproc|fork)\n",
+  if (opts.engine != "inproc" && opts.engine != "fork" && opts.engine != "shard") {
+    std::fprintf(stderr, "bench_runner: bad --engine value '%s' (want inproc|fork|shard)\n",
                  opts.engine.c_str());
     return 2;
   }
@@ -889,6 +919,8 @@ int Run(int argc, char** argv) {
     // --verbose streams child stdout, which only exists with child
     // processes, so it implies the fork engine.
     const bool inproc = opts.engine == "inproc" && !opts.verbose;
+    const bool shard = opts.engine == "shard" && !opts.verbose;
+    const char* engine_name = inproc ? "inproc" : shard ? "shard" : "fork";
 
     // The suite journal. A fresh run writes a new header; --resume validates
     // the existing header against this invocation's configuration (merging
@@ -904,7 +936,7 @@ int Run(int argc, char** argv) {
     journal_header.Set("mode", opts.quick ? "quick" : "full");
     journal_header.Set("instructions", instructions);
     journal_header.Set("fastpath", opts.fastpath.empty() ? "default" : opts.fastpath);
-    journal_header.Set("engine", inproc ? "inproc" : "fork");
+    journal_header.Set("engine", engine_name);
     journal_header.Set("out", opts.out);
     std::map<std::string, json::Value> journaled_done;
     std::map<std::string, std::map<std::string, json::Value>> journal_cells;
@@ -1013,6 +1045,10 @@ int Run(int argc, char** argv) {
     sim::DecodeCacheStats decode_stats;
     int engine_workers = 0;
     std::unique_ptr<eval::CampaignEngine> engine;
+    // Shard engine state: the coordinator must outlive engine_reports (its
+    // JobReports back them), exactly like `engine` above.
+    std::unique_ptr<eval::ShardCoordinator> coordinator;
+    eval::CoordinatorStats coordinator_stats;
 
     if (inproc) {
       eval::EngineOptions engine_options;
@@ -1133,6 +1169,137 @@ int Run(int argc, char** argv) {
       }
       engine_stats = engine->stats();
       decode_stats = sim::DecodeCache::Global().stats();
+    } else if (shard) {
+      eval::CoordinatorOptions coptions;
+      coptions.workers = opts.workers;
+      coptions.lease_seconds = opts.lease_seconds;
+      coptions.socket_dir = (report_dir / "coordinator").string();
+      // Workers are the memsentry_cli sibling of this binary unless
+      // overridden (tests point --worker-cli at the build tree).
+      if (!opts.worker_cli.empty()) {
+        coptions.worker_cli = opts.worker_cli;
+      } else {
+        std::error_code self_ec;
+        fs::path self = fs::canonical(fs::path(argv[0]), self_ec);
+        if (self_ec) {
+          self = fs::path(argv[0]);
+        }
+        coptions.worker_cli = (self.parent_path() / "memsentry_cli").string();
+      }
+      if (!opts.chaos.empty()) {
+        auto chaos = eval::ParseChaosSpec(opts.chaos);
+        if (!chaos.ok()) {
+          std::fprintf(stderr, "bench_runner: --chaos: %s\n",
+                       chaos.status().ToString().c_str());
+          return 2;
+        }
+        coptions.chaos = *chaos;
+      }
+      // The same cell-granular durability hooks the inproc engine wires up:
+      // restored cells skip dispatch entirely, completed cells journal their
+      // payloads (the coordinator calls back from its own thread only).
+      coptions.restore = [&journal_cells](const std::string& workload,
+                                          const std::string& cell) -> const json::Value* {
+        const auto wit = journal_cells.find(workload);
+        if (wit == journal_cells.end()) {
+          return nullptr;
+        }
+        const auto cit = wit->second.find(cell);
+        return cit == wit->second.end() ? nullptr : &cit->second;
+      };
+      coptions.on_cell_done = [&journal](const std::string& workload, const std::string& cell,
+                                         const json::Value& payload) {
+        json::Value event = json::Value::Object();
+        event.Set("event", "cell");
+        event.Set("binary", workload);
+        event.Set("cell", cell);
+        event.Set("payload", payload);
+        journal.Append(event);
+      };
+      coordinator = std::make_unique<eval::ShardCoordinator>(&suite::SuiteRegistry(), coptions);
+
+      // Submit every registered workload; mid-cell checkpointing is not
+      // forwarded over the wire (workers build cells from the recipe alone),
+      // so --checkpoint-interval is an inproc/fork-only feature.
+      std::vector<size_t> shard_index(to_run.size(), static_cast<size_t>(-1));
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        const SuiteEntry& entry = *to_run[i];
+        if (suite::FindSuiteWorkload(entry.name) == nullptr) {
+          continue;  // forked below, concurrently with the coordinator's drain
+        }
+        // Identical option construction to the inproc branch (note: quick
+        // mode flows through the instruction budget and quick_extra argv,
+        // not WorkloadOptions::quick) — any divergence here breaks the
+        // bit-identity contract between engines.
+        eval::WorkloadOptions woptions;
+        woptions.experiment.target_instructions = instructions;
+        if (opts.quick && entry.quick_extra[0] != '\0') {
+          const char* extra_argv[] = {"bench_runner", entry.quick_extra};
+          eval::ParseWorkloadArgs(2, const_cast<char**>(extra_argv), woptions);
+        }
+        {
+          std::lock_guard<std::mutex> lock(print_mutex);
+          std::printf("[bench_runner] %s (shard) ...\n", entry.name);
+          std::fflush(stdout);
+        }
+        json::Value started = json::Value::Object();
+        started.Set("event", "start");
+        started.Set("binary", entry.name);
+        journal.Append(started);
+        const uint64_t id = coordinator->Submit(entry.name, woptions);
+        if (id != 0) {
+          shard_index[i] = static_cast<size_t>(id - 1);
+        }
+      }
+
+      // Drive the fleet on its own thread while unregistered binaries
+      // (bench_substrate) fork on this one.
+      std::thread coordinator_thread([&coordinator] { (void)coordinator->Run(); });
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        if (shard_index[i] != static_cast<size_t>(-1)) {
+          continue;
+        }
+        const std::string name = to_run[i]->name;
+        if (const auto it = resumable.find(name); it != resumable.end()) {
+          std::printf("[bench_runner] %s (done; resumed from journal)\n", name.c_str());
+          std::fflush(stdout);
+          runs[i] = it->second;
+          continue;
+        }
+        runs[i] = ExecuteForked(*to_run[i], opts, instructions, inner_jobs, report_dir,
+                                journal, print_mutex);
+      }
+      coordinator_thread.join();
+      coordinator_stats = coordinator->stats();
+
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        if (shard_index[i] == static_cast<size_t>(-1)) {
+          continue;
+        }
+        const eval::JobReport* job = coordinator->reports()[shard_index[i]].get();
+        engine_reports[i] = job;
+        size_t restored = 0;
+        for (size_t c = 0; c < job->cell_restored.size(); ++c) {
+          restored += job->cell_restored[c] ? 1 : 0;
+        }
+        {
+          std::lock_guard<std::mutex> lock(print_mutex);
+          std::printf("[bench_runner] %s done: %zu cells (%zu restored) in %.2fs\n",
+                      job->workload.c_str(), job->cell_names.size(), restored,
+                      job->wall_seconds);
+          std::fflush(stdout);
+        }
+        json::Value done = json::Value::Object();
+        done.Set("event", "done");
+        done.Set("binary", job->workload);
+        done.Set("exit", job->status);
+        done.Set("timed_out", false);
+        done.Set("retries", 0);
+        done.Set("runner_seconds", job->wall_seconds);
+        done.Set("cells", static_cast<uint64_t>(job->cell_names.size()));
+        done.Set("reports", json::Value::Array());
+        journal.Append(done);
+      }
     } else {
       runs = ParallelMap(slots, to_run.size(), [&](size_t i) -> BinaryRun {
         const SuiteEntry& entry = *to_run[i];
@@ -1167,7 +1334,7 @@ int Run(int argc, char** argv) {
       info.Set("timed_out", false);
       info.Set("retries", 0);
       info.Set("runner_seconds", job.wall_seconds);
-      info.Set("engine", "inproc");
+      info.Set("engine", engine_name);
       info.Set("cells", static_cast<uint64_t>(job.cell_names.size()));
       if (restored > 0) {
         info.Set("cells_restored", static_cast<uint64_t>(restored));
@@ -1205,7 +1372,7 @@ int Run(int argc, char** argv) {
         metrics.Set(name + "/sim_instr_per_second", std::move(throughput));
       }
     }
-    if (inproc) {
+    if (inproc || shard) {
       // Where the suite's wall-clock actually went, at the engine's
       // scheduling granularity. tools/ci/check_gate.sh wall-summary surfaces
       // the slowest cells from these; all info-kind, never gated.
@@ -1219,6 +1386,34 @@ int Run(int argc, char** argv) {
                       InfoMetric(job.cell_seconds[c]));
         }
       }
+    }
+    if (shard) {
+      // The coordinator's failure traffic. All info-kind: every counter is
+      // host-timing-dependent (a loaded machine expires leases chaos never
+      // touched), so none participate in gating or the determinism check —
+      // the fidelity/perf stream above is what stays bit-identical.
+      metrics.Set("coordinator/cells_total",
+                  InfoMetric(static_cast<double>(coordinator_stats.cells_total)));
+      metrics.Set("coordinator/cells_dispatched",
+                  InfoMetric(static_cast<double>(coordinator_stats.cells_dispatched)));
+      metrics.Set("coordinator/cells_redispatched",
+                  InfoMetric(static_cast<double>(coordinator_stats.cells_redispatched)));
+      metrics.Set("coordinator/cells_inlined",
+                  InfoMetric(static_cast<double>(coordinator_stats.cells_inlined)));
+      metrics.Set("coordinator/lease_expiries",
+                  InfoMetric(static_cast<double>(coordinator_stats.lease_expiries)));
+      metrics.Set("coordinator/garbled_replies",
+                  InfoMetric(static_cast<double>(coordinator_stats.garbled_replies)));
+      metrics.Set("coordinator/connect_retries",
+                  InfoMetric(static_cast<double>(coordinator_stats.connect_retries)));
+      metrics.Set("coordinator/workers_respawned",
+                  InfoMetric(static_cast<double>(coordinator_stats.workers_respawned)));
+      metrics.Set("coordinator/workers_quarantined",
+                  InfoMetric(static_cast<double>(coordinator_stats.workers_quarantined)));
+      metrics.Set("coordinator/degraded",
+                  InfoMetric(coordinator_stats.degraded ? 1.0 : 0.0));
+    }
+    if (inproc) {
       metrics.Set("engine/cells_run", InfoMetric(static_cast<double>(engine_stats.cells_run)));
       metrics.Set("engine/cells_restored",
                   InfoMetric(static_cast<double>(engine_stats.cells_restored)));
@@ -1239,7 +1434,7 @@ int Run(int argc, char** argv) {
     // aggregates (work-stealing traffic and the shared decode cache's
     // efficacy across every workload in this one warm process).
     json::Value engine_header = json::Value::Object();
-    engine_header.Set("engine", inproc ? "inproc" : "fork");
+    engine_header.Set("engine", engine_name);
     if (inproc) {
       engine_header.Set("jobs", engine_workers);
       engine_header.Set("cells_run", engine_stats.cells_run);
@@ -1247,6 +1442,15 @@ int Run(int argc, char** argv) {
       engine_header.Set("steals", engine_stats.steals);
       engine_header.Set("decode_cache_hit_rate", decode_stats.HitRate());
       engine_header.Set("decode_cache_lowerings", decode_stats.misses);
+    }
+    if (shard) {
+      engine_header.Set("workers", opts.workers);
+      engine_header.Set("lease_seconds", opts.lease_seconds);
+      engine_header.Set("chaos", opts.chaos);
+      engine_header.Set("cells_restored", coordinator_stats.cells_restored);
+      engine_header.Set("cells_redispatched", coordinator_stats.cells_redispatched);
+      engine_header.Set("workers_quarantined", coordinator_stats.workers_quarantined);
+      engine_header.Set("degraded", coordinator_stats.degraded);
     }
     merged.Set("engine", std::move(engine_header));
 
@@ -1267,6 +1471,20 @@ int Run(int argc, char** argv) {
           static_cast<unsigned long long>(engine_stats.cells_run),
           static_cast<unsigned long long>(engine_stats.cells_restored),
           static_cast<unsigned long long>(engine_stats.steals), decode_stats.HitRate());
+    } else if (shard) {
+      std::printf(
+          "[bench_runner] suite wall-clock %.2fs (engine=shard, workers=%d, cells=%llu "
+          "[%llu redispatched, %llu inlined, %llu restored], lease expiries=%llu, "
+          "garbled=%llu, quarantined=%llu, degraded=%d)\n",
+          suite_seconds, opts.workers,
+          static_cast<unsigned long long>(coordinator_stats.cells_total),
+          static_cast<unsigned long long>(coordinator_stats.cells_redispatched),
+          static_cast<unsigned long long>(coordinator_stats.cells_inlined),
+          static_cast<unsigned long long>(coordinator_stats.cells_restored),
+          static_cast<unsigned long long>(coordinator_stats.lease_expiries),
+          static_cast<unsigned long long>(coordinator_stats.garbled_replies),
+          static_cast<unsigned long long>(coordinator_stats.workers_quarantined),
+          coordinator_stats.degraded ? 1 : 0);
     } else {
       std::printf(
           "[bench_runner] suite wall-clock %.2fs (engine=fork, jobs=%d, per-binary jobs=%d)\n",

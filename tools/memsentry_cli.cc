@@ -9,17 +9,25 @@
 //                                        failing cell a crash bundle recorded
 //   memsentry replay-campaign <bundle-dir|spec.json>  re-execute a generated
 //                                        attack campaign bit-for-bit
-//   memsentry serve --socket PATH [--jobs N] [--quiet]
+//   memsentry serve --socket PATH [--jobs N] [--quiet] [--chaos SPEC]
 //                                        resident CampaignEngine behind a
 //                                        local UNIX socket: submit/status/
 //                                        cancel/wait any suite workload
 //                                        without paying a process per run
 //   memsentry request --socket PATH 'JSON'  client half of serve: one
 //                                        request line in, the response out
+//   memsentry coordinate [--workers N] [--chaos SPEC] [--lease SECONDS]
+//                                        fault-tolerant shard coordinator:
+//                                        spawns N serve workers and drives
+//                                        the suite over them under leases
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "src/eval/coordinator.h"
 
 #include "src/attacks/campaign_gen.h"
 #include "src/attacks/harness.h"
@@ -48,11 +56,20 @@ int Usage() {
                "  replay BUNDLE_DIR   re-execute the cell a crash bundle recorded\n"
                "  replay-campaign BUNDLE_DIR   re-execute a generated attack campaign\n"
                "                      from its bundle (or a bare campaign-spec JSON file)\n"
-               "  serve --socket PATH [--jobs N] [--quiet]   resident campaign engine\n"
-               "                      behind a local UNIX socket (newline-delimited JSON:\n"
-               "                      ping|workloads|submit|status|cancel|wait|shutdown)\n"
+               "  serve --socket PATH [--jobs N] [--quiet] [--chaos SPEC]\n"
+               "                      resident campaign engine behind a local UNIX socket\n"
+               "                      (newline-delimited JSON: ping|workloads|submit|status|\n"
+               "                      cancel|wait|run_cell|shutdown); --chaos arms the\n"
+               "                      deterministic fault harness, e.g.\n"
+               "                      kill,hang,garble:seed=7[:one_in=3][:hang_ms=30000]\n"
                "  request --socket PATH 'JSON'   send one request to a running serve\n"
-               "                      instance and print the response (exit 0 iff ok)\n");
+               "                      instance and print the response (exit 0 iff ok)\n"
+               "  coordinate [--workers N] [--lease SECONDS] [--chaos SPEC] [--quick]\n"
+               "             [--workloads a,b,c] [--instructions N] [--dir PATH]\n"
+               "             [--worker-cli PATH] [--json PATH] [--quiet]\n"
+               "                      spawn N serve workers and run the suite over them\n"
+               "                      with lease-based dispatch, quarantine, and\n"
+               "                      in-process degradation (exit 0 iff all clean)\n");
   return 2;
 }
 
@@ -271,7 +288,117 @@ int RunServe(int argc, char** argv) {
     std::fprintf(stderr, "serve: --socket PATH is required\n");
     return Usage();
   }
+  if (const std::string spec = Arg(argc, argv, "--chaos", ""); !spec.empty()) {
+    auto chaos = eval::ParseChaosSpec(spec);
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "serve: %s\n", chaos.status().ToString().c_str());
+      return Usage();
+    }
+    options.chaos = *chaos;
+  }
   return eval::ServeLoop(options);
+}
+
+// `coordinate` — the fault-tolerant shard coordinator (DESIGN.md §12):
+// spawns N `serve` workers (this same binary) and drives every requested
+// workload's cells over them under time-bounded leases, with quarantine and
+// in-process degradation, merging a report byte-identical to a serial run.
+int RunCoordinate(int argc, char** argv, const std::string& self) {
+  eval::CoordinatorOptions options;
+  options.worker_cli = Arg(argc, argv, "--worker-cli", self.c_str());
+  options.workers = std::atoi(Arg(argc, argv, "--workers", "3"));
+  options.lease_seconds = std::atof(Arg(argc, argv, "--lease", "20"));
+  options.quiet = HasFlag(argc, argv, "--quiet");
+  options.socket_dir = Arg(argc, argv, "--dir", "");
+  if (options.socket_dir.empty()) {
+    options.socket_dir = "/tmp/memsentry-coord-" + std::to_string(::getpid());
+  }
+  if (const std::string spec = Arg(argc, argv, "--chaos", ""); !spec.empty()) {
+    auto chaos = eval::ParseChaosSpec(spec);
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "coordinate: %s\n", chaos.status().ToString().c_str());
+      return Usage();
+    }
+    options.chaos = *chaos;
+  }
+
+  eval::WorkloadOptions wo;
+  wo.quick = HasFlag(argc, argv, "--quick");
+  wo.experiment.target_instructions =
+      std::strtoull(Arg(argc, argv, "--instructions", "400000"), nullptr, 10);
+
+  const eval::WorkloadRegistry& registry = suite::SuiteRegistry();
+  std::vector<std::string> names;
+  if (const std::string list = Arg(argc, argv, "--workloads", ""); !list.empty()) {
+    size_t start = 0;
+    while (start <= list.size()) {
+      const size_t comma = list.find(',', start);
+      names.push_back(list.substr(start, comma == std::string::npos ? comma : comma - start));
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+  } else {
+    for (const eval::Workload& workload : registry.workloads()) {
+      names.push_back(workload.name);
+    }
+  }
+
+  eval::ShardCoordinator coordinator(&registry, options);
+  for (const std::string& name : names) {
+    if (coordinator.Submit(name, wo) == 0) {
+      std::fprintf(stderr, "coordinate: unknown workload: %s\n", name.c_str());
+      return 2;
+    }
+  }
+  const int status = coordinator.Run();
+  const eval::CoordinatorStats& stats = coordinator.stats();
+  std::fprintf(stderr,
+               "coordinate: %zu workloads, %llu cells (%llu redispatched, %llu inlined, "
+               "%llu lease expiries, %llu garbled, %llu quarantined, degraded=%d) -> %d\n",
+               names.size(), static_cast<unsigned long long>(stats.cells_total),
+               static_cast<unsigned long long>(stats.cells_redispatched),
+               static_cast<unsigned long long>(stats.cells_inlined),
+               static_cast<unsigned long long>(stats.lease_expiries),
+               static_cast<unsigned long long>(stats.garbled_replies),
+               static_cast<unsigned long long>(stats.workers_quarantined),
+               stats.degraded ? 1 : 0, status);
+
+  if (const std::string json_path = Arg(argc, argv, "--json", ""); !json_path.empty()) {
+    json::Value merged = json::Value::Object();
+    json::Value metrics = json::Value::Object();
+    json::Value jobs = json::Value::Array();
+    for (const auto& report : coordinator.reports()) {
+      json::Value job = json::Value::Object();
+      job.Set("workload", report->workload);
+      job.Set("state", eval::JobStateName(report->state));
+      job.Set("status", report->status);
+      job.Set("wall_seconds", report->wall_seconds);
+      jobs.Append(std::move(job));
+      for (const auto& [key, value] : report->report.metrics().members()) {
+        metrics.Set(key, value);
+      }
+    }
+    merged.Set("jobs", std::move(jobs));
+    json::Value coord = json::Value::Object();
+    coord.Set("cells_total", stats.cells_total);
+    coord.Set("cells_redispatched", stats.cells_redispatched);
+    coord.Set("cells_inlined", stats.cells_inlined);
+    coord.Set("lease_expiries", stats.lease_expiries);
+    coord.Set("garbled_replies", stats.garbled_replies);
+    coord.Set("workers_quarantined", stats.workers_quarantined);
+    coord.Set("workers_respawned", stats.workers_respawned);
+    coord.Set("degraded", stats.degraded);
+    merged.Set("coordinator", std::move(coord));
+    merged.Set("metrics", std::move(metrics));
+    if (Status s = json::WriteFileAtomic(json_path, merged); !s.ok()) {
+      std::fprintf(stderr, "coordinate: write %s: %s\n", json_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  return status;
 }
 
 // `request` — the client half of `serve`: send one JSON request line to a
@@ -439,6 +566,18 @@ int main(int argc, char** argv) {
   }
   if (command == "request") {
     return RunRequest(argc - 2, argv + 2);
+  }
+  if (command == "coordinate") {
+    // Workers are this same binary; /proc/self/exe survives argv[0] being a
+    // bare name found via PATH.
+    std::string self = argv[0];
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      self = buf;
+    }
+    return RunCoordinate(argc - 2, argv + 2, self);
   }
   return Usage();
 }
